@@ -1,0 +1,280 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§4–§5). Each benchmark runs the corresponding experiment in fast mode
+// (reduced replica workloads, statistics extrapolated back to paper scale)
+// and reports headline metrics: the best-batch simulated seconds, the
+// Full-Parallelism penalty, and message volumes. Run the cmd/vcbench
+// binary for the full-resolution suite with printed tables.
+//
+//	go test -bench=. -benchmem
+package vcmt_test
+
+import (
+	"io"
+	"testing"
+
+	"vcmt/internal/experiments"
+)
+
+func fastOpts() experiments.Options { return experiments.Options{Fast: true} }
+
+// reportSeries attaches the standard per-figure metrics.
+func reportSeries(b *testing.B, fig experiments.Figure) {
+	b.Helper()
+	var bestSec, fullSec float64
+	for _, s := range fig.Series {
+		bestSec += s.Best().Seconds()
+		fullSec += s.Rows[0].Seconds()
+	}
+	n := float64(len(fig.Series))
+	b.ReportMetric(bestSec/n, "best-batch-s")
+	b.ReportMetric(fullSec/n, "full-parallel-s")
+	if bestSec > 0 {
+		b.ReportMetric(fullSec/bestSec, "fullpar-penalty-x")
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Figure2(fastOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, fig)
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Figure3(fastOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, fig)
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Figure4(fastOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, fig)
+		// The workload-dependence headline: optimal batch count per series.
+		for j, s := range fig.Series {
+			b.ReportMetric(float64(s.Best().Batches), []string{"opt-batches-w1024", "opt-batches-w10240", "opt-batches-w12288"}[j])
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		stats, err := experiments.Figure6(fastOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range stats {
+			if s.PaperW == 10240 && s.Batches == 1 {
+				b.ReportMetric(s.MsgsPerRoundM, "msgs-per-round-M")
+			}
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(fastOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.PaperW == 4096 && r.Machines == 4 && r.Batches == 1 {
+				b.ReportMetric(r.MemGB, "mem-GB-w4096-m4-b1")
+			}
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table3(fastOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].MaxDiskUtil*100, "disk-util-1batch-pct")
+		best := rows[0].TotalSec
+		for _, r := range rows {
+			if r.TotalSec < best {
+				best = r.TotalSec
+			}
+		}
+		b.ReportMetric(best, "best-total-s")
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Figure5(fastOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, fig)
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Figure7(fastOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, fig)
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Figure8(fastOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, fig)
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		panels, err := experiments.Figure9(fastOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts := panels["a"]
+		best := pts[0]
+		for _, p := range pts[1:] {
+			if p.CombinedSec < best.CombinedSec {
+				best = p
+			}
+		}
+		b.ReportMetric(float64(best.Delta), "best-delta-w1-minus-w2")
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Figure10(fastOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, fig)
+		var agg float64
+		for _, s := range fig.Series {
+			agg += s.Best().AggregationSeconds
+		}
+		b.ReportMetric(agg/float64(len(fig.Series)), "aggregation-s")
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.Table4(fastOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			if c.Machines == 16 {
+				switch {
+				case c.Task == "PageRank":
+					b.ReportMetric(c.SyncSec/c.AsyncSec, "pagerank-sync-over-async")
+				case c.PaperW == 512:
+					b.ReportMetric(c.AsyncSec/c.SyncSec, "bppr512-async-over-sync")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		panels, err := experiments.Figure12(fastOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var worstGain float64 = 1
+		for _, p := range panels {
+			for _, pt := range p.Points {
+				if gain := pt.FullSec / pt.OptimizedSec; gain > worstGain {
+					worstGain = gain
+				}
+			}
+		}
+		b.ReportMetric(worstGain, "max-tuning-speedup-x")
+	}
+}
+
+// BenchmarkWriteSuite exercises the text renderers end to end (Fig. 4 only,
+// to keep it quick) so the printed-report path is covered by benchmarks.
+func BenchmarkWriteSuite(b *testing.B) {
+	fig, err := experiments.Figure4(fastOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.WriteFigure(io.Discard, fig)
+	}
+}
+
+// Ablation benchmarks: isolate the design choices the paper's systems
+// differ in (§2.2) and the unequal-batching insight (§4.7).
+
+func BenchmarkAblationMirroring(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationMirroring(fastOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.BaselineWireGB/res.VariantWireGB, "wire-reduction-x")
+	}
+}
+
+func BenchmarkAblationCombining(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationCombining(fastOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.BaselineSeconds/res.VariantSeconds, "combining-speedup-x")
+	}
+}
+
+func BenchmarkAblationOutOfCore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationOutOfCore(fastOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.VariantSeconds, "ooc-s")
+		b.ReportMetric(res.BaselineSeconds, "in-memory-s")
+	}
+}
+
+func BenchmarkAblationUnequalBatching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationUnequalBatching(fastOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.BaselineSeconds/res.VariantSeconds, "unequal-speedup-x")
+	}
+}
+
+func BenchmarkScaleUpVsScaleOut(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ScaleUpVsScaleOut(fastOpts(), 4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.ClusterSeconds, "cluster-s")
+		b.ReportMetric(res.StrongSeconds, "strong-machine-s")
+	}
+}

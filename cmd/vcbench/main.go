@@ -1,0 +1,205 @@
+// Command vcbench runs the full experiment suite — every table and figure
+// of the paper's evaluation — and prints paper-style text tables.
+//
+// Usage:
+//
+//	vcbench [-fast] [-seed N] [-only fig2,fig4,table3,...] [-out dir]
+//
+// Experiment names: fig2 fig3 fig4 fig6 table2 table3 fig5 fig7 fig8 fig9
+// fig10 fig11 table4 fig12 finer. Without -only, everything runs in paper order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"vcmt/internal/experiments"
+)
+
+func main() {
+	fast := flag.Bool("fast", false, "use reduced replica workloads (noisier, much quicker)")
+	seed := flag.Uint64("seed", 0, "experiment seed (0 = default)")
+	only := flag.String("only", "", "comma-separated subset of experiments to run")
+	outDir := flag.String("out", "", "also write each experiment's table to <dir>/<name>.txt")
+	flag.Parse()
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "vcbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	o := experiments.Options{Fast: *fast, Seed: *seed}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+	}
+	run := func(name string) bool { return len(want) == 0 || want[name] }
+
+	// out is rebound per step to tee into -out files.
+	var out io.Writer = os.Stdout
+
+	type step struct {
+		name string
+		fn   func() error
+	}
+	steps := []step{
+		{"fig2", func() error {
+			fig, err := experiments.Figure2(o)
+			if err != nil {
+				return err
+			}
+			experiments.WriteFigure(out, fig)
+			return nil
+		}},
+		{"fig3", func() error {
+			fig, err := experiments.Figure3(o)
+			if err != nil {
+				return err
+			}
+			experiments.WriteFigure(out, fig)
+			return nil
+		}},
+		{"fig4", func() error {
+			fig, err := experiments.Figure4(o)
+			if err != nil {
+				return err
+			}
+			experiments.WriteFigure(out, fig)
+			return nil
+		}},
+		{"fig6", func() error {
+			stats, err := experiments.Figure6(o)
+			if err != nil {
+				return err
+			}
+			experiments.WriteFigure6(out, stats)
+			return nil
+		}},
+		{"table2", func() error {
+			rows, err := experiments.Table2(o)
+			if err != nil {
+				return err
+			}
+			experiments.WriteTable2(out, rows)
+			return nil
+		}},
+		{"table3", func() error {
+			rows, err := experiments.Table3(o)
+			if err != nil {
+				return err
+			}
+			experiments.WriteTable3(out, rows)
+			return nil
+		}},
+		{"fig5", func() error {
+			fig, err := experiments.Figure5(o)
+			if err != nil {
+				return err
+			}
+			experiments.WriteFigure(out, fig)
+			return nil
+		}},
+		{"fig7", func() error {
+			fig, err := experiments.Figure7(o)
+			if err != nil {
+				return err
+			}
+			experiments.WriteFigure(out, fig)
+			return nil
+		}},
+		{"fig8", func() error {
+			fig, err := experiments.Figure8(o)
+			if err != nil {
+				return err
+			}
+			experiments.WriteFigure(out, fig)
+			return nil
+		}},
+		{"fig9", func() error {
+			panels, err := experiments.Figure9(o)
+			if err != nil {
+				return err
+			}
+			experiments.WriteFigure9(out, panels)
+			return nil
+		}},
+		{"fig11", func() error {
+			res, err := experiments.Figure11(o)
+			if err != nil {
+				return err
+			}
+			experiments.WriteFigure11(out, res)
+			return nil
+		}},
+		{"fig10", func() error {
+			fig, err := experiments.Figure10(o)
+			if err != nil {
+				return err
+			}
+			experiments.WriteFigure(out, fig)
+			return nil
+		}},
+		{"table4", func() error {
+			cells, err := experiments.Table4(o)
+			if err != nil {
+				return err
+			}
+			experiments.WriteTable4(out, cells)
+			return nil
+		}},
+		{"fig12", func() error {
+			panels, err := experiments.Figure12(o)
+			if err != nil {
+				return err
+			}
+			experiments.WriteFigure12(out, panels)
+			return nil
+		}},
+		{"finer", func() error {
+			ser, err := experiments.FinerBatches(o)
+			if err != nil {
+				return err
+			}
+			experiments.WriteFigure(out, experiments.Figure{
+				ID:     "Additional materials",
+				Title:  "finer-granularity batch sweep (BPPR 12288, Galaxy-8)",
+				Series: []experiments.Series{ser},
+			})
+			return nil
+		}},
+	}
+	for _, s := range steps {
+		if !run(s.name) {
+			continue
+		}
+		var f *os.File
+		out = os.Stdout
+		if *outDir != "" {
+			var err error
+			f, err = os.Create(filepath.Join(*outDir, s.name+".txt"))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "vcbench: %v\n", err)
+				os.Exit(1)
+			}
+			out = io.MultiWriter(os.Stdout, f)
+		}
+		start := time.Now()
+		err := s.fn()
+		if f != nil {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vcbench: %s: %v\n", s.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %.1fs]\n\n", s.name, time.Since(start).Seconds())
+	}
+}

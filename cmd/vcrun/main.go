@@ -1,0 +1,176 @@
+// Command vcrun executes one multi-processing job on a simulated cluster
+// and reports the cost model's verdict: simulated time, rounds, message
+// statistics, memory, disk and network behaviour.
+//
+// Usage:
+//
+//	vcrun -task BPPR -dataset DBLP -system Pregel+ -cluster Galaxy-8 \
+//	      -workload 160 -batches 4 [-machines 8] [-scale 4096] [-seed 7]
+//
+// The workload is in replica units (walks per vertex for BPPR; source
+// count for MSSP/BKHS). -scale extrapolates the measured statistics before
+// costing; the default uses the dataset's node-scale factor.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"vcmt/internal/batch"
+	"vcmt/internal/graph"
+	"vcmt/internal/sim"
+	"vcmt/internal/tasks"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vcrun: ")
+	var (
+		taskName    = flag.String("task", "BPPR", "BPPR, MSSP or BKHS")
+		datasetName = flag.String("dataset", "DBLP", "dataset replica (Table 1 name)")
+		systemName  = flag.String("system", "Pregel+", "VC-system profile")
+		clusterName = flag.String("cluster", "Galaxy-8", "cluster profile")
+		machines    = flag.Int("machines", 0, "override the cluster's machine count")
+		workload    = flag.Int("workload", 64, "replica workload (walks per vertex / sources)")
+		batches     = flag.Int("batches", 1, "number of equal batches (1 = Full-Parallelism)")
+		khops       = flag.Int("k", 2, "hop radius for BKHS")
+		scale       = flag.Float64("scale", 0, "stat extrapolation factor (0 = dataset node scale)")
+		seed        = flag.Uint64("seed", 7, "random seed")
+		tracePath   = flag.String("trace", "", "write a per-round CSV trace to this file")
+	)
+	flag.Parse()
+
+	d, err := graph.Dataset(*datasetName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	system, err := sim.SystemByName(*systemName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster, err := sim.ClusterByName(*clusterName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *machines > 0 {
+		cluster = cluster.WithMachines(*machines)
+	}
+	g := d.Load()
+	part := graph.HashPartition(g.NumVertices(), cluster.Machines)
+
+	statScale := *scale
+	if statScale == 0 {
+		statScale = d.ScaleNodes()
+	}
+	cfg := sim.JobConfig{
+		Cluster:              cluster,
+		System:               system,
+		StatScale:            statScale,
+		NodeScale:            d.ScaleNodes(),
+		GraphBytesPerMachine: (float64(d.PaperNodes)*16 + float64(d.PaperEdges)*8) / float64(cluster.Machines),
+	}
+
+	async := system.Async == sim.FullAsync
+	var job tasks.Job
+	switch *taskName {
+	case "BPPR":
+		job = tasks.NewBPPR(g, part, tasks.BPPRConfig{
+			WalksPerNode: *workload, Mirror: system.Mirror, Async: async, Seed: *seed,
+		})
+	case "MSSP":
+		sources := firstSources(g.NumVertices(), *workload)
+		job, err = tasks.NewMSSP(g, part, tasks.MSSPConfig{
+			Sources: sources, Mirror: system.Mirror, Async: async, Seed: *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	case "BKHS":
+		sources := firstSources(g.NumVertices(), *workload)
+		job = tasks.NewBKHS(g, part, tasks.BKHSConfig{
+			Sources: sources, K: *khops, Mirror: system.Mirror, Async: async, Seed: *seed,
+		})
+	default:
+		log.Fatalf("unknown task %q", *taskName)
+	}
+
+	var trace *sim.Trace
+	cfgTask := cfg
+	cfgTask.Task = job.MemModel()
+	run := sim.NewRun(cfgTask)
+	if *tracePath != "" {
+		trace = &sim.Trace{}
+		run.SetTrace(trace)
+	}
+	sched := batch.Equal(job.TotalWorkload(), *batches)
+	for i, bw := range sched {
+		if run.Overloaded() || bw <= 0 {
+			continue
+		}
+		run.BeginBatch()
+		residual, err := job.RunBatch(run, bw, i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run.AddResidual(residual)
+	}
+	res := run.Result()
+
+	w := os.Stdout
+	fmt.Fprintf(w, "job:       %s on %s (%d vertices, %d arcs), %s, %s\n",
+		*taskName, d.Name, g.NumVertices(), g.NumEdges(), system.Name, cluster.Name)
+	fmt.Fprintf(w, "workload:  %d in %d batch(es), stat scale %.0fx\n", job.TotalWorkload(), *batches, statScale)
+	status := fmt.Sprintf("%.1f s", res.Seconds)
+	if res.Overflow {
+		status = "OVERFLOW (memory beyond physical + swap headroom)"
+	} else if res.Overload {
+		status = fmt.Sprintf("OVERLOAD (> %d s cutoff; simulated %.0f s)", int(sim.DefaultCutoffSeconds), res.Seconds)
+	}
+	fmt.Fprintf(w, "time:      %s\n", status)
+	fmt.Fprintf(w, "rounds:    %d (avg %.2fM msgs/round, peak %.2fM)\n",
+		res.Rounds, res.AvgMsgsPerRound/1e6, res.MaxMsgsPerRound/1e6)
+	fmt.Fprintf(w, "memory:    peak %.2f GB/machine (%.0f%% of usable)\n",
+		res.PeakMemBytes/(1<<30), res.MaxMemRatio*100)
+	fmt.Fprintf(w, "network:   %.2f GB total, %.1f s overuse\n",
+		res.WireBytesTotal/(1<<30), res.NetOveruseSec)
+	if system.OutOfCore {
+		fmt.Fprintf(w, "disk:      %.1f s IO, max util %.0f%%, %.1f s overuse, queue %.0f\n",
+			res.DiskSeconds, res.MaxDiskUtil*100, res.IOOveruseSec, res.MaxIOQueueLen)
+	}
+	if cluster.Cloud {
+		mark := ""
+		if res.CreditsLowerBound {
+			mark = ">"
+		}
+		fmt.Fprintf(w, "credits:   %s$%.2f\n", mark, res.Credits)
+	}
+	if trace != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := trace.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "trace:     %s (%d rounds)\n", *tracePath, len(trace.Rows))
+	}
+}
+
+func firstSources(n, count int) []graph.VertexID {
+	if count > n {
+		count = n
+	}
+	seen := make(map[graph.VertexID]bool, count)
+	out := make([]graph.VertexID, 0, count)
+	for i := 0; len(out) < count; i++ {
+		v := graph.VertexID(uint64(i) * 2654435761 % uint64(n))
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+// Command vctune runs the paper's Section-5 tuning framework: it trains
+// the memory model on light powers-of-two workloads, fits M*(W) and
+// M_r*(W) by Levenberg–Marquardt, prints the fitted parameters and the
+// optimized batch schedule for the requested workload, and (optionally)
+// evaluates the schedule against Full-Parallelism.
+//
+// Usage:
+//
+//	vctune -task BPPR -dataset DBLP -machines 4 -workload 96 \
+//	       [-scale 4500] [-exp 5] [-evaluate]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"vcmt/internal/batch"
+	"vcmt/internal/core"
+	"vcmt/internal/graph"
+	"vcmt/internal/sim"
+	"vcmt/internal/tasks"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vctune: ")
+	var (
+		taskName    = flag.String("task", "BPPR", "BPPR or MSSP")
+		datasetName = flag.String("dataset", "DBLP", "dataset replica (Table 1 name)")
+		machines    = flag.Int("machines", 4, "machine count (Galaxy profile)")
+		workload    = flag.Int("workload", 96, "total replica workload to schedule")
+		scale       = flag.Float64("scale", 4500, "stat extrapolation factor")
+		maxExp      = flag.Int("exp", 5, "training uses workloads 2^1..2^exp")
+		evaluate    = flag.Bool("evaluate", false, "also run Optimized vs Full-Parallelism")
+		seed        = flag.Uint64("seed", 3, "random seed")
+	)
+	flag.Parse()
+
+	d, err := graph.Dataset(*datasetName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := d.Load()
+	part := graph.HashPartition(g.NumVertices(), *machines)
+	cfg := sim.JobConfig{
+		Cluster:              sim.Galaxy8.WithMachines(*machines),
+		System:               sim.PregelPlus,
+		StatScale:            *scale,
+		NodeScale:            d.ScaleNodes(),
+		GraphBytesPerMachine: (float64(d.PaperNodes)*16 + float64(d.PaperEdges)*8) / float64(*machines),
+	}
+	mk := func() tasks.Job {
+		switch *taskName {
+		case "BPPR":
+			return tasks.NewBPPR(g, part, tasks.BPPRConfig{WalksPerNode: 1 << 20, Seed: *seed})
+		case "MSSP":
+			sources := make([]graph.VertexID, g.NumVertices())
+			for i := range sources {
+				sources[i] = graph.VertexID(i)
+			}
+			job, err := tasks.NewMSSP(g, part, tasks.MSSPConfig{Sources: sources, Seed: *seed})
+			if err != nil {
+				log.Fatal(err)
+			}
+			return job
+		default:
+			log.Fatalf("unknown task %q", *taskName)
+			return nil
+		}
+	}
+
+	fmt.Printf("training %s on %s, %d machines (workloads 2^1..2^%d)...\n",
+		*taskName, d.Name, *machines, *maxExp)
+	model, err := core.Train(mk, cfg, core.TrainConfig{MaxExponent: *maxExp, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range model.Points {
+		fmt.Printf("  W=%-4.0f M*=%7.2f GB   Mr*=%7.2f GB\n",
+			p.Workload, p.MaxMemBytes/(1<<30), p.MaxResidualBytes/(1<<30))
+	}
+	fmt.Printf("M*(W)  = %.4g * W^%.4f + %.4g\n", model.Mem.A, model.Mem.B, model.Mem.C)
+	fmt.Printf("Mr*(W) = %.4g * W^%.4f + %.4g\n", model.Resid.A, model.Resid.B, model.Resid.C)
+	fmt.Printf("budget: p=%.3f of %.0f GB physical memory\n\n",
+		model.P, model.MachineMemBytes/(1<<30))
+
+	sched, err := model.Schedule(*workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimized schedule for workload %d: %v (%d batches)\n",
+		*workload, []int(sched), sched.Batches())
+
+	if *evaluate {
+		opt, err := batch.Run(mk(), cfg, sched)
+		if err != nil {
+			log.Fatal(err)
+		}
+		full, err := batch.Run(mk(), cfg, batch.Single(*workload))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fullCell := fmt.Sprintf("%.0f s", full.Seconds)
+		if full.Overload {
+			fullCell = "overload"
+		}
+		fmt.Printf("\nFull-Parallelism: %s\nOptimized:        %.0f s\n", fullCell, opt.Seconds)
+	}
+}

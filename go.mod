@@ -1,0 +1,3 @@
+module vcmt
+
+go 1.24

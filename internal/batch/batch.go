@@ -1,0 +1,169 @@
+// Package batch implements the paper's multi-processing execution layer:
+// a workload W is divided into batches that are fed to the system
+// sequentially, with the workload inside a batch processed concurrently
+// (§4, "Workloads and Evaluation Metrics"). The number and sizes of the
+// batches realize the round–congestion tradeoff the paper studies: fewer
+// batches mean fewer communication rounds but heavier per-round message
+// congestion.
+//
+// The runner carries residual memory across batches — the retained
+// intermediate results of completed batches (§4.5) — and supports the
+// paper's k-equal batching, unequal two-batch splits (Fig. 9), arbitrary
+// schedules (the tuning framework of §5 emits decreasing ones), and the
+// whole-graph access mode of §4.9 (Fig. 10).
+package batch
+
+import (
+	"fmt"
+	"math"
+
+	"vcmt/internal/sim"
+	"vcmt/internal/tasks"
+)
+
+// Schedule lists the per-batch workloads; the paper's S = {W1, ..., Wt}.
+type Schedule []int
+
+// Total returns the summed workload.
+func (s Schedule) Total() int {
+	t := 0
+	for _, w := range s {
+		t += w
+	}
+	return t
+}
+
+// Batches returns the number of non-empty batches.
+func (s Schedule) Batches() int {
+	n := 0
+	for _, w := range s {
+		if w > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Equal divides total into k equal batches (the paper's k-batch mechanism;
+// 1-batch is Full-Parallelism). Remainders go to the earliest batches.
+func Equal(total, k int) Schedule {
+	if k <= 0 {
+		panic("batch: need at least one batch")
+	}
+	s := make(Schedule, k)
+	base := total / k
+	rem := total % k
+	for i := range s {
+		s[i] = base
+		if i < rem {
+			s[i]++
+		}
+	}
+	return s
+}
+
+// TwoUnequal splits total into two batches with W1 - W2 = delta (Fig. 9).
+// Odd total+delta rounds W1 down.
+func TwoUnequal(total, delta int) Schedule {
+	w1 := (total + delta) / 2
+	if w1 < 0 {
+		w1 = 0
+	}
+	if w1 > total {
+		w1 = total
+	}
+	return Schedule{w1, total - w1}
+}
+
+// Single is the 1-batch Full-Parallelism schedule.
+func Single(total int) Schedule { return Schedule{total} }
+
+// Run executes the job batch-by-batch under the given cost configuration,
+// accumulating residual memory between batches. Execution stops early once
+// the run is overloaded (past the 6000 s cutoff), as the paper's
+// experiments do.
+func Run(job tasks.Job, cfg sim.JobConfig, sched Schedule) (sim.JobResult, error) {
+	cfg.Task = job.MemModel()
+	run := sim.NewRun(cfg)
+	for i, w := range sched {
+		if run.Overloaded() {
+			break
+		}
+		if w <= 0 {
+			continue
+		}
+		run.BeginBatch()
+		resid, err := job.RunBatch(run, w, i)
+		if err != nil {
+			return sim.JobResult{}, fmt.Errorf("batch %d: %w", i, err)
+		}
+		run.AddResidual(resid)
+	}
+	return run.Result(), nil
+}
+
+// WholeGraphOptions configures the whole-graph access mode of §4.9: the
+// graph is replicated to every machine, the workload (not the vertex set)
+// is split across machines, and machine-local results are aggregated at a
+// master at the end.
+type WholeGraphOptions struct {
+	// Machines is the replication factor K.
+	Machines int
+	// MergeNsPerEntry is the master's per-entry cost to merge the K
+	// partial results.
+	MergeNsPerEntry float64
+}
+
+// WholeGraphResult extends the job result with the aggregation phase cost,
+// reported separately like the stacked bars of Fig. 10.
+type WholeGraphResult struct {
+	sim.JobResult
+	AggregationSeconds float64
+}
+
+// RunWholeGraph executes the job in whole-graph access mode. The job must
+// be built over a single-machine partition of the full graph (every
+// machine runs the same single-machine program on 1/K of the workload;
+// statistics of one replica machine are representative of all). cfg's
+// cluster carries the true machine count, and cfg.GraphBytesPerMachine
+// must be the full paper-scale graph size — the mode's memory downside.
+func RunWholeGraph(job tasks.Job, cfg sim.JobConfig, sched Schedule, opts WholeGraphOptions) (WholeGraphResult, error) {
+	if opts.Machines <= 0 {
+		opts.Machines = cfg.Cluster.Machines
+	}
+	if opts.MergeNsPerEntry == 0 {
+		opts.MergeNsPerEntry = 50
+	}
+	perMachine := make(Schedule, len(sched))
+	for i, w := range sched {
+		perMachine[i] = (w + opts.Machines - 1) / opts.Machines
+	}
+	cfg.Task = job.MemModel()
+	run := sim.NewRun(cfg)
+	for i, w := range perMachine {
+		if run.Overloaded() {
+			break
+		}
+		if w <= 0 {
+			continue
+		}
+		run.BeginBatch()
+		resid, err := job.RunBatch(run, w, i)
+		if err != nil {
+			return WholeGraphResult{}, fmt.Errorf("whole-graph batch %d: %w", i, err)
+		}
+		run.AddResidual(resid)
+	}
+	// Final aggregation: the K machines tree-reduce their partial results
+	// (log2(K) levels of pairwise merges over parallel links), the upper
+	// stacked bar of Fig. 10.
+	entries := float64(run.ResidualEntries()) * run.Config().StatScale
+	bytes := entries * job.MemModel().ResidualBytesPerEntry
+	levels := math.Ceil(math.Log2(float64(opts.Machines)))
+	if opts.Machines == 1 {
+		levels = 0
+	}
+	aggSec := levels * (bytes/cfg.Cluster.NetBytesPerSec + entries*opts.MergeNsPerEntry/1e9)
+	run.AddSeconds(aggSec)
+	return WholeGraphResult{JobResult: run.Result(), AggregationSeconds: aggSec}, nil
+}

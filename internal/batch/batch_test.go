@@ -1,0 +1,201 @@
+package batch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vcmt/internal/graph"
+	"vcmt/internal/sim"
+	"vcmt/internal/tasks"
+)
+
+func TestEqualSchedule(t *testing.T) {
+	s := Equal(10, 3)
+	if s.Total() != 10 {
+		t.Fatalf("total=%d", s.Total())
+	}
+	if s[0] != 4 || s[1] != 3 || s[2] != 3 {
+		t.Fatalf("schedule %v", s)
+	}
+	if s.Batches() != 3 {
+		t.Fatalf("batches=%d", s.Batches())
+	}
+}
+
+func TestEqualScheduleMoreBatchesThanWork(t *testing.T) {
+	s := Equal(3, 8)
+	if s.Total() != 3 {
+		t.Fatalf("total=%d", s.Total())
+	}
+	if s.Batches() != 3 {
+		t.Fatalf("non-empty batches=%d want 3", s.Batches())
+	}
+}
+
+func TestEqualPanicsOnZeroBatches(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Equal(10, 0)
+}
+
+func TestEqualScheduleProperty(t *testing.T) {
+	f := func(totalRaw uint16, kRaw uint8) bool {
+		total := int(totalRaw)
+		k := int(kRaw)%32 + 1
+		s := Equal(total, k)
+		if s.Total() != total || len(s) != k {
+			return false
+		}
+		// Batch sizes differ by at most one.
+		min, max := s[0], s[0]
+		for _, w := range s {
+			if w < min {
+				min = w
+			}
+			if w > max {
+				max = w
+			}
+		}
+		return max-min <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoUnequal(t *testing.T) {
+	s := TwoUnequal(100, 20)
+	if s[0] != 60 || s[1] != 40 {
+		t.Fatalf("schedule %v", s)
+	}
+	s = TwoUnequal(100, -20)
+	if s[0] != 40 || s[1] != 60 {
+		t.Fatalf("schedule %v", s)
+	}
+	// Delta beyond total clamps to a single batch.
+	s = TwoUnequal(100, 500)
+	if s[0] != 100 || s[1] != 0 {
+		t.Fatalf("schedule %v", s)
+	}
+	s = TwoUnequal(100, -500)
+	if s[0] != 0 || s[1] != 100 {
+		t.Fatalf("schedule %v", s)
+	}
+}
+
+func TestSingleSchedule(t *testing.T) {
+	s := Single(42)
+	if len(s) != 1 || s[0] != 42 {
+		t.Fatalf("schedule %v", s)
+	}
+}
+
+func testCfg(k int) sim.JobConfig {
+	return sim.JobConfig{Cluster: sim.Galaxy8.WithMachines(k), System: sim.PregelPlus}
+}
+
+func TestRunExecutesAllBatches(t *testing.T) {
+	g := graph.GenerateChungLu(60, 240, 2.5, 3)
+	part := graph.HashPartition(60, 4)
+	job := tasks.NewBPPR(g, part, tasks.BPPRConfig{WalksPerNode: 32, Seed: 1})
+	res, err := Run(job, testCfg(4), Equal(32, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Batches != 4 {
+		t.Fatalf("batches=%d", res.Batches)
+	}
+	if job.WalksLaunched() != 32 {
+		t.Fatalf("launched=%d", job.WalksLaunched())
+	}
+	if res.Seconds <= 0 || res.Rounds <= 0 {
+		t.Fatal("no cost recorded")
+	}
+}
+
+func TestRunSkipsEmptyBatches(t *testing.T) {
+	g := graph.GenerateRing(20)
+	part := graph.HashPartition(20, 2)
+	job := tasks.NewBPPR(g, part, tasks.BPPRConfig{WalksPerNode: 2, Seed: 1})
+	res, err := Run(job, testCfg(2), Equal(2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Batches != 2 {
+		t.Fatalf("batches=%d want 2 (six empty)", res.Batches)
+	}
+}
+
+func TestRunCarriesResidual(t *testing.T) {
+	g := graph.GenerateChungLu(60, 240, 2.5, 5)
+	part := graph.HashPartition(60, 4)
+	one := tasks.NewBPPR(g, part, tasks.BPPRConfig{WalksPerNode: 64, Seed: 1})
+	resOne, err := Run(one, testCfg(4), Single(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	four := tasks.NewBPPR(g, part, tasks.BPPRConfig{WalksPerNode: 64, Seed: 1})
+	resFour, err := Run(four, testCfg(4), Equal(64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With batching, later batches run with earlier batches' residual
+	// memory in place; peak memory accounts for it. With a single batch
+	// residual never applies, so peak per-round message memory dominates.
+	if resFour.PeakMemBytes <= 0 || resOne.PeakMemBytes <= 0 {
+		t.Fatal("no memory accounted")
+	}
+	if resFour.MaxMsgsPerRound >= resOne.MaxMsgsPerRound {
+		t.Fatal("batching must cut the per-round message peak")
+	}
+}
+
+func TestRunStopsWhenOverloaded(t *testing.T) {
+	g := graph.GenerateChungLu(60, 240, 2.5, 7)
+	part := graph.HashPartition(60, 4)
+	job := tasks.NewBPPR(g, part, tasks.BPPRConfig{WalksPerNode: 64, Seed: 1})
+	cfg := testCfg(4)
+	cfg.CutoffSeconds = 1e-9
+	res, err := Run(job, cfg, Equal(64, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Overload {
+		t.Fatal("run must be overloaded")
+	}
+	if res.Batches >= 8 {
+		t.Fatal("overloaded run must stop early")
+	}
+}
+
+func TestRunWholeGraph(t *testing.T) {
+	g := graph.GenerateChungLu(60, 240, 2.5, 9)
+	// Whole-graph mode: the job runs over a single-machine partition.
+	part := graph.HashPartition(60, 1)
+	job := tasks.NewBPPR(g, part, tasks.BPPRConfig{WalksPerNode: 64, Seed: 1})
+	cfg := testCfg(8) // 8 machines in the cost model
+	cfg.GraphBytesPerMachine = float64(g.MemoryBytes())
+	res, err := RunWholeGraph(job, cfg, Equal(64, 2), WholeGraphOptions{Machines: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AggregationSeconds <= 0 {
+		t.Fatal("aggregation phase must cost time")
+	}
+	if res.WireBytesTotal != 0 {
+		t.Fatal("whole-graph mode must not send remote traffic during compute")
+	}
+	// Each machine processes 1/8 of every batch.
+	if job.WalksLaunched() != 8 {
+		t.Fatalf("per-machine walks=%d want 8", job.WalksLaunched())
+	}
+}
+
+func TestScheduleHelpers(t *testing.T) {
+	if Schedule(nil).Total() != 0 || Schedule(nil).Batches() != 0 {
+		t.Fatal("empty schedule must be zero")
+	}
+}

@@ -1,0 +1,158 @@
+// Package bppa checks executions against the measurable conditions of a
+// Balanced Practical Pregel Algorithm (Yan et al., discussed in the
+// paper's §2.4):
+//
+//	(iii) linear communication: each vertex sends O(d(v)) messages per
+//	      round, and
+//	(iv)  at most logarithmic rounds: the computation finishes within
+//	      O(log n) supersteps.
+//
+// The paper argues that typical multi-processing tasks cannot satisfy both
+// conditions — running W walks per vertex concurrently sends Ω(W·d(v))
+// messages per round, while serializing the walks needs Ω(L·W) rounds.
+// This package instruments any vertex program and measures exactly those
+// quantities on real executions (see the package tests).
+//
+// Sends are attributed to the vertex whose Compute call issued them; the
+// seed superstep is excluded (it has no well-defined sending vertex), which
+// only makes the check more conservative — for the multi-processing tasks
+// the seed round is the most congested of all.
+package bppa
+
+import (
+	"math"
+
+	"vcmt/internal/graph"
+	"vcmt/internal/randx"
+	"vcmt/internal/vcapi"
+)
+
+// Report summarizes an instrumented execution.
+type Report struct {
+	// N is the vertex count.
+	N int
+	// Rounds is the number of compute supersteps observed.
+	Rounds int
+	// MaxSendRatio is max over rounds and vertices of
+	// (messages sent by v in the round) / max(d(v), 1): the constant of
+	// the linear-communication condition.
+	MaxSendRatio float64
+	// MaxSends is the largest per-vertex per-round send count observed.
+	MaxSends int64
+}
+
+// SatisfiesLinearComm reports whether every vertex stayed within c·d(v)
+// sends per round.
+func (r Report) SatisfiesLinearComm(c float64) bool {
+	return r.MaxSendRatio <= c
+}
+
+// SatisfiesLogRounds reports whether the execution finished within
+// c·log2(n) compute rounds.
+func (r Report) SatisfiesLogRounds(c float64) bool {
+	if r.N < 2 {
+		return true
+	}
+	return float64(r.Rounds) <= c*math.Log2(float64(r.N))
+}
+
+// IsBPPA combines both measurable conditions under the same constant.
+func (r Report) IsBPPA(c float64) bool {
+	return r.SatisfiesLinearComm(c) && r.SatisfiesLogRounds(c)
+}
+
+// Instrument wraps a vertex program so that per-vertex per-round send
+// counts are recorded. Run the wrapped program on any executor, then call
+// Report.
+func Instrument[M any](g *graph.Graph, prog vcapi.Program[M]) *Instrumented[M] {
+	return &Instrumented[M]{
+		g:     g,
+		inner: prog,
+		sends: make([]int64, g.NumVertices()),
+	}
+}
+
+// Instrumented is a measuring wrapper around a vertex program.
+type Instrumented[M any] struct {
+	g         *graph.Graph
+	inner     vcapi.Program[M]
+	sends     []int64 // per-vertex sends in the current round
+	dirty     []graph.VertexID
+	report    Report
+	roundMark int
+}
+
+// Report folds any pending round and returns the collected statistics.
+func (p *Instrumented[M]) Report() Report {
+	p.flushRound()
+	r := p.report
+	r.N = p.g.NumVertices()
+	return r
+}
+
+func (p *Instrumented[M]) flushRound() {
+	if len(p.dirty) == 0 {
+		return
+	}
+	p.report.Rounds++
+	for _, v := range p.dirty {
+		sent := p.sends[v]
+		p.sends[v] = 0
+		if sent > p.report.MaxSends {
+			p.report.MaxSends = sent
+		}
+		d := p.g.Degree(v)
+		if d == 0 {
+			d = 1
+		}
+		if ratio := float64(sent) / float64(d); ratio > p.report.MaxSendRatio {
+			p.report.MaxSendRatio = ratio
+		}
+	}
+	p.dirty = p.dirty[:0]
+}
+
+// Seed implements vcapi.Program; seed sends are not attributed.
+func (p *Instrumented[M]) Seed(ctx vcapi.Context[M]) {
+	p.inner.Seed(ctx)
+}
+
+// Compute implements vcapi.Program.
+func (p *Instrumented[M]) Compute(ctx vcapi.Context[M], v graph.VertexID, msgs []M) {
+	if p.roundMark != ctx.Round() {
+		p.flushRound()
+		p.roundMark = ctx.Round()
+	}
+	p.inner.Compute(&countingCtx[M]{inner: ctx, p: p, vertex: v}, v, msgs)
+}
+
+// countingCtx intercepts sends and attributes them to the computing vertex.
+type countingCtx[M any] struct {
+	inner  vcapi.Context[M]
+	p      *Instrumented[M]
+	vertex graph.VertexID
+}
+
+func (c *countingCtx[M]) record(n int64) {
+	if c.p.sends[c.vertex] == 0 {
+		c.p.dirty = append(c.p.dirty, c.vertex)
+	}
+	c.p.sends[c.vertex] += n
+}
+
+func (c *countingCtx[M]) Graph() *graph.Graph             { return c.inner.Graph() }
+func (c *countingCtx[M]) Machine() int                    { return c.inner.Machine() }
+func (c *countingCtx[M]) Vertex() graph.VertexID          { return c.inner.Vertex() }
+func (c *countingCtx[M]) Round() int                      { return c.inner.Round() }
+func (c *countingCtx[M]) OwnedVertices() []graph.VertexID { return c.inner.OwnedVertices() }
+func (c *countingCtx[M]) RNG() *randx.RNG                 { return c.inner.RNG() }
+
+func (c *countingCtx[M]) Send(dst graph.VertexID, m M) {
+	c.record(1)
+	c.inner.Send(dst, m)
+}
+
+func (c *countingCtx[M]) Broadcast(src graph.VertexID, m M) {
+	c.record(int64(c.inner.Graph().Degree(src)))
+	c.inner.Broadcast(src, m)
+}

@@ -1,0 +1,107 @@
+package bppa
+
+import (
+	"math"
+	"testing"
+
+	"vcmt/internal/engine"
+	"vcmt/internal/graph"
+	"vcmt/internal/tasks"
+)
+
+// TestSingleTaskSatisfiesLinearComm: HashMin Connected Components is the
+// paper's example of a balanced practical Pregel algorithm — every vertex
+// sends at most d(v) messages per round.
+func TestSingleTaskSatisfiesLinearComm(t *testing.T) {
+	g := graph.GenerateChungLu(2000, 8000, 2.5, 3)
+	part := graph.HashPartition(2000, 4)
+	inst := Instrument(g, tasks.CCProgram(2000))
+	e := engine.New[tasks.LabelMsg](g, part, inst, nil, engine.Options[tasks.LabelMsg]{})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rep := inst.Report()
+	if !rep.SatisfiesLinearComm(1.0) {
+		t.Fatalf("CC must send at most d(v) per round, ratio %.2f", rep.MaxSendRatio)
+	}
+	// Small-world graph: diameter ~ log n, so HashMin is log-round here.
+	if !rep.SatisfiesLogRounds(3) {
+		t.Fatalf("CC on a small-world graph should be ~log rounds, got %d for n=%d",
+			rep.Rounds, rep.N)
+	}
+	if !rep.IsBPPA(3) {
+		t.Fatal("CC should satisfy the measurable BPPA conditions here")
+	}
+}
+
+// TestMultiProcessingViolatesLinearComm demonstrates §2.4's argument: with
+// W walks per vertex running concurrently, vertices send far more than
+// O(d(v)) messages per round — multi-processing breaks the
+// linear-communication condition.
+func TestMultiProcessingViolatesLinearComm(t *testing.T) {
+	g := graph.GenerateChungLu(1000, 4000, 2.5, 7)
+	part := graph.HashPartition(1000, 4)
+	const W = 128
+	job := tasks.NewBPPR(g, part, tasks.BPPRConfig{WalksPerNode: W, Seed: 5})
+	inst := Instrument(g, job.MCProgram(W))
+	e := engine.New[tasks.WalkMsg](g, part, inst, nil, engine.Options[tasks.WalkMsg]{
+		Weight: func(m tasks.WalkMsg) int64 { return int64(m.Count) },
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rep := inst.Report()
+	if rep.SatisfiesLinearComm(3) {
+		t.Fatalf("concurrent BPPR must violate linear communication, ratio %.2f", rep.MaxSendRatio)
+	}
+}
+
+// TestSerializedWalksViolateLogRounds demonstrates the other horn of the
+// dilemma: processing the walks one at a time respects per-round
+// communication bounds but needs far more than O(log n) rounds
+// (O(L·W) in the paper's notation).
+func TestSerializedWalksViolateLogRounds(t *testing.T) {
+	g := graph.GenerateChungLu(1000, 4000, 2.5, 9)
+	part := graph.HashPartition(1000, 4)
+	job := tasks.NewBPPR(g, part, tasks.BPPRConfig{WalksPerNode: 32, Seed: 5})
+	totalRounds := 0
+	var worstRatio float64
+	// One walk per batch: 32 sequential single-walk executions.
+	for b := 0; b < 32; b++ {
+		inst := Instrument(g, job.MCProgram(1))
+		e := engine.New[tasks.WalkMsg](g, part, inst, nil, engine.Options[tasks.WalkMsg]{})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		rep := inst.Report()
+		totalRounds += rep.Rounds
+		worstRatio = math.Max(worstRatio, rep.MaxSendRatio)
+	}
+	// Each single-walk round sends at most one message per vertex per
+	// in-flight walk: communication is modest...
+	if worstRatio > 8 {
+		t.Fatalf("serialized walks should have modest per-round sends, got %.2f", worstRatio)
+	}
+	// ...but the total round count is way past logarithmic.
+	logBound := 3 * math.Log2(1000)
+	if float64(totalRounds) <= logBound {
+		t.Fatalf("serialized walks should blow the round budget: %d rounds vs bound %.0f",
+			totalRounds, logBound)
+	}
+}
+
+func TestReportHelpers(t *testing.T) {
+	r := Report{N: 1024, Rounds: 10, MaxSendRatio: 2}
+	if !r.SatisfiesLogRounds(1) {
+		t.Fatal("10 rounds within log2(1024)=10")
+	}
+	if r.SatisfiesLogRounds(0.5) {
+		t.Fatal("10 rounds not within 5")
+	}
+	if !r.SatisfiesLinearComm(2) || r.SatisfiesLinearComm(1.5) {
+		t.Fatal("linear-comm threshold wrong")
+	}
+	if (Report{N: 1, Rounds: 100}).SatisfiesLogRounds(1) != true {
+		t.Fatal("degenerate n must pass")
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"vcmt/internal/graph"
+	"vcmt/internal/sim"
+	"vcmt/internal/tasks"
+)
+
+func diskFixture(t *testing.T) (JobFactory, sim.JobConfig) {
+	t.Helper()
+	g := graph.MustLoad("DBLP")
+	part := graph.HashPartition(g.NumVertices(), 27)
+	mk := func() tasks.Job {
+		return tasks.NewBPPR(g, part, tasks.BPPRConfig{WalksPerNode: 1 << 20, Seed: 9})
+	}
+	cfg := sim.JobConfig{
+		Cluster:   sim.Galaxy27,
+		System:    sim.GraphD,
+		StatScale: 1024,
+		NodeScale: 64,
+	}
+	return mk, cfg
+}
+
+func TestDiskTuneFindsDesaturationPoint(t *testing.T) {
+	mk, cfg := diskFixture(t)
+	// The Table-3 regime: workload 128 replica walks saturates the disks
+	// at 1-2 batches and recovers by 4-8.
+	res, err := DiskTune(mk, cfg, 128, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Saturated {
+		t.Fatal("workload should desaturate within the probe range")
+	}
+	if res.Batches <= 1 {
+		t.Fatalf("1-batch should saturate the disks, tuner chose %d", res.Batches)
+	}
+	if res.Utils[1] <= 1 {
+		t.Fatalf("1-batch util %.2f should exceed 100%%", res.Utils[1])
+	}
+	if res.Utils[res.Batches] >= 1 {
+		t.Fatalf("chosen batch count still saturated: %.2f", res.Utils[res.Batches])
+	}
+}
+
+func TestDiskTuneRejectsInMemorySystems(t *testing.T) {
+	mk, cfg := diskFixture(t)
+	cfg.System = sim.PregelPlus
+	if _, err := DiskTune(mk, cfg, 64, 16); err == nil {
+		t.Fatal("want error for non-out-of-core system")
+	}
+}
+
+func TestDiskTuneLightWorkloadUsesOneBatch(t *testing.T) {
+	mk, cfg := diskFixture(t)
+	cfg.StatScale = 8 // trivially light
+	res, err := DiskTune(mk, cfg, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Batches != 1 {
+		t.Fatalf("light workload should stay at Full-Parallelism, got %d", res.Batches)
+	}
+}

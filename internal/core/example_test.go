@@ -1,0 +1,30 @@
+package core_test
+
+import (
+	"fmt"
+
+	"vcmt/internal/core"
+	"vcmt/internal/lma"
+)
+
+// ExampleModel_Schedule computes a batch schedule from fitted memory
+// models, Eq. 5–6 of the paper: each batch takes the largest workload
+// whose predicted memory fits under p·M on top of the residual memory the
+// earlier batches left behind. Schedules decrease monotonically.
+func ExampleModel_Schedule() {
+	model := &core.Model{
+		// M*(W) = 0.4 GB · W  (per-batch peak memory)
+		Mem: lma.PowerFit{A: 0.4e9, B: 1, C: 0},
+		// M_r*(W) = 0.1 GB · W  (residual left by W finished units)
+		Resid:           lma.PowerFit{A: 0.1e9, B: 1, C: 0},
+		P:               0.875,
+		MachineMemBytes: 16e9,
+	}
+	sched, err := model.Schedule(100)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sched)
+	// Output:
+	// [35 26 19 15 5]
+}

@@ -1,0 +1,210 @@
+// Package core implements the paper's primary contribution: the
+// learning-based tuning framework for multi-processing in vertex-centric
+// systems (§5). Given a unit-task algorithm A and a total workload W, the
+// framework
+//
+//  1. runs a light-weight training phase — workloads 2^r for r = 1..h —
+//     collecting each run's maximum per-machine memory M*(2^r) and maximum
+//     residual memory M_r*(2^r);
+//  2. fits both curves with the exponential model a·W^b + c via
+//     Levenberg–Marquardt (Eq. 2, Eq. 4);
+//  3. computes the batch schedule S* = {W1, ..., Wt} greedily from Eq. 5–6:
+//     each batch takes the largest workload whose predicted memory, on top
+//     of the residual left by earlier batches, stays under p·M (the
+//     overloading threshold).
+//
+// The resulting schedules are monotonically decreasing — later batches get
+// less headroom because residual memory accumulates — matching the paper's
+// observation (§5, e.g. workload 5120 → [2747, 1388, 644, 266, 75]).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"vcmt/internal/batch"
+	"vcmt/internal/lma"
+	"vcmt/internal/sim"
+	"vcmt/internal/tasks"
+)
+
+// TrainingPoint is one observation from the training phase.
+type TrainingPoint struct {
+	// Workload is the trained batch workload (2^r).
+	Workload float64
+	// MaxMemBytes is the maximum per-machine memory M*(W), paper scale.
+	MaxMemBytes float64
+	// MaxResidualBytes is the maximum per-machine residual memory M_r*(W).
+	MaxResidualBytes float64
+}
+
+// Model is the fitted memory model plus the machine constraint.
+type Model struct {
+	// Mem is M*(W) = a1·W^b1 + c1 (Eq. 2).
+	Mem lma.PowerFit
+	// Resid is M_r*(W) = a2·W^b2 + c2 (Eq. 2).
+	Resid lma.PowerFit
+	// P is the overloading parameter: a machine is overloaded when p·M of
+	// its physical memory M is occupied (§5, "Machine Overloading").
+	P float64
+	// MachineMemBytes is the physical memory M per machine.
+	MachineMemBytes float64
+	// Points are the training observations behind the fits.
+	Points []TrainingPoint
+}
+
+// TrainConfig configures the training phase.
+type TrainConfig struct {
+	// MaxExponent is h: training runs use workloads 2^1 .. 2^h. The
+	// condition W >> 2^h keeps training cost minor (§5); default 5.
+	MaxExponent int
+	// P is the overloading parameter (default: the cluster's usable
+	// fraction, 14/16).
+	P float64
+	// Seed drives the LMA random restarts.
+	Seed uint64
+}
+
+// JobFactory builds a fresh job instance for one training run; training
+// runs must not share state with each other or with the evaluation run.
+type JobFactory func() tasks.Job
+
+// Train runs the training phase for the job under the given cost
+// configuration and fits the memory model. cfg should be the same
+// sim.JobConfig the evaluation run will use.
+func Train(mk JobFactory, cfg sim.JobConfig, tc TrainConfig) (*Model, error) {
+	if tc.MaxExponent == 0 {
+		tc.MaxExponent = 5
+	}
+	if tc.MaxExponent < 2 {
+		return nil, errors.New("core: training needs at least workloads 2^1..2^3")
+	}
+	if tc.P == 0 {
+		tc.P = cfg.Cluster.UsableFrac
+	}
+	var points []TrainingPoint
+	for r := 1; r <= tc.MaxExponent; r++ {
+		w := 1 << r
+		pt, err := MeasureBatch(mk(), cfg, w)
+		if err != nil {
+			return nil, fmt.Errorf("core: training workload %d: %w", w, err)
+		}
+		points = append(points, pt)
+	}
+	xs := make([]float64, len(points))
+	mem := make([]float64, len(points))
+	resid := make([]float64, len(points))
+	for i, p := range points {
+		xs[i] = p.Workload
+		mem[i] = p.MaxMemBytes
+		resid[i] = p.MaxResidualBytes
+	}
+	memFit, err := lma.FitPower(xs, mem, lma.Options{Seed: tc.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("core: fitting M*: %w", err)
+	}
+	residFit, err := lma.FitPower(xs, resid, lma.Options{Seed: tc.Seed ^ 0x5eed})
+	if err != nil {
+		return nil, fmt.Errorf("core: fitting M_r*: %w", err)
+	}
+	return &Model{
+		Mem: memFit, Resid: residFit,
+		P:               tc.P,
+		MachineMemBytes: float64(cfg.Cluster.MemBytes),
+		Points:          points,
+	}, nil
+}
+
+// MeasureBatch runs one standalone batch of the given workload and returns
+// its training point: maximum per-machine memory and maximum per-machine
+// residual bytes, at paper scale.
+func MeasureBatch(job tasks.Job, cfg sim.JobConfig, workload int) (TrainingPoint, error) {
+	cfg.Task = job.MemModel()
+	run := sim.NewRun(cfg)
+	run.BeginBatch()
+	resid, err := job.RunBatch(run, workload, 0)
+	if err != nil {
+		return TrainingPoint{}, err
+	}
+	var maxResid int64
+	for _, r := range resid {
+		if r > maxResid {
+			maxResid = r
+		}
+	}
+	res := run.Result()
+	return TrainingPoint{
+		Workload:         float64(workload),
+		MaxMemBytes:      res.PeakMemBytes,
+		MaxResidualBytes: float64(maxResid) * run.Config().StatScale * job.MemModel().ResidualBytesPerEntry,
+	}, nil
+}
+
+// ErrInfeasible is returned when even a single workload unit would
+// overload a machine under the fitted model.
+var ErrInfeasible = errors.New("core: no feasible batch schedule under the memory budget")
+
+// Schedule computes the optimized batch schedule S* for a total workload W
+// via Eq. 5–6: W1 solves M*(W1) = p·M, and each later batch solves
+// M*(W_{i+1}) = p·M − M_r*(Σ_{j≤i} W_j).
+func (m *Model) Schedule(total int) (batch.Schedule, error) {
+	if total <= 0 {
+		return batch.Schedule{}, nil
+	}
+	budget := m.P * m.MachineMemBytes
+	var sched batch.Schedule
+	done := 0
+	for done < total {
+		residNow := 0.0
+		if done > 0 {
+			residNow = m.Resid.Eval(float64(done))
+		}
+		headroom := budget - residNow
+		w := int(math.Floor(m.Mem.Invert(headroom)))
+		if w < 1 {
+			if len(sched) == 0 {
+				return nil, ErrInfeasible
+			}
+			// Residual memory has eaten the entire budget; the remaining
+			// workload proceeds at the minimum granularity.
+			w = 1
+		}
+		if w > total-done {
+			w = total - done
+		}
+		sched = append(sched, w)
+		done += w
+		if len(sched) > 10000 {
+			return nil, fmt.Errorf("core: schedule for workload %d did not converge", total)
+		}
+	}
+	return sched, nil
+}
+
+// PredictedMemory returns the model's memory prediction for running a
+// batch of workload w after `done` workload units have completed.
+func (m *Model) PredictedMemory(done, w int) float64 {
+	resid := 0.0
+	if done > 0 {
+		resid = m.Resid.Eval(float64(done))
+	}
+	return resid + m.Mem.Eval(float64(w))
+}
+
+// MaxWorkloadBinarySearch implements the paper's trial-and-error practical
+// guideline (§4.10): binary-search the largest workload in [1, hi] that
+// the probe accepts (probe returns true when the workload does not
+// overload the system). It returns 0 when even workload 1 overloads.
+func MaxWorkloadBinarySearch(probe func(w int) bool, hi int) int {
+	lo := 0
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if probe(mid) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}

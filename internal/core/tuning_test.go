@@ -1,0 +1,207 @@
+package core
+
+import (
+	"testing"
+
+	"vcmt/internal/batch"
+	"vcmt/internal/graph"
+	"vcmt/internal/lma"
+	"vcmt/internal/sim"
+	"vcmt/internal/tasks"
+)
+
+// tuneFixture builds a BPPR setting where memory genuinely binds: the
+// extrapolation factor is chosen so that a per-batch workload around ~60
+// walks/node saturates a 14 GB machine.
+func tuneFixture(t *testing.T) (JobFactory, sim.JobConfig) {
+	t.Helper()
+	g := graph.GenerateChungLu(500, 2000, 2.5, 3)
+	part := graph.HashPartition(500, 4)
+	mk := func() tasks.Job {
+		return tasks.NewBPPR(g, part, tasks.BPPRConfig{WalksPerNode: 1 << 20, Seed: 11})
+	}
+	cfg := sim.JobConfig{
+		Cluster:   sim.Galaxy8.WithMachines(4),
+		System:    sim.PregelPlus,
+		StatScale: 30000,
+		NodeScale: 1000,
+	}
+	return mk, cfg
+}
+
+func TestTrainProducesGrowingCurves(t *testing.T) {
+	mk, cfg := tuneFixture(t)
+	model, err := Train(mk, cfg, TrainConfig{MaxExponent: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(model.Points) != 5 {
+		t.Fatalf("points=%d want 5", len(model.Points))
+	}
+	for i := 1; i < len(model.Points); i++ {
+		if model.Points[i].MaxMemBytes <= model.Points[i-1].MaxMemBytes {
+			t.Fatalf("M* not increasing: %+v", model.Points)
+		}
+		if model.Points[i].MaxResidualBytes < model.Points[i-1].MaxResidualBytes {
+			t.Fatalf("M_r* decreasing: %+v", model.Points)
+		}
+	}
+	// The fits should interpolate the training data within 20%.
+	for _, p := range model.Points {
+		got := model.Mem.Eval(p.Workload)
+		if got < 0.8*p.MaxMemBytes || got > 1.2*p.MaxMemBytes {
+			t.Fatalf("M* fit off at W=%v: %v vs %v", p.Workload, got, p.MaxMemBytes)
+		}
+	}
+}
+
+func TestScheduleDecreasesAndCoversTotal(t *testing.T) {
+	mk, cfg := tuneFixture(t)
+	model, err := Train(mk, cfg, TrainConfig{MaxExponent: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 200
+	sched, err := model.Schedule(total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Total() != total {
+		t.Fatalf("schedule total %d want %d", sched.Total(), total)
+	}
+	if len(sched) < 2 {
+		t.Fatalf("expected a multi-batch schedule, got %v", sched)
+	}
+	// The paper's schedules decrease monotonically (§5): residual memory
+	// accumulates so later batches get less headroom. Allow the final
+	// remainder batch to break the pattern.
+	for i := 1; i < len(sched)-1; i++ {
+		if sched[i] > sched[i-1] {
+			t.Fatalf("schedule not decreasing: %v", sched)
+		}
+	}
+	// Every batch must fit the predicted budget.
+	done := 0
+	budget := model.P * model.MachineMemBytes
+	for _, w := range sched {
+		if pred := model.PredictedMemory(done, w); pred > 1.05*budget {
+			t.Fatalf("batch %d predicted to overload: %g > %g (sched %v)", w, pred, budget, sched)
+		}
+		done += w
+	}
+}
+
+func TestOptimizedBeatsFullParallelism(t *testing.T) {
+	mk, cfg := tuneFixture(t)
+	model, err := Train(mk, cfg, TrainConfig{MaxExponent: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 256
+	sched, err := model.Schedule(total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := batch.Run(mk(), cfg, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := batch.Run(mk(), cfg, batch.Single(total))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Overload && full.Seconds <= opt.Seconds {
+		t.Fatalf("Full-Parallelism should lose: full=%v (overload=%v) opt=%v",
+			full.Seconds, full.Overload, opt.Seconds)
+	}
+	if opt.Overload {
+		t.Fatal("optimized schedule must not overload")
+	}
+	if opt.MaxMemRatio > 1.1 {
+		t.Fatalf("optimized schedule exceeded memory budget: ratio %v", opt.MaxMemRatio)
+	}
+}
+
+func TestSmallWorkloadGetsSingleBatch(t *testing.T) {
+	mk, cfg := tuneFixture(t)
+	model, err := Train(mk, cfg, TrainConfig{MaxExponent: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := model.Schedule(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) != 1 || sched[0] != 4 {
+		t.Fatalf("tiny workload should be one batch, got %v", sched)
+	}
+}
+
+func TestScheduleZeroTotal(t *testing.T) {
+	m := &Model{P: 0.875, MachineMemBytes: 16 << 30}
+	sched, err := m.Schedule(0)
+	if err != nil || len(sched) != 0 {
+		t.Fatalf("zero workload: %v %v", sched, err)
+	}
+}
+
+func TestScheduleInfeasible(t *testing.T) {
+	m := &Model{
+		Mem:             lma.PowerFit{A: 1, B: 1, C: 1e12}, // offset above budget
+		Resid:           lma.PowerFit{A: 1, B: 1, C: 0},
+		P:               0.5,
+		MachineMemBytes: 1e9,
+	}
+	if _, err := m.Schedule(100); err == nil {
+		t.Fatal("want ErrInfeasible")
+	}
+}
+
+func TestScheduleMinGranularityWhenResidualDominates(t *testing.T) {
+	// Residual eats the budget quickly: schedule degrades to 1-unit batches
+	// rather than failing.
+	m := &Model{
+		Mem:             lma.PowerFit{A: 1e8, B: 1, C: 0},
+		Resid:           lma.PowerFit{A: 5e9, B: 1, C: 0},
+		P:               1,
+		MachineMemBytes: 10e9,
+	}
+	sched, err := m.Schedule(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Total() != 10 {
+		t.Fatalf("total %d", sched.Total())
+	}
+}
+
+func TestTrainRejectsTinyExponent(t *testing.T) {
+	mk, cfg := tuneFixture(t)
+	if _, err := Train(mk, cfg, TrainConfig{MaxExponent: 1}); err == nil {
+		t.Fatal("want error for MaxExponent=1")
+	}
+}
+
+func TestMeasureBatchReportsResiduals(t *testing.T) {
+	mk, cfg := tuneFixture(t)
+	pt, err := MeasureBatch(mk(), cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.MaxMemBytes <= 0 || pt.MaxResidualBytes <= 0 {
+		t.Fatalf("bad point %+v", pt)
+	}
+}
+
+func TestMaxWorkloadBinarySearch(t *testing.T) {
+	probe := func(w int) bool { return w <= 37 }
+	if got := MaxWorkloadBinarySearch(probe, 1000); got != 37 {
+		t.Fatalf("got %d want 37", got)
+	}
+	if got := MaxWorkloadBinarySearch(func(int) bool { return false }, 100); got != 0 {
+		t.Fatalf("got %d want 0", got)
+	}
+	if got := MaxWorkloadBinarySearch(func(int) bool { return true }, 100); got != 100 {
+		t.Fatalf("got %d want 100", got)
+	}
+}

@@ -1,0 +1,112 @@
+package engine
+
+import "math"
+
+// Aggregators implement Pregel's global communication mechanism (§2.2 of
+// the paper, after Malewicz et al.): every vertex may contribute a value
+// during a superstep; the system reduces the contributions and makes the
+// result of superstep S visible to all vertices in superstep S+1.
+//
+// The paper's systems use aggregators for convergence checks (e.g. "the
+// process ends if in one round no shorter paths are found"); the engine's
+// message-drain halting covers that case, but aggregators are part of the
+// programming contract real Pregel programs rely on, so tasks such as
+// Connected Components use them here.
+
+// AggregatorKind selects the reduction.
+type AggregatorKind int
+
+// Supported reductions.
+const (
+	AggSum AggregatorKind = iota
+	AggMin
+	AggMax
+)
+
+type aggregator struct {
+	kind    AggregatorKind
+	current float64 // being accumulated this superstep
+	visible float64 // result of the previous superstep
+	touched bool
+}
+
+func (a *aggregator) zero() float64 {
+	switch a.kind {
+	case AggMin:
+		return math.Inf(1)
+	case AggMax:
+		return math.Inf(-1)
+	default:
+		return 0
+	}
+}
+
+func (a *aggregator) add(v float64) {
+	if !a.touched {
+		a.current = a.zero()
+		a.touched = true
+	}
+	switch a.kind {
+	case AggMin:
+		if v < a.current {
+			a.current = v
+		}
+	case AggMax:
+		if v > a.current {
+			a.current = v
+		}
+	default:
+		a.current += v
+	}
+}
+
+func (a *aggregator) roll() {
+	if a.touched {
+		a.visible = a.current
+	} else {
+		a.visible = a.zero()
+	}
+	a.touched = false
+}
+
+// RegisterAggregator declares a named aggregator before Run.
+func (e *Engine[M]) RegisterAggregator(name string, kind AggregatorKind) {
+	if e.aggs == nil {
+		e.aggs = map[string]*aggregator{}
+	}
+	a := &aggregator{kind: kind}
+	a.visible = a.zero()
+	e.aggs[name] = a
+}
+
+// AggregatorValue returns the final value of a named aggregator after Run
+// (or the last superstep's value mid-run).
+func (e *Engine[M]) AggregatorValue(name string) float64 {
+	if a, ok := e.aggs[name]; ok {
+		return a.visible
+	}
+	return 0
+}
+
+func (e *Engine[M]) rollAggregators() {
+	for _, a := range e.aggs {
+		a.roll()
+	}
+}
+
+// Aggregate contributes a value to a named aggregator; the reduced result
+// becomes visible via AggregatorGet in the next superstep. Contributions
+// to unregistered names are dropped.
+func (c *Context[M]) Aggregate(name string, v float64) {
+	if a, ok := c.e.aggs[name]; ok {
+		a.add(v)
+	}
+}
+
+// AggregatorGet reads the previous superstep's reduced value.
+func (c *Context[M]) AggregatorGet(name string) float64 {
+	if a, ok := c.e.aggs[name]; ok {
+		return a.visible
+	}
+	return 0
+}

@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"testing"
+
+	"vcmt/internal/graph"
+	"vcmt/internal/vcapi"
+)
+
+// flood sends one message per edge per round for a fixed number of rounds:
+// a pure message-throughput workload for the engine hot path.
+type floodProg struct{ rounds int }
+
+func (p *floodProg) Seed(ctx vcapi.Context[hopMsg]) {
+	for _, v := range ctx.OwnedVertices() {
+		for _, u := range ctx.Graph().Neighbors(v) {
+			ctx.Send(u, hopMsg{Hop: 1})
+		}
+	}
+}
+
+func (p *floodProg) Compute(ctx vcapi.Context[hopMsg], v graph.VertexID, msgs []hopMsg) {
+	if ctx.Round() > p.rounds {
+		return
+	}
+	for _, u := range ctx.Graph().Neighbors(v) {
+		ctx.Send(u, hopMsg{Hop: 1})
+	}
+}
+
+// BenchmarkEngineMessageThroughput measures the BSP engine's end-to-end
+// per-message cost (send, route, bucket, deliver, compute).
+func BenchmarkEngineMessageThroughput(b *testing.B) {
+	g := graph.GenerateChungLu(10000, 40000, 2.5, 3)
+	part := graph.HashPartition(g.NumVertices(), 8)
+	const rounds = 10
+	msgsPerRun := g.NumEdges() * (rounds + 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := New[hopMsg](g, part, &floodProg{rounds: rounds}, nil, Options[hopMsg]{Seed: 1})
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(msgsPerRun)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mmsgs/s")
+}
+
+// BenchmarkEngineWithCombiner measures the combiner's delivery-time cost.
+func BenchmarkEngineWithCombiner(b *testing.B) {
+	g := graph.GenerateChungLu(10000, 40000, 2.5, 3)
+	part := graph.HashPartition(g.NumVertices(), 8)
+	for i := 0; i < b.N; i++ {
+		e := New[hopMsg](g, part, &floodProg{rounds: 10}, nil, Options[hopMsg]{
+			Seed: 1,
+			Combiner: func(a, c hopMsg) hopMsg {
+				if a.Hop < c.Hop {
+					return a
+				}
+				return c
+			},
+		})
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineSpill measures the real out-of-core path (encode, write,
+// read back, decode through a temp file).
+func BenchmarkEngineSpill(b *testing.B) {
+	g := graph.GenerateChungLu(5000, 20000, 2.5, 3)
+	part := graph.HashPartition(g.NumVertices(), 4)
+	dir := b.TempDir()
+	for i := 0; i < b.N; i++ {
+		e := New[hopMsg](g, part, &floodProg{rounds: 5}, nil, Options[hopMsg]{
+			Seed:  1,
+			Spill: &SpillOptions[hopMsg]{Codec: hopCodec{}, Dir: dir, ThresholdMsgs: 4096},
+		})
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

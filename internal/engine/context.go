@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"vcmt/internal/graph"
+	"vcmt/internal/randx"
+	"vcmt/internal/vcapi"
+)
+
+// Context implements vcapi.Context for the BSP engine.
+var _ vcapi.Context[int] = (*Context[int])(nil)
+
+// Context is the vertex program's handle to the engine during Seed and
+// Compute calls. It is bound to the machine (and, during Compute, the
+// vertex) currently executing.
+type Context[M any] struct {
+	e       *Engine[M]
+	machine int
+	vertex  graph.VertexID
+}
+
+// Graph returns the graph under computation.
+func (c *Context[M]) Graph() *graph.Graph { return c.e.g }
+
+// Machine returns the executing machine's index.
+func (c *Context[M]) Machine() int { return c.machine }
+
+// Vertex returns the vertex whose Compute call is running; it is undefined
+// during Seed.
+func (c *Context[M]) Vertex() graph.VertexID { return c.vertex }
+
+// Round returns the 1-based current superstep number.
+func (c *Context[M]) Round() int { return c.e.rounds + 1 }
+
+// OwnedVertices returns the vertices owned by the executing machine. The
+// slice aliases engine storage and must not be modified.
+func (c *Context[M]) OwnedVertices() []graph.VertexID {
+	return c.e.vertsByMachine[c.machine]
+}
+
+// RNG returns the executing machine's deterministic random stream.
+func (c *Context[M]) RNG() *randx.RNG { return c.e.rngs[c.machine] }
+
+// Send transmits a point-to-point message from the executing machine to
+// vertex dst, to be delivered in the next superstep (the Pregel-based
+// implementation family of §3).
+func (c *Context[M]) Send(dst graph.VertexID, m M) {
+	e := c.e
+	w := e.weight(m)
+	sc := &e.sent[c.machine]
+	sc.logical += w
+	sc.physical++
+	if e.part.Owner(dst) != c.machine {
+		sc.remoteLogical += w
+		sc.remotePhysical++
+	}
+	e.emit(envelope[M]{dst: dst, payload: m})
+}
+
+// Broadcast delivers m to every neighbor of src: the broadcast interface of
+// the mirror-mechanism-based implementation family (§3). On a mirroring
+// system a high-degree src transmits one wire message per mirror machine
+// and the mirrors fan out locally; otherwise the broadcast degenerates to
+// one point-to-point message per neighbor.
+func (c *Context[M]) Broadcast(src graph.VertexID, m M) {
+	e := c.e
+	ns := e.g.Neighbors(src)
+	if len(ns) == 0 {
+		return
+	}
+	w := e.weight(m)
+	sc := &e.sent[c.machine]
+	sc.logical += w * int64(len(ns))
+	if e.mirrored() && len(ns) >= e.mirrorThreshold() {
+		// One wire message per mirror machine; local fan-out is free.
+		e.ensureMirrorSpan()
+		span := int64(e.mirrorSpan[src])
+		sc.physical += span + 1 // the local copy plus one per mirror
+		sc.remoteLogical += w * span
+		sc.remotePhysical += span
+	} else {
+		sc.physical += int64(len(ns))
+		for _, u := range ns {
+			if e.part.Owner(u) != c.machine {
+				sc.remoteLogical += w
+				sc.remotePhysical++
+			}
+		}
+	}
+	for _, u := range ns {
+		e.emit(envelope[M]{dst: u, payload: m})
+	}
+}
+
+// ActivateNextRound marks v active in the next superstep even without
+// incoming messages: the inverse of Pregel's vote-to-halt, for programs
+// that iterate on local state (e.g. pointer jumping).
+func (c *Context[M]) ActivateNextRound(v graph.VertexID) {
+	e := c.e
+	if !e.forcedFlag[v] {
+		e.forcedFlag[v] = true
+		e.forcedNext = append(e.forcedNext, v)
+	}
+}
+
+func (e *Engine[M]) emit(env envelope[M]) {
+	e.out = append(e.out, env)
+	if e.opts.Spill != nil && len(e.out) >= e.opts.Spill.ThresholdMsgs {
+		e.flushSpill()
+	}
+}

@@ -1,0 +1,376 @@
+// Package engine implements the synchronous vertex-centric ("think like a
+// vertex") execution model of Pregel and its descendants: computation
+// proceeds in supersteps; in each superstep every vertex with pending
+// messages runs a user-defined compute function that reads its messages and
+// sends new ones; execution halts when no messages remain in flight.
+//
+// The engine executes over a simulated multi-machine cluster: vertices are
+// spread across K logical machines by a graph.Partition, message traffic is
+// classified as machine-local or remote, and per-superstep statistics are
+// reported to a sim.Run, which prices them with the paper-calibrated cost
+// model. Execution is sequential and fully deterministic (per-machine
+// SplitMix64 RNG streams), so every experiment is reproducible bit-for-bit.
+//
+// The engine also implements the two implementation families of §3:
+// point-to-point sends (Pregel-based systems) via Context.Send, and the
+// broadcast interface of Pregel+'s mirroring mechanism via
+// Context.Broadcast, where high-degree vertices transmit one wire message
+// per mirror machine instead of one per neighbor.
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"vcmt/internal/graph"
+	"vcmt/internal/randx"
+	"vcmt/internal/sim"
+	"vcmt/internal/vcapi"
+)
+
+// Program is the user-defined vertex program (see vcapi.Program).
+type Program[M any] = vcapi.Program[M]
+
+// StateReporter is re-exported from vcapi for convenience.
+type StateReporter = vcapi.StateReporter
+
+// WeightFunc is re-exported from vcapi for convenience.
+type WeightFunc[M any] = vcapi.WeightFunc[M]
+
+// Combiner merges two messages addressed to the same vertex (Pregel's
+// combiner contract: the operation must be commutative and associative,
+// e.g. summing PageRank fragments or taking a minimum). Combining happens
+// at delivery time and reduces the receiver's inbox to one message per
+// vertex; the wire-level effect of combining across machines is modelled
+// by the system profile's Combines flag.
+type Combiner[M any] func(a, b M) M
+
+// Options tunes an engine run.
+type Options[M any] struct {
+	// Weight reports logical message multiplicity; nil means 1 per message.
+	Weight WeightFunc[M]
+	// Combiner, when set, merges each vertex's incoming messages into one.
+	Combiner Combiner[M]
+	// MaxRounds bounds the superstep count (0 means the default of 10000).
+	MaxRounds int
+	// Seed makes per-machine RNG streams deterministic.
+	Seed uint64
+	// StopWhenOverloaded makes the engine abandon the run once the sim.Run
+	// passes the paper's 6000 s cutoff, like the paper's experiments do.
+	StopWhenOverloaded bool
+	// Spill enables real out-of-core buffering of delivered messages (the
+	// GraphD mechanism): when a superstep's message volume exceeds
+	// ThresholdMsgs, the overflow is written to a temporary file through
+	// the codec and streamed back during delivery.
+	Spill *SpillOptions[M]
+	// MaxInboxPerStep splits message-heavy supersteps into sub-steps that
+	// each process at most this many delivered messages — the Giraph
+	// improvement Facebook contributed (§2.2: "split a message-heavy
+	// superstep into several sub-steps for message reduction"). Zero
+	// disables splitting. Programs must treat their inbox incrementally
+	// (all the tasks in this repository do).
+	MaxInboxPerStep int
+}
+
+// ErrMaxRounds is returned when the superstep bound is hit before the
+// computation drains.
+var ErrMaxRounds = errors.New("engine: maximum superstep count reached")
+
+// Engine executes one Program over one graph partition.
+type Engine[M any] struct {
+	g    *graph.Graph
+	part *graph.Partition
+	prog Program[M]
+	run  *sim.Run
+	opts Options[M]
+
+	vertsByMachine [][]graph.VertexID
+	// mirrorSpan[v] is the number of machines (other than v's own) hosting
+	// at least one neighbor of v; computed lazily for mirror mode.
+	mirrorSpan []int32
+
+	out      []envelope[M]
+	inbox    []M
+	inCounts []int32
+	inOffs   []int32
+	rngs     []*randx.RNG
+
+	sent    []machineCounters
+	recv    []machineCounters
+	active  []int64
+	rounds  int
+	stopped bool
+	spill   *spillState
+	aggs    map[string]*aggregator
+
+	// forcedNext lists vertices that requested activation in the next
+	// superstep regardless of incoming messages (Pregel's active-vertex
+	// semantics for programs that iterate without messages). forcedFlag
+	// dedupes requests for the NEXT superstep; forcedNow marks the
+	// vertices forced in the CURRENT one (kept separate so a vertex can
+	// re-arm itself while executing).
+	forcedNext []graph.VertexID
+	forcedFlag []bool
+	forcedNow  []bool
+
+	spilledRecords int64
+	spilledBytes   int64
+}
+
+type envelope[M any] struct {
+	dst     graph.VertexID
+	payload M
+}
+
+type machineCounters struct {
+	logical, physical, remoteLogical, remotePhysical int64
+}
+
+// New constructs an engine. run may be nil when only the computation result
+// matters (tests); statistics are then discarded.
+func New[M any](g *graph.Graph, part *graph.Partition, prog Program[M], run *sim.Run, opts Options[M]) *Engine[M] {
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = 10000
+	}
+	k := part.NumMachines()
+	e := &Engine[M]{
+		g: g, part: part, prog: prog, run: run, opts: opts,
+		vertsByMachine: make([][]graph.VertexID, k),
+		inCounts:       make([]int32, g.NumVertices()),
+		inOffs:         make([]int32, g.NumVertices()+1),
+		rngs:           make([]*randx.RNG, k),
+		sent:           make([]machineCounters, k),
+		recv:           make([]machineCounters, k),
+		active:         make([]int64, k),
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		m := part.Owner(graph.VertexID(v))
+		e.vertsByMachine[m] = append(e.vertsByMachine[m], graph.VertexID(v))
+	}
+	for m := 0; m < k; m++ {
+		e.rngs[m] = randx.New(opts.Seed ^ (uint64(m+1) * 0x9e3779b97f4a7c15))
+	}
+	e.forcedFlag = make([]bool, g.NumVertices())
+	e.forcedNow = make([]bool, g.NumVertices())
+	return e
+}
+
+// Rounds returns the number of supersteps executed so far.
+func (e *Engine[M]) Rounds() int { return e.rounds }
+
+// Graph returns the graph under computation.
+func (e *Engine[M]) Graph() *graph.Graph { return e.g }
+
+// Partition returns the vertex partition.
+func (e *Engine[M]) Partition() *graph.Partition { return e.part }
+
+func (e *Engine[M]) weight(m M) int64 {
+	if e.opts.Weight == nil {
+		return 1
+	}
+	return e.opts.Weight(m)
+}
+
+func (e *Engine[M]) mirrored() bool {
+	if e.run == nil {
+		return false
+	}
+	return e.run.Config().System.Mirror
+}
+
+func (e *Engine[M]) mirrorThreshold() int {
+	if e.run == nil {
+		return 0
+	}
+	return e.run.Config().System.MirrorDegreeThreshold
+}
+
+func (e *Engine[M]) ensureMirrorSpan() {
+	if e.mirrorSpan != nil {
+		return
+	}
+	e.mirrorSpan = make([]int32, e.g.NumVertices())
+	seen := make([]int, e.part.NumMachines())
+	epoch := 0
+	for v := 0; v < e.g.NumVertices(); v++ {
+		epoch++
+		own := e.part.Owner(graph.VertexID(v))
+		span := int32(0)
+		for _, u := range e.g.Neighbors(graph.VertexID(v)) {
+			m := e.part.Owner(u)
+			if m != own && seen[m] != epoch {
+				seen[m] = epoch
+				span++
+			}
+		}
+		e.mirrorSpan[v] = span
+	}
+}
+
+// Run executes supersteps until no messages remain in flight, the round
+// bound is hit, or (with StopWhenOverloaded) the cost model declares the
+// run overloaded. It returns ErrMaxRounds only for the round bound; an
+// overload stop returns nil, with the overload visible on the sim.Run.
+func (e *Engine[M]) Run() error {
+	k := e.part.NumMachines()
+	ctx := &Context[M]{e: e}
+
+	// Superstep 1: seeding. "In the first round, each of the W walks stops
+	// with α probability and ... a message is sent" (§3).
+	for m := 0; m < k; m++ {
+		ctx.machine = m
+		e.prog.Seed(ctx)
+		e.active[m] += int64(len(e.vertsByMachine[m]))
+	}
+	e.rollAggregators()
+	e.observeRound()
+
+	for len(e.out) > 0 || e.spill != nil || len(e.forcedNext) > 0 {
+		if e.rounds >= e.opts.MaxRounds {
+			e.CleanupSpill()
+			return fmt.Errorf("%w (%d)", ErrMaxRounds, e.opts.MaxRounds)
+		}
+		if e.opts.StopWhenOverloaded && e.run != nil && e.run.Overloaded() {
+			e.stopped = true
+			e.CleanupSpill()
+			return nil
+		}
+		forced := e.forcedNext
+		e.forcedNext = nil
+		for _, v := range forced {
+			e.forcedNow[v] = true
+			e.forcedFlag[v] = false
+		}
+		e.deliver()
+		processed := 0
+		for m := 0; m < k; m++ {
+			ctx.machine = m
+			for _, v := range e.vertsByMachine[m] {
+				lo, hi := e.inOffs[v], e.inOffs[v+1]
+				if lo == hi && !e.forcedNow[v] {
+					continue
+				}
+				ctx.vertex = v
+				msgs := e.inbox[lo:hi]
+				rc := &e.recv[m]
+				for _, msg := range msgs {
+					rc.logical += e.weight(msg)
+				}
+				rc.physical += int64(len(msgs))
+				e.prog.Compute(ctx, v, msgs)
+				e.active[m]++
+				processed += len(msgs)
+				// Giraph-style superstep splitting: bound the messages a
+				// sub-step holds in flight.
+				if e.opts.MaxInboxPerStep > 0 && processed >= e.opts.MaxInboxPerStep {
+					e.observeRound()
+					processed = 0
+				}
+			}
+		}
+		for _, v := range forced {
+			e.forcedNow[v] = false
+		}
+		e.rollAggregators()
+		e.observeRound()
+	}
+	return nil
+}
+
+// Stopped reports whether the run was abandoned due to overload.
+func (e *Engine[M]) Stopped() bool { return e.stopped }
+
+// deliver routes the pending envelopes into per-vertex inbox segments using
+// a counting sort on destination, and accounts per-machine receive counts.
+func (e *Engine[M]) deliver() {
+	n := e.g.NumVertices()
+	for i := range e.inCounts {
+		e.inCounts[i] = 0
+	}
+	spilled := e.drainSpill()
+	for _, env := range e.out {
+		e.inCounts[env.dst]++
+	}
+	for _, env := range spilled {
+		e.inCounts[env.dst]++
+	}
+	e.inOffs[0] = 0
+	for v := 0; v < n; v++ {
+		e.inOffs[v+1] = e.inOffs[v] + e.inCounts[v]
+	}
+	total := int(e.inOffs[n])
+	if cap(e.inbox) < total {
+		e.inbox = make([]M, total)
+	}
+	e.inbox = e.inbox[:total]
+	cursor := make([]int32, n)
+	copy(cursor, e.inOffs[:n])
+	place := func(env envelope[M]) {
+		e.inbox[cursor[env.dst]] = env.payload
+		cursor[env.dst]++
+	}
+	for _, env := range e.out {
+		place(env)
+	}
+	for _, env := range spilled {
+		place(env)
+	}
+	e.out = e.out[:0]
+	if e.opts.Combiner != nil {
+		e.combineInboxes()
+	}
+}
+
+// combineInboxes folds each vertex's inbox down to a single message using
+// the configured combiner.
+func (e *Engine[M]) combineInboxes() {
+	n := e.g.NumVertices()
+	w := int32(0)
+	newOffs := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		newOffs[v] = w
+		lo, hi := e.inOffs[v], e.inOffs[v+1]
+		if lo == hi {
+			continue
+		}
+		acc := e.inbox[lo]
+		for i := lo + 1; i < hi; i++ {
+			acc = e.opts.Combiner(acc, e.inbox[i])
+		}
+		e.inbox[w] = acc
+		w++
+	}
+	newOffs[n] = w
+	e.inbox = e.inbox[:w]
+	copy(e.inOffs, newOffs)
+}
+
+// observeRound flushes the superstep statistics into the sim.Run.
+func (e *Engine[M]) observeRound() {
+	e.rounds++
+	if e.run != nil {
+		k := e.part.NumMachines()
+		per := make([]sim.MachineRound, k)
+		reporter, hasState := e.prog.(StateReporter)
+		for m := 0; m < k; m++ {
+			per[m] = sim.MachineRound{
+				SentLogical:    e.sent[m].logical,
+				SentPhysical:   e.sent[m].physical,
+				RecvLogical:    e.recv[m].logical,
+				RecvPhysical:   e.recv[m].physical,
+				RemoteLogical:  e.sent[m].remoteLogical,
+				RemotePhysical: e.sent[m].remotePhysical,
+				ActiveVertices: e.active[m],
+			}
+			if hasState {
+				per[m].StateEntries = reporter.StateEntries(m)
+			}
+		}
+		e.run.ObserveRound(sim.RoundStats{PerMachine: per})
+	}
+	for m := range e.sent {
+		e.sent[m] = machineCounters{}
+		e.recv[m] = machineCounters{}
+		e.active[m] = 0
+	}
+}

@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Codec serializes message payloads for out-of-core buffering. Encode
+// appends the payload to buf and returns the extended slice; Decode parses
+// one payload from data and returns the payload and the number of bytes
+// consumed.
+type Codec[M any] interface {
+	Encode(buf []byte, m M) []byte
+	Decode(data []byte) (M, int)
+}
+
+// SpillOptions enables GraphD-style out-of-core message buffering: once the
+// in-memory outbox holds ThresholdMsgs envelopes it is appended to a spill
+// file in Dir, keeping resident memory bounded regardless of message
+// volume. Spilled envelopes are streamed back at delivery time (§2.2:
+// "the disk is ready to receive the stream of edges and messages").
+type SpillOptions[M any] struct {
+	Codec         Codec[M]
+	Dir           string
+	ThresholdMsgs int
+}
+
+type spillState struct {
+	file    *os.File
+	w       *bufio.Writer
+	records int64
+	bytes   int64
+}
+
+// SpilledBytes returns the real bytes written to spill files over the whole
+// run so far.
+func (e *Engine[M]) SpilledBytes() int64 { return e.spilledBytes }
+
+// SpilledRecords returns the number of envelopes spilled over the whole run
+// so far.
+func (e *Engine[M]) SpilledRecords() int64 { return e.spilledRecords }
+
+func (e *Engine[M]) flushSpill() {
+	opts := e.opts.Spill
+	if e.spill == nil {
+		f, err := os.CreateTemp(opts.Dir, "vcmt-spill-*.bin")
+		if err != nil {
+			panic(fmt.Sprintf("engine: cannot create spill file: %v", err))
+		}
+		e.spill = &spillState{file: f, w: bufio.NewWriterSize(f, 1<<20)}
+	}
+	var scratch [4]byte
+	for _, env := range e.out {
+		binary.LittleEndian.PutUint32(scratch[:], env.dst)
+		if _, err := e.spill.w.Write(scratch[:]); err != nil {
+			panic(fmt.Sprintf("engine: spill write: %v", err))
+		}
+		payload := opts.Codec.Encode(nil, env.payload)
+		if len(payload) > 255 {
+			panic("engine: spill payloads are limited to 255 bytes")
+		}
+		if err := e.spill.w.WriteByte(byte(len(payload))); err != nil {
+			panic(fmt.Sprintf("engine: spill write: %v", err))
+		}
+		if _, err := e.spill.w.Write(payload); err != nil {
+			panic(fmt.Sprintf("engine: spill write: %v", err))
+		}
+		e.spill.records++
+		rec := int64(4 + 1 + len(payload))
+		e.spill.bytes += rec
+		e.spilledRecords++
+		e.spilledBytes += rec
+	}
+	e.out = e.out[:0]
+}
+
+// drainSpill reads back every spilled envelope of the current superstep and
+// removes the spill file. It returns nil when nothing was spilled.
+func (e *Engine[M]) drainSpill() []envelope[M] {
+	if e.spill == nil {
+		return nil
+	}
+	st := e.spill
+	e.spill = nil
+	defer func() {
+		name := st.file.Name()
+		st.file.Close()
+		os.Remove(name)
+	}()
+	if err := st.w.Flush(); err != nil {
+		panic(fmt.Sprintf("engine: spill flush: %v", err))
+	}
+	if _, err := st.file.Seek(0, io.SeekStart); err != nil {
+		panic(fmt.Sprintf("engine: spill seek: %v", err))
+	}
+	r := bufio.NewReaderSize(st.file, 1<<20)
+	envs := make([]envelope[M], 0, st.records)
+	var hdr [5]byte
+	buf := make([]byte, 255)
+	for i := int64(0); i < st.records; i++ {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			panic(fmt.Sprintf("engine: spill read: %v", err))
+		}
+		dst := binary.LittleEndian.Uint32(hdr[:4])
+		n := int(hdr[4])
+		if _, err := io.ReadFull(r, buf[:n]); err != nil {
+			panic(fmt.Sprintf("engine: spill read: %v", err))
+		}
+		m, used := e.opts.Spill.Codec.Decode(buf[:n])
+		if used != n {
+			panic("engine: spill codec decoded wrong length")
+		}
+		envs = append(envs, envelope[M]{dst: dst, payload: m})
+	}
+	return envs
+}
+
+// CleanupSpill removes any leftover spill file (for abandoned runs).
+func (e *Engine[M]) CleanupSpill() {
+	if e.spill == nil {
+		return
+	}
+	name := e.spill.file.Name()
+	e.spill.file.Close()
+	os.Remove(filepath.Clean(name))
+	e.spill = nil
+}

@@ -1,0 +1,402 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"vcmt/internal/sim"
+)
+
+// fast returns the reduced-workload options used by the shape tests; the
+// extrapolation keeps everything at paper scale, only noisier.
+func fast() Options { return Options{Fast: true} }
+
+func TestReplicaWorkloadDerivation(t *testing.T) {
+	s := setting{paperW: 10240}
+	if got := s.replicaWorkload(Options{}); got != 160 {
+		t.Fatalf("replica workload %d want 160", got)
+	}
+	if got := s.replicaWorkload(Options{Fast: true}); got != 40 {
+		t.Fatalf("fast replica workload %d want 40", got)
+	}
+	// Floors and caps.
+	if got := (setting{paperW: 64}).replicaWorkload(Options{}); got != 8 {
+		t.Fatalf("floor: %d", got)
+	}
+	if got := (setting{paperW: 1 << 30}).replicaWorkload(Options{}); got != 2048 {
+		t.Fatalf("cap: %d", got)
+	}
+	if got := (setting{paperW: 100, replicaW: 12}).replicaWorkload(Options{}); got != 12 {
+		t.Fatalf("override: %d", got)
+	}
+}
+
+func TestPickSourcesDistinctAndDeterministic(t *testing.T) {
+	a := pickSources(100, 20, 7)
+	b := pickSources(100, 20, 7)
+	seen := map[uint32]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("sources not deterministic")
+		}
+		if seen[a[i]] {
+			t.Fatal("duplicate source")
+		}
+		seen[a[i]] = true
+	}
+	if got := pickSources(10, 50, 1); len(got) != 10 {
+		t.Fatalf("clamp to n: %d", len(got))
+	}
+}
+
+func TestSeriesBestPrefersNonOverloaded(t *testing.T) {
+	s := Series{Rows: []Row{
+		{Batches: 1, Result: sim.JobResult{Seconds: 10, Overload: true}},
+		{Batches: 2, Result: sim.JobResult{Seconds: 100}},
+		{Batches: 4, Result: sim.JobResult{Seconds: 50}},
+	}}
+	if got := s.Best(); got.Batches != 4 {
+		t.Fatalf("best=%d want 4", got.Batches)
+	}
+}
+
+func TestRowSecondsClampsAtCutoff(t *testing.T) {
+	r := Row{Result: sim.JobResult{Seconds: 99999, Overload: true}}
+	if r.Seconds() != sim.DefaultCutoffSeconds {
+		t.Fatalf("clamp: %v", r.Seconds())
+	}
+}
+
+// TestFigure4Shapes checks the paper's central observation: the optimal
+// batch count weakly increases with the workload, and Full-Parallelism is
+// optimal only for the light workload (Fig. 4).
+func TestFigure4Shapes(t *testing.T) {
+	fig, err := Figure4(fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series=%d", len(fig.Series))
+	}
+	bests := make([]int, 3)
+	for i, s := range fig.Series {
+		bests[i] = s.Best().Batches
+	}
+	if bests[0] != 1 {
+		t.Fatalf("light workload must favor Full-Parallelism, got %d-batch", bests[0])
+	}
+	if bests[1] < 2 || bests[2] < 2 {
+		t.Fatalf("heavy workloads must favor batching, got %v", bests)
+	}
+	if bests[2] < bests[1] {
+		t.Fatalf("optimal batches must not decrease with workload: %v", bests)
+	}
+	// The heaviest workload overloads at Full-Parallelism (paper cutoff).
+	if !fig.Series[2].Rows[0].Result.Overload {
+		t.Fatal("W=12288 Full-Parallelism must overload")
+	}
+}
+
+// TestFigure6Shapes checks the statistics of Fig. 6: messages per round
+// scale ≈ linearly with workload and ≈ 1/batches, while time grows
+// super-linearly past the congestion threshold.
+func TestFigure6Shapes(t *testing.T) {
+	stats, err := Figure6(fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[[2]int]Figure6Stats{}
+	for _, s := range stats {
+		byKey[[2]int{s.PaperW, s.Batches}] = s
+	}
+	// ~10x workload => ~10x messages per round (1-batch row).
+	r1024 := byKey[[2]int{1024, 1}]
+	r10240 := byKey[[2]int{10240, 1}]
+	ratio := r10240.MsgsPerRoundM / r1024.MsgsPerRoundM
+	if ratio < 6 || ratio > 14 {
+		t.Fatalf("message scaling ratio %.1f want ~10", ratio)
+	}
+	// Time at the heavy workload grows far more than 10x (congestion).
+	if r10240.Seconds < 4*10*r1024.Seconds/10*1.5 {
+		t.Fatalf("time must grow super-linearly: %.0fs vs %.0fs", r10240.Seconds, r1024.Seconds)
+	}
+	// Doubling batches ~halves per-round messages.
+	half := byKey[[2]int{10240, 2}].MsgsPerRoundM / r10240.MsgsPerRoundM
+	if half < 0.3 || half > 0.7 {
+		t.Fatalf("2-batch per-round message ratio %.2f want ~0.5", half)
+	}
+}
+
+// TestTable2Shapes checks the memory table: per-machine memory decreases
+// with more batches and more machines; the optimum sits near (not far
+// under) the usable capacity.
+func TestTable2Shapes(t *testing.T) {
+	rows, err := Table2(fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[[3]int]Table2Row{}
+	for _, r := range rows {
+		byKey[[3]int{r.PaperW, r.Batches, r.Machines}] = r
+	}
+	for _, w := range []int{1024, 4096} {
+		for _, m := range []int{4, 8} {
+			if byKey[[3]int{w, 2, m}].MemGB >= byKey[[3]int{w, 1, m}].MemGB {
+				t.Fatalf("w=%d m=%d: more batches must reduce memory", w, m)
+			}
+		}
+		if byKey[[3]int{w, 1, 8}].MemGB >= byKey[[3]int{w, 1, 4}].MemGB {
+			t.Fatalf("w=%d: more machines must reduce per-machine memory", w)
+		}
+	}
+	// Workload 12288 with 1 batch on 4 machines overflows (paper Table 2).
+	if !byKey[[3]int{12288, 1, 4}].Overflow {
+		t.Fatal("12288/1-batch/4-machines must overflow")
+	}
+	if byKey[[3]int{1024, 1, 8}].Overflow || byKey[[3]int{1024, 1, 8}].Overload {
+		t.Fatal("light workload must not overload")
+	}
+}
+
+// TestTable3Shapes checks GraphD's disk behaviour: saturation (util > 1)
+// at low batch counts, recovery to a stable sub-100% utilization, and a
+// U-shaped total time (Table 3).
+func TestTable3Shapes(t *testing.T) {
+	rows, err := Table3(fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	if rows[0].MaxDiskUtil <= 1 {
+		t.Fatalf("1-batch disk util %.2f must exceed 100%%", rows[0].MaxDiskUtil)
+	}
+	if rows[0].IOOveruseSec <= 0 || rows[0].IOQueueLen <= 0 {
+		t.Fatal("1-batch must register IO overuse and queueing")
+	}
+	last := rows[len(rows)-1]
+	if last.MaxDiskUtil > 1 {
+		t.Fatalf("128-batch util %.2f must be below 100%%", last.MaxDiskUtil)
+	}
+	if last.IOOveruseSec != 0 {
+		t.Fatal("128-batch must not overuse the disk")
+	}
+	// U shape: the best total is strictly inside the sweep.
+	best := 0
+	for i, r := range rows {
+		if r.TotalSec < rows[best].TotalSec {
+			best = i
+		}
+	}
+	if best == 0 || best == len(rows)-1 {
+		t.Fatalf("total time must be U-shaped, best at index %d", best)
+	}
+	// Net overuse declines with batches.
+	if rows[len(rows)-1].NetOveruseSec >= rows[0].NetOveruseSec {
+		t.Fatal("network overuse must decline with batches")
+	}
+}
+
+// TestFigure9Shapes checks the unequal-batch findings: the best split has
+// W1 > W2, and combining batches costs more than the sum of running them
+// alone (residual memory, §4.7).
+func TestFigure9Shapes(t *testing.T) {
+	panels, err := Figure9(fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, ok := panels["a"]
+	if !ok || len(pts) == 0 {
+		t.Fatal("missing panel a")
+	}
+	best := pts[0]
+	for _, p := range pts[1:] {
+		if p.CombinedSec < best.CombinedSec {
+			best = p
+		}
+	}
+	if best.Delta <= 0 {
+		t.Fatalf("optimal split must have W1 > W2, got Δ=%d", best.Delta)
+	}
+	// At the balanced split, the combined run exceeds the sum of halves.
+	for _, p := range pts {
+		if p.Delta == 0 {
+			if p.CombinedSec <= p.FirstAlone+p.SecondAlone {
+				t.Fatalf("two-batch run (%0.fs) must exceed halves (%.0f+%.0f)",
+					p.CombinedSec, p.FirstAlone, p.SecondAlone)
+			}
+		}
+	}
+}
+
+// TestFigure8Shapes checks that BPPR on Twitter favors Full-Parallelism
+// (residual memory, §4.5) while MSSP and BKHS do not.
+func TestFigure8Shapes(t *testing.T) {
+	fig, err := Figure8(fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bppr, mssp Series
+	for _, s := range fig.Series {
+		switch {
+		case strings.Contains(s.Label, "BPPR"):
+			bppr = s
+		case strings.Contains(s.Label, "MSSP"):
+			mssp = s
+		}
+	}
+	if got := bppr.Best().Batches; got != 1 {
+		t.Fatalf("Twitter BPPR must favor Full-Parallelism, got %d-batch", got)
+	}
+	// BPPR time is (weakly) monotone in batches (the paper's summary marks
+	// the Twitter series as monotone).
+	for i := 1; i < len(bppr.Rows); i++ {
+		if bppr.Rows[i].Seconds() < bppr.Rows[i-1].Seconds()*0.98 {
+			t.Fatalf("Twitter BPPR should be ~monotone: %v then %v",
+				bppr.Rows[i-1].Seconds(), bppr.Rows[i].Seconds())
+		}
+	}
+	if got := mssp.Best().Batches; got < 2 {
+		t.Fatalf("Twitter MSSP must not favor Full-Parallelism, got %d-batch", got)
+	}
+}
+
+// TestFigure10Shapes checks whole-graph access mode: a visible aggregation
+// phase, no compute-phase network traffic, and batching still pays off.
+func TestFigure10Shapes(t *testing.T) {
+	fig, err := Figure10(fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fig.Series {
+		for _, r := range s.Rows {
+			if r.AggregationSeconds <= 0 {
+				t.Fatalf("%s: aggregation phase missing", s.Label)
+			}
+			if r.Result.WireBytesTotal != 0 {
+				t.Fatalf("%s: whole-graph mode must avoid network traffic", s.Label)
+			}
+		}
+		if s.Best().Batches == 1 {
+			t.Fatalf("%s: whole-graph mode must still benefit from batching", s.Label)
+		}
+	}
+}
+
+// TestTable4Shapes checks the sync/async findings of §4.8: async wins on
+// PageRank, loses on heavy BPPR at scale, and ships more bytes (no
+// combining).
+func TestTable4Shapes(t *testing.T) {
+	cells, err := Table4(fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[[2]int]Table4Cell{}
+	prByMach := map[int]Table4Cell{}
+	for _, c := range cells {
+		if c.Task == "PageRank" {
+			prByMach[c.Machines] = c
+		} else {
+			byKey[[2]int{c.Machines, c.PaperW}] = c
+		}
+	}
+	for _, m := range []int{1, 4, 16} {
+		if pr := prByMach[m]; pr.AsyncSec >= pr.SyncSec {
+			t.Fatalf("PageRank async must win at %d machines: %v vs %v", m, pr.AsyncSec, pr.SyncSec)
+		}
+	}
+	heavy := byKey[[2]int{16, 512}]
+	if heavy.AsyncSec <= heavy.SyncSec {
+		t.Fatalf("heavy BPPR async must lose at 16 machines: %v vs %v", heavy.AsyncSec, heavy.SyncSec)
+	}
+	if heavy.AsyncBytesPerMachine <= heavy.SyncBytesPerMachine {
+		t.Fatal("async must ship more bytes (no combining)")
+	}
+}
+
+// TestFigure12Shapes checks the tuning framework's headline result: the
+// optimized schedule stays stable while Full-Parallelism deteriorates as
+// the workload grows, and schedules decrease monotonically.
+func TestFigure12Shapes(t *testing.T) {
+	panels, err := Figure12(fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panels) != 6 {
+		t.Fatalf("panels=%d", len(panels))
+	}
+	sawDivergence := false
+	for _, p := range panels {
+		for _, pt := range p.Points {
+			if pt.OptimizedSec > pt.FullSec*1.05 {
+				t.Fatalf("%s/%d machines W=%d: optimized (%.0fs) must not lose to Full-Parallelism (%.0fs)",
+					p.Task, p.Machines, pt.PaperW, pt.OptimizedSec, pt.FullSec)
+			}
+			if pt.FullSec > pt.OptimizedSec*1.5 {
+				sawDivergence = true
+			}
+			// Schedules decrease monotonically (§5) up to the final
+			// remainder batch.
+			for i := 1; i < len(pt.Schedule)-1; i++ {
+				if pt.Schedule[i] > pt.Schedule[i-1] {
+					t.Fatalf("schedule not decreasing: %v", pt.Schedule)
+				}
+			}
+		}
+	}
+	if !sawDivergence {
+		t.Fatal("expected Full-Parallelism to deteriorate somewhere in the sweeps")
+	}
+}
+
+// TestFigure2Shapes checks that Full-Parallelism loses for every system in
+// Fig. 2 at full (non-fast) workloads; kept under -short guard because the
+// mirror series is slow.
+func TestFigure2Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-workload shape test")
+	}
+	fig, err := Figure2(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fig.Series {
+		if s.Best().Batches == 1 {
+			t.Fatalf("%s: Full-Parallelism must be suboptimal", s.Label)
+		}
+	}
+}
+
+func TestWriteFigureRendersTable(t *testing.T) {
+	fig := Figure{
+		ID: "Figure X", Title: "test",
+		Series: []Series{{Label: "(1,2,3)", Rows: []Row{
+			{Batches: 1, Result: sim.JobResult{Seconds: 10}},
+			{Batches: 2, Result: sim.JobResult{Seconds: 99999, Overload: true}},
+		}}},
+		Notes: []string{"a note"},
+	}
+	var sb strings.Builder
+	WriteFigure(&sb, fig)
+	out := sb.String()
+	for _, want := range []string{"Figure X", "(1,2,3)", "*10.0s", "overload", "a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBytesHuman(t *testing.T) {
+	cases := map[float64]string{
+		12:    "12B",
+		2300:  "2K",
+		4.5e6: "4M",
+		7.2e9: "7.2G",
+	}
+	for in, want := range cases {
+		if got := bytesHuman(in); got != want {
+			t.Fatalf("bytesHuman(%v)=%q want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"vcmt/internal/sim"
+)
+
+// Figure 11 in the paper is a conceptual diagram: workload and machine
+// count drive message congestion, which drives disk utilization
+// (out-of-core systems) into the disk-bound state and memory use
+// (in-memory systems) into the memory-bound state. Here the arrows are
+// *measured*: a workload sweep on both system families, with each claimed
+// correlation checked on the resulting series.
+
+// Figure11Point is one sweep observation.
+type Figure11Point struct {
+	PaperW       int
+	MsgsPerRound float64 // message congestion (avg per round)
+	MemRatio     float64 // in-memory system: peak memory / usable
+	DiskUtil     float64 // out-of-core system: max disk utilization
+	MemoryBound  bool
+	DiskBound    bool
+}
+
+// Figure11Result carries the sweep and the correlation verdicts.
+type Figure11Result struct {
+	Points []Figure11Point
+	// The diagram's arrows, as measured monotonicity checks.
+	WorkloadRaisesCongestion bool
+	CongestionRaisesMemory   bool
+	CongestionRaisesDiskUtil bool
+}
+
+// Figure11 sweeps the workload at Full-Parallelism for Pregel+ (memory
+// path) and GraphD (disk path) on DBLP/Galaxy-8 and verifies the
+// diagram's positive correlations.
+func Figure11(o Options) (Figure11Result, error) {
+	var res Figure11Result
+	workloads := []int{1024, 4096, 10240, 16384}
+	for _, w := range workloads {
+		mem := setting{
+			dataset: "DBLP", cluster: sim.Galaxy8, machines: 8,
+			system: sim.PregelPlus, task: BPPR, paperW: w,
+			batches: []int{1}, seed: o.seed(),
+		}
+		memSer, err := mem.run(o, "Pregel+")
+		if err != nil {
+			return res, err
+		}
+		disk := mem
+		disk.system = sim.GraphD
+		diskSer, err := disk.run(o, "GraphD")
+		if err != nil {
+			return res, err
+		}
+		mr := memSer.Rows[0].Result
+		dr := diskSer.Rows[0].Result
+		res.Points = append(res.Points, Figure11Point{
+			PaperW:       w,
+			MsgsPerRound: mr.AvgMsgsPerRound,
+			MemRatio:     mr.MaxMemRatio,
+			DiskUtil:     dr.MaxDiskUtil,
+			MemoryBound:  mr.MaxMemRatio > 1,
+			DiskBound:    dr.MaxDiskUtil > 1,
+		})
+	}
+	res.WorkloadRaisesCongestion = nonDecreasing(res.Points, func(p Figure11Point) float64 { return p.MsgsPerRound })
+	res.CongestionRaisesMemory = nonDecreasing(res.Points, func(p Figure11Point) float64 { return p.MemRatio })
+	res.CongestionRaisesDiskUtil = nonDecreasing(res.Points, func(p Figure11Point) float64 { return p.DiskUtil })
+	return res, nil
+}
+
+func nonDecreasing(pts []Figure11Point, f func(Figure11Point) float64) bool {
+	for i := 1; i < len(pts); i++ {
+		if f(pts[i]) < f(pts[i-1])*0.999 {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteFigure11 renders the measured correlation sweep.
+func WriteFigure11(w io.Writer, r Figure11Result) {
+	fmt.Fprintln(w, "== Figure 11: correlations behind the memory-/disk-bound states (measured) ==")
+	rows := [][]string{{"workload", "msgs/round", "mem-ratio (Pregel+)", "disk-util (GraphD)", "state"}}
+	for _, p := range r.Points {
+		state := "-"
+		switch {
+		case p.MemoryBound && p.DiskBound:
+			state = "memory-bound + disk-bound"
+		case p.MemoryBound:
+			state = "memory-bound"
+		case p.DiskBound:
+			state = "disk-bound"
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.PaperW),
+			fmt.Sprintf("%.0fM", p.MsgsPerRound/1e6),
+			fmt.Sprintf("%.2f", p.MemRatio),
+			fmt.Sprintf("%.2f", p.DiskUtil),
+			state,
+		})
+	}
+	writeAligned(w, rows)
+	fmt.Fprintf(w, "  workload -> congestion: %s\n", arrow(r.WorkloadRaisesCongestion))
+	fmt.Fprintf(w, "  congestion -> memory used: %s\n", arrow(r.CongestionRaisesMemory))
+	fmt.Fprintf(w, "  congestion -> disk utilization: %s\n", arrow(r.CongestionRaisesDiskUtil))
+	fmt.Fprintln(w)
+}
+
+func arrow(ok bool) string {
+	if ok {
+		return "positive (as in the paper's diagram)"
+	}
+	return "NOT monotone"
+}

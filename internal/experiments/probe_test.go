@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"vcmt/internal/sim"
+)
+
+// TestProbeTimings is a development aid: -run TestProbeTimings -v prints
+// per-series timing and resource stats for calibration. It is skipped in
+// normal (-short) test runs.
+func TestProbeTimings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	o := Options{}
+	probe := func(name string, s setting) {
+		start := time.Now()
+		ser, err := s.run(o, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range ser.Rows {
+			fmt.Printf("%-28s k=%-3d sec=%8.1f msgs=%9.1fM mem=%6.1fGB ratio=%5.2f disk=%6.1fs util=%5.2f rounds=%d\n",
+				name, r.Batches, r.Result.Seconds, r.Result.TotalLogicalMsgs/1e6,
+				r.Result.PeakMemBytes/(1<<30), r.Result.MaxMemRatio,
+				r.Result.DiskSeconds, r.Result.MaxDiskUtil, r.Result.Rounds)
+		}
+		fmt.Printf("%-28s elapsed=%v\n", name, time.Since(start))
+	}
+	probe("mssp136x2", setting{dataset: "DBLP", cluster: sim.Galaxy8, machines: 2, system: sim.PregelPlus, task: MSSP, paperW: 136, replicaW: 17, statScaleOverride: 1229, batches: []int{1, 2, 4}, seed: o.seed()})
+	probe("mssp512x4", setting{dataset: "DBLP", cluster: sim.Galaxy8, machines: 4, system: sim.PregelPlus, task: MSSP, paperW: 512, replicaW: 64, statScaleOverride: 691, batches: []int{1, 2, 4}, seed: o.seed()})
+}

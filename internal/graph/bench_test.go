@@ -1,0 +1,29 @@
+package graph
+
+import "testing"
+
+func BenchmarkGenerateChungLu(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = GenerateChungLu(10000, 50000, 2.5, uint64(i))
+	}
+}
+
+func BenchmarkHashPartition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = HashPartition(100000, 32)
+	}
+}
+
+func BenchmarkNeighborsIteration(b *testing.B) {
+	g := GenerateChungLu(10000, 50000, 2.5, 1)
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		for v := 0; v < g.NumVertices(); v++ {
+			for _, u := range g.Neighbors(VertexID(v)) {
+				sink += int64(u)
+			}
+		}
+	}
+	_ = sink
+}

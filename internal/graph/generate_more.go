@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"vcmt/internal/randx"
+)
+
+// GenerateBarabasiAlbert builds an undirected preferential-attachment
+// graph: vertices arrive one at a time and attach m edges to existing
+// vertices with probability proportional to their degree, producing the
+// power-law tails typical of the paper's social graphs.
+func GenerateBarabasiAlbert(n, m int, seed uint64) *Graph {
+	if m < 1 {
+		panic("graph: Barabasi-Albert needs m >= 1")
+	}
+	if n < m+1 {
+		panic("graph: Barabasi-Albert needs n > m")
+	}
+	rng := randx.New(seed)
+	b := NewBuilder(n, false)
+	// targets holds one entry per edge endpoint, so uniform sampling from
+	// it is degree-proportional sampling.
+	targets := make([]VertexID, 0, 2*n*m)
+	// Seed clique over the first m+1 vertices.
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			b.AddUndirectedEdge(VertexID(u), VertexID(v))
+			targets = append(targets, VertexID(u), VertexID(v))
+		}
+	}
+	chosen := make([]VertexID, 0, m)
+	for v := m + 1; v < n; v++ {
+		chosen = chosen[:0]
+		for len(chosen) < m {
+			cand := targets[rng.Intn(len(targets))]
+			dup := false
+			for _, c := range chosen {
+				if c == cand {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				chosen = append(chosen, cand)
+			}
+		}
+		for _, u := range chosen {
+			b.AddUndirectedEdge(VertexID(v), u)
+			targets = append(targets, VertexID(v), u)
+		}
+	}
+	return b.Build()
+}
+
+// GenerateWattsStrogatz builds a small-world graph: a ring lattice where
+// every vertex connects to its k nearest neighbors (k even), with each
+// edge rewired to a random endpoint with probability beta. Low diameter
+// with high clustering — a useful contrast to the power-law replicas.
+func GenerateWattsStrogatz(n, k int, beta float64, seed uint64) *Graph {
+	if k%2 != 0 || k < 2 {
+		panic("graph: Watts-Strogatz needs even k >= 2")
+	}
+	if n <= k {
+		panic("graph: Watts-Strogatz needs n > k")
+	}
+	rng := randx.New(seed)
+	b := NewBuilder(n, false)
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k/2; j++ {
+			u := (v + j) % n
+			if rng.Float64() < beta {
+				// Rewire to a uniform random endpoint (avoiding self loops;
+				// duplicate edges collapse in Build).
+				u = rng.Intn(n)
+				if u == v {
+					u = (u + 1) % n
+				}
+			}
+			b.AddUndirectedEdge(VertexID(v), VertexID(u))
+		}
+	}
+	return b.Build()
+}

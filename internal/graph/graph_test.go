@@ -1,0 +1,554 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderBasic(t *testing.T) {
+	b := NewBuilder(4, false)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 3)
+	g := b.Build()
+	if g.NumVertices() != 4 {
+		t.Fatalf("NumVertices=%d want 4", g.NumVertices())
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges=%d want 3", g.NumEdges())
+	}
+	if got := g.Neighbors(0); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Neighbors(0)=%v", got)
+	}
+	if g.Degree(1) != 1 || g.Degree(2) != 0 || g.Degree(3) != 0 {
+		t.Fatal("unexpected degrees")
+	}
+}
+
+func TestBuilderDeduplicatesAndDropsSelfLoops(t *testing.T) {
+	b := NewBuilder(3, false)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 1) // self loop
+	b.AddEdge(2, 0)
+	g := b.Build()
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges=%d want 2 after dedup+selfloop drop", g.NumEdges())
+	}
+}
+
+func TestBuilderKeepsSmallestDuplicateWeight(t *testing.T) {
+	b := NewBuilder(2, true)
+	b.AddWeightedEdge(0, 1, 5)
+	b.AddWeightedEdge(0, 1, 2)
+	g := b.Build()
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges=%d want 1", g.NumEdges())
+	}
+	if w := g.Weight(0, 0); w != 2 {
+		t.Fatalf("Weight=%v want 2", w)
+	}
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range edge")
+		}
+	}()
+	NewBuilder(2, false).AddEdge(0, 5)
+}
+
+func TestUndirectedEdgesSymmetric(t *testing.T) {
+	b := NewBuilder(5, false)
+	b.AddUndirectedEdge(1, 4)
+	b.AddUndirectedEdge(2, 3)
+	g := b.Build()
+	for v := 0; v < 5; v++ {
+		for _, u := range g.Neighbors(VertexID(v)) {
+			found := false
+			for _, w := range g.Neighbors(u) {
+				if w == VertexID(v) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("edge (%d,%d) has no reverse", v, u)
+			}
+		}
+	}
+}
+
+func TestFromAdjacency(t *testing.T) {
+	g := FromAdjacency([][]VertexID{{1, 2}, {2}, {}})
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("got n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestMemoryBytesPositiveAndMonotone(t *testing.T) {
+	small := GenerateRing(10)
+	big := GenerateRing(1000)
+	if small.MemoryBytes() <= 0 {
+		t.Fatal("MemoryBytes must be positive")
+	}
+	if big.MemoryBytes() <= small.MemoryBytes() {
+		t.Fatal("bigger graph must report more memory")
+	}
+}
+
+func TestGenerateRing(t *testing.T) {
+	g := GenerateRing(8)
+	for v := 0; v < 8; v++ {
+		if g.Degree(VertexID(v)) != 2 {
+			t.Fatalf("ring degree(%d)=%d want 2", v, g.Degree(VertexID(v)))
+		}
+	}
+}
+
+func TestGenerateGrid(t *testing.T) {
+	g := GenerateGrid(3, 4)
+	if g.NumVertices() != 12 {
+		t.Fatalf("n=%d want 12", g.NumVertices())
+	}
+	// 2*(rows*(cols-1) + cols*(rows-1)) arcs
+	want := int64(2 * (3*3 + 4*2))
+	if g.NumEdges() != want {
+		t.Fatalf("m=%d want %d", g.NumEdges(), want)
+	}
+}
+
+func TestGenerateStarSkew(t *testing.T) {
+	g := GenerateStar(100)
+	if g.Degree(0) != 99 {
+		t.Fatalf("center degree=%d want 99", g.Degree(0))
+	}
+	if g.MaxDegree() != 99 {
+		t.Fatalf("MaxDegree=%d want 99", g.MaxDegree())
+	}
+}
+
+func TestGenerateChungLuProperties(t *testing.T) {
+	g := GenerateChungLu(2000, 10000, 2.5, 7)
+	if g.NumVertices() != 2000 {
+		t.Fatalf("n=%d", g.NumVertices())
+	}
+	if g.NumEdges() < 10000 { // ~2*m arcs minus collisions
+		t.Fatalf("too few arcs: %d", g.NumEdges())
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Degree(VertexID(v)) == 0 {
+			t.Fatalf("vertex %d isolated", v)
+		}
+	}
+	// Heavy tail: max degree far above average.
+	if float64(g.MaxDegree()) < 5*g.AvgDegree() {
+		t.Fatalf("degree distribution not skewed: max=%d avg=%.1f", g.MaxDegree(), g.AvgDegree())
+	}
+}
+
+func TestGenerateChungLuDeterministic(t *testing.T) {
+	a := GenerateChungLu(500, 2000, 2.5, 42)
+	b := GenerateChungLu(500, 2000, 2.5, 42)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for v := 0; v < 500; v++ {
+		na, nb := a.Neighbors(VertexID(v)), b.Neighbors(VertexID(v))
+		if len(na) != len(nb) {
+			t.Fatalf("vertex %d degree differs", v)
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("vertex %d neighbor %d differs", v, i)
+			}
+		}
+	}
+}
+
+func TestGenerateRMAT(t *testing.T) {
+	g := GenerateRMAT(10, 5000, 0.57, 0.19, 0.19, 9)
+	if g.NumVertices() != 1024 {
+		t.Fatalf("n=%d want 1024", g.NumVertices())
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("no edges generated")
+	}
+}
+
+func TestGenerateUniform(t *testing.T) {
+	g := GenerateUniform(100, 500, 3)
+	if g.NumVertices() != 100 {
+		t.Fatalf("n=%d", g.NumVertices())
+	}
+	if g.NumEdges() < 800 {
+		t.Fatalf("arcs=%d want ~1000", g.NumEdges())
+	}
+}
+
+func TestWithUniformWeightsSymmetric(t *testing.T) {
+	g := WithUniformWeights(GenerateRing(10), 1, 5, 11)
+	if !g.Weighted() {
+		t.Fatal("graph should be weighted")
+	}
+	for v := 0; v < 10; v++ {
+		ns := g.Neighbors(VertexID(v))
+		for i, u := range ns {
+			wv := g.Weight(VertexID(v), i)
+			// find reverse weight
+			for j, w := range g.Neighbors(u) {
+				if w == VertexID(v) {
+					if g.Weight(u, j) != wv {
+						t.Fatalf("asymmetric weight on (%d,%d)", v, u)
+					}
+				}
+			}
+			if wv < 1 || wv >= 5 {
+				t.Fatalf("weight %v out of range", wv)
+			}
+		}
+	}
+}
+
+func TestHashPartitionCoversAllMachines(t *testing.T) {
+	p := HashPartition(10000, 8)
+	if p.NumMachines() != 8 {
+		t.Fatalf("machines=%d", p.NumMachines())
+	}
+	total := 0
+	for m := 0; m < 8; m++ {
+		c := p.Count(m)
+		if c == 0 {
+			t.Fatalf("machine %d got no vertices", m)
+		}
+		if c < 10000/8-400 || c > 10000/8+400 {
+			t.Fatalf("machine %d badly balanced: %d", m, c)
+		}
+		total += c
+	}
+	if total != 10000 {
+		t.Fatalf("counts sum to %d", total)
+	}
+}
+
+func TestHashPartitionOwnerStable(t *testing.T) {
+	p1 := HashPartition(100, 4)
+	p2 := HashPartition(100, 4)
+	for v := 0; v < 100; v++ {
+		if p1.Owner(VertexID(v)) != p2.Owner(VertexID(v)) {
+			t.Fatal("owner not deterministic")
+		}
+	}
+}
+
+func TestRangePartition(t *testing.T) {
+	p := RangePartition(10, 3)
+	if p.Owner(0) != 0 || p.Owner(3) != 0 {
+		t.Fatal("range partition wrong for low ids")
+	}
+	if p.Owner(9) != 2 {
+		t.Fatalf("Owner(9)=%d want 2", p.Owner(9))
+	}
+	if p.Count(0)+p.Count(1)+p.Count(2) != 10 {
+		t.Fatal("counts do not sum")
+	}
+}
+
+func TestReplicatedPartition(t *testing.T) {
+	p := ReplicatedPartition(100, 4)
+	if p.NumMachines() != 4 {
+		t.Fatalf("machines=%d", p.NumMachines())
+	}
+	for v := 0; v < 100; v++ {
+		if p.Owner(VertexID(v)) != 0 {
+			t.Fatal("replicated partition must own everything on machine 0")
+		}
+	}
+}
+
+func TestPartitionPanicsOnZeroMachines(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	HashPartition(10, 0)
+}
+
+func TestDatasetRegistry(t *testing.T) {
+	names := DatasetNames()
+	if len(names) != 6 {
+		t.Fatalf("want 6 datasets, got %d", len(names))
+	}
+	for _, name := range names {
+		d, err := Dataset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.ScaleNodes() < 1 || d.ScaleEdges() < 1 {
+			t.Fatalf("%s: scale factors must be >= 1", name)
+		}
+		// Replica preserves average degree within 20%.
+		paperAvg := float64(d.PaperEdges) / float64(d.PaperNodes)
+		replicaAvg := float64(d.Edges) / float64(d.Nodes)
+		if replicaAvg < paperAvg*0.8 || replicaAvg > paperAvg*1.25 {
+			t.Fatalf("%s: avg degree %0.1f vs paper %0.1f", name, replicaAvg, paperAvg)
+		}
+	}
+	if _, err := Dataset("nope"); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+}
+
+func TestDatasetLoadCachedAndSized(t *testing.T) {
+	d, err := Dataset("Web-St")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := d.Load()
+	g2 := d.Load()
+	if g1 != g2 {
+		t.Fatal("Load must cache")
+	}
+	if g1.NumVertices() != d.Nodes {
+		t.Fatalf("n=%d want %d", g1.NumVertices(), d.Nodes)
+	}
+	if g1.NumEdges() < int64(float64(d.Edges)*0.7) {
+		t.Fatalf("arcs=%d want near %d", g1.NumEdges(), d.Edges)
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := GenerateChungLu(200, 800, 2.5, 5)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf, g.NumVertices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, g, g2)
+}
+
+func TestEdgeListComments(t *testing.T) {
+	in := "# comment\n0 1\n\n1 2\n"
+	g, err := ReadEdgeList(bytes.NewBufferString(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestEdgeListErrors(t *testing.T) {
+	if _, err := ReadEdgeList(bytes.NewBufferString("0\n"), 0); err == nil {
+		t.Fatal("want error for short line")
+	}
+	if _, err := ReadEdgeList(bytes.NewBufferString("a b\n"), 0); err == nil {
+		t.Fatal("want error for non-numeric")
+	}
+	if _, err := ReadEdgeList(bytes.NewBufferString("0 1 x\n"), 0); err == nil {
+		t.Fatal("want error for bad weight")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := GenerateChungLu(300, 1500, 2.3, 21)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, g, g2)
+}
+
+func TestBinaryRoundTripWeighted(t *testing.T) {
+	g := WithUniformWeights(GenerateRing(20), 1, 3, 8)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.Weighted() {
+		t.Fatal("weights lost in round trip")
+	}
+	assertGraphsEqual(t, g, g2)
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewBuffer(make([]byte, 64))); err == nil {
+		t.Fatal("want error for bad magic")
+	}
+}
+
+func assertGraphsEqual(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("size mismatch: (%d,%d) vs (%d,%d)",
+			a.NumVertices(), a.NumEdges(), b.NumVertices(), b.NumEdges())
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		na, nb := a.Neighbors(VertexID(v)), b.Neighbors(VertexID(v))
+		if len(na) != len(nb) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("neighbor mismatch at %d[%d]", v, i)
+			}
+			if a.Weight(VertexID(v), i) != b.Weight(VertexID(v), i) {
+				t.Fatalf("weight mismatch at %d[%d]", v, i)
+			}
+		}
+	}
+}
+
+func TestPropertyBuildPreservesEdgeCount(t *testing.T) {
+	f := func(raw []uint16) bool {
+		const n = 64
+		b := NewBuilder(n, false)
+		type key struct{ f, t VertexID }
+		uniq := map[key]bool{}
+		for i := 0; i+1 < len(raw); i += 2 {
+			from := VertexID(raw[i] % n)
+			to := VertexID(raw[i+1] % n)
+			b.AddEdge(from, to)
+			if from != to {
+				uniq[key{from, to}] = true
+			}
+		}
+		return b.Build().NumEdges() == int64(len(uniq))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyNeighborsSorted(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := GenerateUniform(50, 200, seed)
+		for v := 0; v < g.NumVertices(); v++ {
+			ns := g.Neighbors(VertexID(v))
+			for i := 1; i < len(ns); i++ {
+				if ns[i-1] >= ns[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := GenerateStar(10)
+	degrees, counts := DegreeHistogram(g)
+	if len(degrees) != 2 {
+		t.Fatalf("star should have 2 distinct degrees, got %v", degrees)
+	}
+	if degrees[0] != 1 || counts[0] != 9 || degrees[1] != 9 || counts[1] != 1 {
+		t.Fatalf("unexpected histogram %v %v", degrees, counts)
+	}
+}
+
+func TestGenerateBarabasiAlbert(t *testing.T) {
+	g := GenerateBarabasiAlbert(2000, 3, 7)
+	if g.NumVertices() != 2000 {
+		t.Fatalf("n=%d", g.NumVertices())
+	}
+	// ~m edges per arriving vertex (plus the seed clique), both directions.
+	if g.NumEdges() < 2*3*1900 {
+		t.Fatalf("arcs=%d", g.NumEdges())
+	}
+	for v := 0; v < 2000; v++ {
+		if g.Degree(VertexID(v)) == 0 {
+			t.Fatalf("vertex %d isolated", v)
+		}
+	}
+	// Preferential attachment: strong hub formation.
+	if float64(g.MaxDegree()) < 8*g.AvgDegree() {
+		t.Fatalf("no hubs: max=%d avg=%.1f", g.MaxDegree(), g.AvgDegree())
+	}
+}
+
+func TestGenerateBarabasiAlbertDeterministic(t *testing.T) {
+	a := GenerateBarabasiAlbert(300, 2, 5)
+	b := GenerateBarabasiAlbert(300, 2, 5)
+	assertGraphsEqual(t, a, b)
+}
+
+func TestGenerateBarabasiAlbertPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for m=0")
+		}
+	}()
+	GenerateBarabasiAlbert(10, 0, 1)
+}
+
+func TestGenerateWattsStrogatz(t *testing.T) {
+	g := GenerateWattsStrogatz(1000, 6, 0.1, 9)
+	if g.NumVertices() != 1000 {
+		t.Fatalf("n=%d", g.NumVertices())
+	}
+	// Average degree ≈ k (rewiring preserves edge count up to collapsed
+	// duplicates).
+	if g.AvgDegree() < 5 || g.AvgDegree() > 6.5 {
+		t.Fatalf("avg degree %.1f want ~6", g.AvgDegree())
+	}
+	// No rewiring: a pure ring lattice with degree exactly k.
+	lattice := GenerateWattsStrogatz(100, 4, 0, 1)
+	for v := 0; v < 100; v++ {
+		if lattice.Degree(VertexID(v)) != 4 {
+			t.Fatalf("lattice degree(%d)=%d", v, lattice.Degree(VertexID(v)))
+		}
+	}
+}
+
+func TestGenerateWattsStrogatzPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for odd k")
+		}
+	}()
+	GenerateWattsStrogatz(100, 3, 0.1, 1)
+}
+
+func TestMustLoadAndWeightsAccessors(t *testing.T) {
+	g := MustLoad("Web-St")
+	if g.NumVertices() == 0 {
+		t.Fatal("MustLoad returned empty graph")
+	}
+	if g.Weights(0) != nil {
+		t.Fatal("unweighted graph must report nil weights")
+	}
+	wg := WithUniformWeights(GenerateRing(6), 1, 2, 3)
+	if got := wg.Weights(0); len(got) != wg.Degree(0) {
+		t.Fatalf("Weights len %d want %d", len(got), wg.Degree(0))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLoad of unknown dataset must panic")
+		}
+	}()
+	MustLoad("nope")
+}
+
+func TestBuilderNumEdgesAdded(t *testing.T) {
+	b := NewBuilder(3, false)
+	b.AddUndirectedEdge(0, 1)
+	if b.NumEdgesAdded() != 2 {
+		t.Fatalf("NumEdgesAdded=%d want 2", b.NumEdgesAdded())
+	}
+}

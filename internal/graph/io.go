@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes the graph as a whitespace-separated edge list
+// ("from to [weight]"), the interchange format SNAP datasets use.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for v := 0; v < g.NumVertices(); v++ {
+		ns := g.Neighbors(VertexID(v))
+		for i, u := range ns {
+			var err error
+			if g.Weighted() {
+				_, err = fmt.Fprintf(bw, "%d %d %g\n", v, u, g.Weight(VertexID(v), i))
+			} else {
+				_, err = fmt.Fprintf(bw, "%d %d\n", v, u)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// maxLoadVertices bounds the vertex universe a loader will allocate for,
+// protecting against malformed or adversarial inputs whose vertex ids
+// imply absurd allocations (the largest graph in the paper has 65.6M
+// vertices).
+const maxLoadVertices = 1 << 28
+
+// ReadEdgeList parses a SNAP-style edge list. Lines starting with '#' are
+// comments. n must be at least max vertex id + 1; pass 0 to infer it.
+// Inputs implying more than 2^28 vertices are rejected.
+func ReadEdgeList(r io.Reader, n int) (*Graph, error) {
+	type rawEdge struct {
+		from, to VertexID
+		w        float32
+	}
+	var edges []rawEdge
+	weighted := false
+	maxID := VertexID(0)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: need at least 2 fields", line)
+		}
+		from, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		to, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		w := float32(1)
+		if len(fields) >= 3 {
+			wf, err := strconv.ParseFloat(fields[2], 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			}
+			w = float32(wf)
+			weighted = true
+		}
+		e := rawEdge{from: VertexID(from), to: VertexID(to), w: w}
+		edges = append(edges, e)
+		if e.from > maxID {
+			maxID = e.from
+		}
+		if e.to > maxID {
+			maxID = e.to
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if uint64(maxID)+1 > maxLoadVertices {
+		return nil, fmt.Errorf("graph: vertex id %d exceeds the loader limit", maxID)
+	}
+	if n == 0 {
+		n = int(maxID) + 1
+	}
+	b := NewBuilder(n, weighted)
+	for _, e := range edges {
+		b.AddWeightedEdge(e.from, e.to, e.w)
+	}
+	return b.Build(), nil
+}
+
+const binaryMagic = 0x56434d54 // "VCMT"
+
+// WriteBinary writes a compact binary encoding of the graph, much faster to
+// reload than an edge list for the larger replicas.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint64{binaryMagic, uint64(g.n), uint64(len(g.adj))}
+	flags := uint64(0)
+	if g.Weighted() {
+		flags = 1
+	}
+	hdr = append(hdr, flags)
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.offsets); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.adj); err != nil {
+		return err
+	}
+	if g.Weighted() {
+		if err := binary.Write(bw, binary.LittleEndian, g.weights); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a graph written by WriteBinary.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var hdr [4]uint64
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, err
+		}
+	}
+	if hdr[0] != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x", hdr[0])
+	}
+	if hdr[1] > maxLoadVertices || hdr[2] > 64*maxLoadVertices {
+		return nil, fmt.Errorf("graph: header claims %d vertices / %d arcs, beyond the loader limit", hdr[1], hdr[2])
+	}
+	g := &Graph{
+		n:       int(hdr[1]),
+		offsets: make([]int64, hdr[1]+1),
+		adj:     make([]VertexID, hdr[2]),
+	}
+	if err := binary.Read(br, binary.LittleEndian, &g.offsets); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &g.adj); err != nil {
+		return nil, err
+	}
+	if hdr[3]&1 != 0 {
+		g.weights = make([]float32, hdr[2])
+		if err := binary.Read(br, binary.LittleEndian, &g.weights); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

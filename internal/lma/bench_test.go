@@ -1,0 +1,19 @@
+package lma
+
+import (
+	"math"
+	"testing"
+)
+
+func BenchmarkFitPower(b *testing.B) {
+	xs := []float64{2, 4, 8, 16, 32, 64}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 1.3*math.Pow(x, 1.15) + 7
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := FitPower(xs, ys, Options{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

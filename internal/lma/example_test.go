@@ -1,0 +1,29 @@
+package lma_test
+
+import (
+	"fmt"
+	"math"
+
+	"vcmt/internal/lma"
+)
+
+// ExampleFitPower fits the paper's memory model M(W) = a·W^b + c to
+// training observations at powers-of-two workloads (§5, Eq. 2/4) and
+// inverts it to find the workload that fits a memory budget (Eq. 6).
+func ExampleFitPower() {
+	// Synthetic training data from M(W) = 0.5·W^1.1 + 2 (GB).
+	xs := []float64{2, 4, 8, 16, 32}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 0.5*math.Pow(x, 1.1) + 2
+	}
+	fit, err := lma.FitPower(xs, ys, lma.Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("M(64)  = %.1f GB\n", fit.Eval(64))
+	fmt.Printf("budget 14 GB fits W = %.0f\n", fit.Invert(14))
+	// Output:
+	// M(64)  = 50.5 GB
+	// budget 14 GB fits W = 18
+}

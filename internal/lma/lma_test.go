@@ -1,0 +1,170 @@
+package lma
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vcmt/internal/randx"
+)
+
+func genCurve(a, b, c float64, noise float64, seed uint64) (xs, ys []float64) {
+	rng := randx.New(seed)
+	for r := 1; r <= 8; r++ {
+		x := math.Pow(2, float64(r))
+		y := a*math.Pow(x, b) + c
+		if noise > 0 {
+			y *= 1 + noise*(rng.Float64()-0.5)
+		}
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	return xs, ys
+}
+
+func TestFitRecoversCleanParameters(t *testing.T) {
+	cases := []struct{ a, b, c float64 }{
+		{2, 1.0, 5},
+		{0.5, 1.3, 100},
+		{10, 0.7, 0},
+		{1.5, 2.0, 3},
+	}
+	for _, tc := range cases {
+		xs, ys := genCurve(tc.a, tc.b, tc.c, 0, 1)
+		fit, err := FitPower(xs, ys, Options{Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range xs {
+			want := tc.a*math.Pow(xs[i], tc.b) + tc.c
+			if math.Abs(fit.Eval(xs[i])-want) > 1e-3*(1+want) {
+				t.Fatalf("(a=%v,b=%v,c=%v): Eval(%v)=%v want %v (fit %+v)",
+					tc.a, tc.b, tc.c, xs[i], fit.Eval(xs[i]), want, fit)
+			}
+		}
+	}
+}
+
+func TestFitToleratesNoise(t *testing.T) {
+	xs, ys := genCurve(3, 1.1, 50, 0.05, 7)
+	fit, err := FitPower(xs, ys, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prediction within 15% everywhere.
+	for i := range xs {
+		want := 3*math.Pow(xs[i], 1.1) + 50
+		if math.Abs(fit.Eval(xs[i])-want) > 0.15*want {
+			t.Fatalf("noisy fit too far at x=%v: %v vs %v", xs[i], fit.Eval(xs[i]), want)
+		}
+	}
+}
+
+func TestFitExtrapolates(t *testing.T) {
+	xs, ys := genCurve(2, 1.0, 10, 0, 3)
+	fit, err := FitPower(xs, ys, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extrapolate to 4x the largest training point.
+	x := 1024.0
+	want := 2*x + 10
+	if math.Abs(fit.Eval(x)-want) > 0.1*want {
+		t.Fatalf("extrapolation Eval(%v)=%v want %v", x, fit.Eval(x), want)
+	}
+}
+
+func TestInvertIsInverse(t *testing.T) {
+	fit := PowerFit{A: 2, B: 1.2, C: 10}
+	f := func(raw uint16) bool {
+		w := float64(raw%10000) + 1
+		y := fit.Eval(w)
+		back := fit.Invert(y)
+		return math.Abs(back-w) < 1e-6*(1+w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvertBelowOffset(t *testing.T) {
+	fit := PowerFit{A: 2, B: 1, C: 100}
+	if got := fit.Invert(50); got != 0 {
+		t.Fatalf("Invert below C must be 0, got %v", got)
+	}
+}
+
+func TestInvertDegenerate(t *testing.T) {
+	if got := (PowerFit{A: 0, B: 1, C: 0}).Invert(10); got != 0 {
+		t.Fatalf("degenerate A: %v", got)
+	}
+	if got := (PowerFit{A: 1, B: 0, C: 0}).Invert(10); got != 0 {
+		t.Fatalf("degenerate B: %v", got)
+	}
+}
+
+func TestFitBadInput(t *testing.T) {
+	if _, err := FitPower([]float64{1, 2}, []float64{1, 2}, Options{}); err == nil {
+		t.Fatal("want error for two points")
+	}
+	if _, err := FitPower([]float64{1, 2, 3}, []float64{1, 2}, Options{}); err == nil {
+		t.Fatal("want error for length mismatch")
+	}
+	if _, err := FitPower([]float64{0, 2, 3}, []float64{1, 2, 3}, Options{}); err == nil {
+		t.Fatal("want error for non-positive x")
+	}
+}
+
+func TestFitDeterministicForSeed(t *testing.T) {
+	xs, ys := genCurve(1.2, 1.4, 20, 0.02, 11)
+	a, err := FitPower(xs, ys, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FitPower(xs, ys, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("fit not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestSolve3(t *testing.T) {
+	// 2x + y = 5; x + 3z = 10; y + z = 4  →  check residuals.
+	a := [3][3]float64{{2, 1, 0}, {1, 0, 3}, {0, 1, 1}}
+	b := [3]float64{5, 10, 4}
+	x, ok := solve3(a, b)
+	if !ok {
+		t.Fatal("system should be solvable")
+	}
+	for r := 0; r < 3; r++ {
+		got := a[r][0]*x[0] + a[r][1]*x[1] + a[r][2]*x[2]
+		if math.Abs(got-b[r]) > 1e-9 {
+			t.Fatalf("row %d: %v want %v", r, got, b[r])
+		}
+	}
+}
+
+func TestSolve3Singular(t *testing.T) {
+	a := [3][3]float64{{1, 1, 1}, {2, 2, 2}, {0, 1, 1}}
+	if _, ok := solve3(a, [3]float64{1, 2, 3}); ok {
+		t.Fatal("singular system must be rejected")
+	}
+}
+
+func TestFitLinearData(t *testing.T) {
+	// Purely linear y = 4x: expect b≈1.
+	xs := []float64{2, 4, 8, 16, 32, 64}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 4 * x
+	}
+	fit, err := FitPower(xs, ys, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Eval(128)-512) > 5 {
+		t.Fatalf("linear extrapolation off: %v", fit.Eval(128))
+	}
+}

@@ -1,0 +1,32 @@
+package randx
+
+import "testing"
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkBinomialSmall(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Binomial(16, 0.15)
+	}
+}
+
+func BenchmarkBinomialLarge(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Binomial(100000, 0.15)
+	}
+}
+
+func BenchmarkMultinomial(b *testing.B) {
+	r := New(1)
+	out := make([]int64, 16)
+	for i := 0; i < b.N; i++ {
+		r.Multinomial(1000, out)
+	}
+}

@@ -1,0 +1,121 @@
+// Package randx provides deterministic pseudo-random utilities used by the
+// graph generators and the vectorized random-walk implementations: a
+// SplitMix64 generator and binomial / multinomial samplers.
+//
+// Everything in this package is deterministic given a seed, which keeps the
+// whole experiment suite reproducible run-to-run.
+package randx
+
+import "math"
+
+// RNG is a SplitMix64 pseudo-random generator. The zero value is a valid
+// generator seeded with 0; use New to seed explicitly.
+type RNG struct {
+	state uint64
+}
+
+// New returns an RNG seeded with seed.
+func New(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("randx: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a standard normal variate (Box–Muller).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		v := r.Float64()
+		return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+	}
+}
+
+// Binomial samples from Binomial(n, p). For small n it uses direct coin
+// flips; for larger n it uses a normal approximation clamped to [0, n],
+// which is accurate to within sampling noise for the message-count scales
+// this repository needs (counts feed congestion statistics, not exact
+// per-walk identity).
+func (r *RNG) Binomial(n int64, p float64) int64 {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if n <= 32 {
+		var c int64
+		for i := int64(0); i < n; i++ {
+			if r.Float64() < p {
+				c++
+			}
+		}
+		return c
+	}
+	mean := float64(n) * p
+	sd := math.Sqrt(float64(n) * p * (1 - p))
+	x := math.Round(mean + sd*r.NormFloat64())
+	if x < 0 {
+		return 0
+	}
+	if x > float64(n) {
+		return n
+	}
+	return int64(x)
+}
+
+// Multinomial distributes n items into k buckets with equal probability,
+// writing counts into out (which must have length k). It uses a chain of
+// binomial draws, so the result is an exact multinomial sample up to the
+// binomial approximation above.
+func (r *RNG) Multinomial(n int64, out []int64) {
+	k := len(out)
+	remaining := n
+	for i := 0; i < k; i++ {
+		if remaining <= 0 {
+			out[i] = 0
+			continue
+		}
+		if i == k-1 {
+			out[i] = remaining
+			break
+		}
+		p := 1.0 / float64(k-i)
+		c := r.Binomial(remaining, p)
+		out[i] = c
+		remaining -= c
+	}
+}
+
+// Perm fills out with a pseudo-random permutation of [0, len(out)).
+func (r *RNG) Perm(out []int) {
+	for i := range out {
+		out[i] = i
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+}

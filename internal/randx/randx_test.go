@@ -1,0 +1,187 @@
+package randx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestBinomialEdgeCases(t *testing.T) {
+	r := New(5)
+	if got := r.Binomial(0, 0.5); got != 0 {
+		t.Fatalf("Binomial(0,.5)=%d want 0", got)
+	}
+	if got := r.Binomial(100, 0); got != 0 {
+		t.Fatalf("Binomial(100,0)=%d want 0", got)
+	}
+	if got := r.Binomial(100, 1); got != 100 {
+		t.Fatalf("Binomial(100,1)=%d want 100", got)
+	}
+	if got := r.Binomial(-5, 0.5); got != 0 {
+		t.Fatalf("Binomial(-5,.5)=%d want 0", got)
+	}
+}
+
+func TestBinomialBounds(t *testing.T) {
+	r := New(9)
+	for _, n := range []int64{1, 10, 100, 10000} {
+		for _, p := range []float64{0.01, 0.15, 0.5, 0.99} {
+			for i := 0; i < 100; i++ {
+				c := r.Binomial(n, p)
+				if c < 0 || c > n {
+					t.Fatalf("Binomial(%d,%v)=%d out of bounds", n, p, c)
+				}
+			}
+		}
+	}
+}
+
+func TestBinomialMean(t *testing.T) {
+	r := New(13)
+	const n, p, trials = 1000, 0.15, 2000
+	var sum int64
+	for i := 0; i < trials; i++ {
+		sum += r.Binomial(n, p)
+	}
+	mean := float64(sum) / trials
+	want := float64(n) * p
+	if math.Abs(mean-want) > 2 {
+		t.Fatalf("Binomial mean %v too far from %v", mean, want)
+	}
+}
+
+func TestMultinomialConservation(t *testing.T) {
+	r := New(17)
+	f := func(nRaw uint16, kRaw uint8) bool {
+		n := int64(nRaw)
+		k := int(kRaw)%20 + 1
+		out := make([]int64, k)
+		r.Multinomial(n, out)
+		var sum int64
+		for _, c := range out {
+			if c < 0 {
+				return false
+			}
+			sum += c
+		}
+		return sum == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultinomialRoughlyUniform(t *testing.T) {
+	r := New(19)
+	const n, k = 100000, 10
+	out := make([]int64, k)
+	r.Multinomial(n, out)
+	for i, c := range out {
+		if c < n/k-n/20 || c > n/k+n/20 {
+			t.Fatalf("bucket %d got %d, expected near %d", i, c, n/k)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(23)
+	out := make([]int, 50)
+	r.Perm(out)
+	seen := make([]bool, 50)
+	for _, v := range out {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("not a permutation: %v", out)
+		}
+		seen[v] = true
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(29)
+	const n = 100000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance %v too far from 1", variance)
+	}
+}

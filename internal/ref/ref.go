@@ -1,0 +1,175 @@
+// Package ref provides sequential reference implementations of the
+// benchmark computations — exact BFS/Dijkstra, power-iteration personalized
+// PageRank, and exact k-hop neighborhoods. They serve as test oracles for
+// the distributed vertex-centric implementations in internal/tasks.
+package ref
+
+import (
+	"container/heap"
+	"math"
+
+	"vcmt/internal/graph"
+)
+
+// BFS returns hop distances from src; unreachable vertices get -1.
+func BFS(g *graph.Graph, src graph.VertexID) []int {
+	dist := make([]int, g.NumVertices())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []graph.VertexID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(v) {
+			if dist[u] == -1 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// Dijkstra returns weighted shortest-path distances from src; unreachable
+// vertices get +Inf. Unweighted graphs use weight 1 per edge.
+func Dijkstra(g *graph.Graph, src graph.VertexID) []float64 {
+	dist := make([]float64, g.NumVertices())
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	pq := &distHeap{{v: src, d: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(distItem)
+		if item.d > dist[item.v] {
+			continue
+		}
+		for i, u := range g.Neighbors(item.v) {
+			nd := item.d + float64(g.Weight(item.v, i))
+			if nd < dist[u] {
+				dist[u] = nd
+				heap.Push(pq, distItem{v: u, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+type distItem struct {
+	v graph.VertexID
+	d float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// PPR computes the personalized PageRank vector of src by power iteration
+// of π = α·e_src + (1-α)·π·P, matching the α-decay random-walk endpoint
+// distribution the paper's BPPR estimates (§2.3). Vertices with no
+// out-edges retain their mass (the walk stops there).
+func PPR(g *graph.Graph, src graph.VertexID, alpha float64, iters int) []float64 {
+	n := g.NumVertices()
+	// mass[v] is the probability the walk is at v and still running.
+	mass := make([]float64, n)
+	next := make([]float64, n)
+	pi := make([]float64, n)
+	mass[src] = 1
+	for it := 0; it < iters; it++ {
+		var live float64
+		for v := 0; v < n; v++ {
+			if mass[v] == 0 {
+				continue
+			}
+			pi[v] += alpha * mass[v]
+			moving := (1 - alpha) * mass[v]
+			d := g.Degree(graph.VertexID(v))
+			if d == 0 {
+				// Nowhere to go: the walk will stop here eventually.
+				pi[v] += moving
+				continue
+			}
+			share := moving / float64(d)
+			for _, u := range g.Neighbors(graph.VertexID(v)) {
+				next[u] += share
+				live += share
+			}
+		}
+		mass, next = next, mass
+		for i := range next {
+			next[i] = 0
+		}
+		if live < 1e-12 {
+			break
+		}
+	}
+	// Residual mass (walks still running) is attributed to current nodes;
+	// with enough iterations this is negligible.
+	for v := 0; v < n; v++ {
+		pi[v] += mass[v]
+	}
+	return pi
+}
+
+// KHop returns the set of vertices within k hops of src (excluding src
+// itself, matching the BKHS task definition of "the set of nodes that are
+// within k-hops of s").
+func KHop(g *graph.Graph, src graph.VertexID, k int) map[graph.VertexID]bool {
+	out := map[graph.VertexID]bool{}
+	dist := BFS(g, src)
+	for v := 0; v < g.NumVertices(); v++ {
+		if v != int(src) && dist[v] != -1 && dist[v] <= k {
+			out[graph.VertexID(v)] = true
+		}
+	}
+	return out
+}
+
+// PageRank computes the global PageRank with damping d over iters
+// iterations, normalizing dangling mass uniformly.
+func PageRank(g *graph.Graph, damping float64, iters int) []float64 {
+	n := g.NumVertices()
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1 / float64(n)
+	}
+	for it := 0; it < iters; it++ {
+		base := (1 - damping) / float64(n)
+		var dangling float64
+		for i := range next {
+			next[i] = base
+		}
+		for v := 0; v < n; v++ {
+			d := g.Degree(graph.VertexID(v))
+			if d == 0 {
+				dangling += rank[v]
+				continue
+			}
+			share := damping * rank[v] / float64(d)
+			for _, u := range g.Neighbors(graph.VertexID(v)) {
+				next[u] += share
+			}
+		}
+		if dangling > 0 {
+			spread := damping * dangling / float64(n)
+			for i := range next {
+				next[i] += spread
+			}
+		}
+		rank, next = next, rank
+	}
+	return rank
+}

@@ -1,0 +1,161 @@
+package ref
+
+import (
+	"math"
+	"testing"
+
+	"vcmt/internal/graph"
+)
+
+func TestBFSRing(t *testing.T) {
+	g := graph.GenerateRing(8)
+	d := BFS(g, 0)
+	want := []int{0, 1, 2, 3, 4, 3, 2, 1}
+	for v := range want {
+		if d[v] != want[v] {
+			t.Fatalf("d[%d]=%d want %d", v, d[v], want[v])
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := graph.FromAdjacency([][]graph.VertexID{{1}, {0}, {}})
+	d := BFS(g, 0)
+	if d[2] != -1 {
+		t.Fatalf("unreachable vertex has d=%d", d[2])
+	}
+}
+
+func TestDijkstraMatchesBFSOnUnweighted(t *testing.T) {
+	g := graph.GenerateChungLu(200, 800, 2.5, 3)
+	bfs := BFS(g, 0)
+	dij := Dijkstra(g, 0)
+	for v := range bfs {
+		if bfs[v] == -1 {
+			if !math.IsInf(dij[v], 1) {
+				t.Fatalf("v=%d: BFS unreachable, Dijkstra=%v", v, dij[v])
+			}
+			continue
+		}
+		if float64(bfs[v]) != dij[v] {
+			t.Fatalf("v=%d: BFS=%d Dijkstra=%v", v, bfs[v], dij[v])
+		}
+	}
+}
+
+func TestDijkstraWeighted(t *testing.T) {
+	// 0 -1.0- 1 -1.0- 2, plus a direct heavy edge 0-2 of weight 5.
+	b := graph.NewBuilder(3, true)
+	b.AddUndirectedWeightedEdge(0, 1, 1)
+	b.AddUndirectedWeightedEdge(1, 2, 1)
+	b.AddUndirectedWeightedEdge(0, 2, 5)
+	g := b.Build()
+	d := Dijkstra(g, 0)
+	if d[2] != 2 {
+		t.Fatalf("d[2]=%v want 2 (via middle vertex)", d[2])
+	}
+}
+
+func TestPPRSumsToOne(t *testing.T) {
+	g := graph.GenerateChungLu(100, 400, 2.5, 7)
+	pi := PPR(g, 0, 0.15, 200)
+	var sum float64
+	for _, p := range pi {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("PPR sums to %v", sum)
+	}
+}
+
+func TestPPRSelfMassAtLeastAlpha(t *testing.T) {
+	g := graph.GenerateRing(10)
+	pi := PPR(g, 3, 0.2, 200)
+	if pi[3] < 0.2 {
+		t.Fatalf("pi[src]=%v must be at least alpha", pi[3])
+	}
+}
+
+func TestPPRRingSymmetry(t *testing.T) {
+	g := graph.GenerateRing(9)
+	pi := PPR(g, 0, 0.15, 300)
+	// Ring neighbors at equal hop distance get equal mass.
+	for k := 1; k <= 4; k++ {
+		l, r := pi[9-k], pi[k]
+		if math.Abs(l-r) > 1e-9 {
+			t.Fatalf("asymmetric PPR at hop %d: %v vs %v", k, l, r)
+		}
+	}
+	if pi[1] >= pi[0] || pi[2] >= pi[1] {
+		t.Fatal("PPR must decay with distance on a ring")
+	}
+}
+
+func TestPPRDanglingKeepsMass(t *testing.T) {
+	// Directed path 0 -> 1 -> 2 with a dead end at 2.
+	g := graph.FromAdjacency([][]graph.VertexID{{1}, {2}, {}})
+	pi := PPR(g, 0, 0.5, 100)
+	var sum float64
+	for _, p := range pi {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("mass lost on dangling vertex: sum=%v", sum)
+	}
+	if pi[2] <= 0 {
+		t.Fatal("dead end must accumulate mass")
+	}
+}
+
+func TestKHop(t *testing.T) {
+	g := graph.GenerateRing(10)
+	hop2 := KHop(g, 0, 2)
+	want := []graph.VertexID{1, 2, 8, 9}
+	if len(hop2) != len(want) {
+		t.Fatalf("got %d vertices, want %d", len(hop2), len(want))
+	}
+	for _, v := range want {
+		if !hop2[v] {
+			t.Fatalf("missing vertex %d", v)
+		}
+	}
+}
+
+func TestKHopExcludesSource(t *testing.T) {
+	g := graph.GenerateRing(5)
+	if KHop(g, 2, 3)[2] {
+		t.Fatal("source must not be in its own k-hop set")
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g := graph.GenerateChungLu(150, 600, 2.4, 9)
+	r := PageRank(g, 0.85, 50)
+	var sum float64
+	for _, x := range r {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("PageRank sums to %v", sum)
+	}
+}
+
+func TestPageRankUniformOnRing(t *testing.T) {
+	g := graph.GenerateRing(12)
+	r := PageRank(g, 0.85, 100)
+	for v := 1; v < 12; v++ {
+		if math.Abs(r[v]-r[0]) > 1e-9 {
+			t.Fatalf("regular graph must have uniform PageRank: r[%d]=%v r[0]=%v", v, r[v], r[0])
+		}
+	}
+}
+
+func TestPageRankFavorsHighDegree(t *testing.T) {
+	g := graph.GenerateStar(20)
+	r := PageRank(g, 0.85, 100)
+	for v := 1; v < 20; v++ {
+		if r[0] <= r[v] {
+			t.Fatal("star center must outrank leaves")
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package rpcrt
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"vcmt/internal/graph"
+)
+
+// Cluster is a running set of RPC workers plus the master's connections.
+type Cluster struct {
+	k       int
+	g       *graph.Graph
+	workers []*Worker
+	clients []*rpc.Client
+	rounds  int
+	msgs    int64
+}
+
+// StartCluster launches k workers on loopback TCP, connects them to each
+// other and to the master, and returns the handle. Close releases all
+// sockets.
+func StartCluster(g *graph.Graph, k int) (*Cluster, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("rpcrt: need at least one worker, got %d", k)
+	}
+	c := &Cluster{k: k, g: g}
+	addrs := make([]string, k)
+	for i := 0; i < k; i++ {
+		w := newWorker(i, k, g)
+		srv := rpc.NewServer()
+		if err := srv.RegisterName("Worker", w); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("rpcrt: register worker %d: %w", i, err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("rpcrt: listen worker %d: %w", i, err)
+		}
+		w.listener = ln
+		w.server = srv
+		// Accept loop without net/rpc's noisy error logging on shutdown.
+		go func(srv *rpc.Server, ln net.Listener) {
+			for {
+				conn, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				go srv.ServeConn(conn)
+			}
+		}(srv, ln)
+		addrs[i] = ln.Addr().String()
+		c.workers = append(c.workers, w)
+	}
+	// Master connections.
+	for i := 0; i < k; i++ {
+		cl, err := rpc.Dial("tcp", addrs[i])
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("rpcrt: dial worker %d: %w", i, err)
+		}
+		c.clients = append(c.clients, cl)
+	}
+	// Worker-to-worker connections (including a self connection, which
+	// keeps the exchange code uniform).
+	for i := 0; i < k; i++ {
+		c.workers[i].peers = make([]*rpc.Client, k)
+		for j := 0; j < k; j++ {
+			cl, err := rpc.Dial("tcp", addrs[j])
+			if err != nil {
+				c.Close()
+				return nil, fmt.Errorf("rpcrt: peer dial %d->%d: %w", i, j, err)
+			}
+			c.workers[i].peers[j] = cl
+		}
+	}
+	// Verify liveness.
+	for i, cl := range c.clients {
+		var id int
+		if err := cl.Call("Worker.Ping", struct{}{}, &id); err != nil || id != i {
+			c.Close()
+			return nil, fmt.Errorf("rpcrt: worker %d ping failed: %v", i, err)
+		}
+	}
+	return c, nil
+}
+
+// Close tears down every connection and listener.
+func (c *Cluster) Close() {
+	for _, cl := range c.clients {
+		if cl != nil {
+			cl.Close()
+		}
+	}
+	for _, w := range c.workers {
+		if w == nil {
+			continue
+		}
+		for _, p := range w.peers {
+			if p != nil {
+				p.Close()
+			}
+		}
+		if w.listener != nil {
+			w.listener.Close()
+		}
+	}
+}
+
+// Workers returns the cluster size.
+func (c *Cluster) Workers() int { return c.k }
+
+// Rounds returns the supersteps of the last job.
+func (c *Cluster) Rounds() int { return c.rounds }
+
+// MessagesSent returns the total messages of the last job.
+func (c *Cluster) MessagesSent() int64 { return c.msgs }
+
+// broadcast invokes the same method on every worker concurrently and
+// gathers the int64 replies.
+func (c *Cluster) broadcast(method string, arg interface{}) (int64, error) {
+	var wg sync.WaitGroup
+	replies := make([]int64, c.k)
+	errs := make([]error, c.k)
+	for i, cl := range c.clients {
+		wg.Add(1)
+		go func(i int, cl *rpc.Client) {
+			defer wg.Done()
+			errs[i] = cl.Call(method, arg, &replies[i])
+		}(i, cl)
+	}
+	wg.Wait()
+	var total int64
+	for i := range replies {
+		if errs[i] != nil {
+			return 0, fmt.Errorf("rpcrt: %s on worker %d: %w", method, i, errs[i])
+		}
+		total += replies[i]
+	}
+	return total, nil
+}
+
+func (c *Cluster) advanceAll() error {
+	var wg sync.WaitGroup
+	errs := make([]error, c.k)
+	for i, cl := range c.clients {
+		wg.Add(1)
+		go func(i int, cl *rpc.Client) {
+			defer wg.Done()
+			errs[i] = cl.Call("Worker.Advance", struct{}{}, &struct{}{})
+		}(i, cl)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("rpcrt: advance on worker %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// runJob drives the BSP loop: seed, then compute/exchange/advance rounds
+// until no messages were sent.
+func (c *Cluster) runJob(spec JobSpec) error {
+	c.rounds = 0
+	c.msgs = 0
+	// Phase 1: every worker resets and installs the program (no traffic).
+	var wg sync.WaitGroup
+	errs := make([]error, c.k)
+	for i, cl := range c.clients {
+		wg.Add(1)
+		go func(i int, cl *rpc.Client) {
+			defer wg.Done()
+			errs[i] = cl.Call("Worker.StartJob", StartJobArgs{Spec: spec}, &struct{}{})
+		}(i, cl)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			return errs[i]
+		}
+	}
+	// Phase 2: seed superstep.
+	total, err := c.broadcast("Worker.Seed", struct{}{})
+	if err != nil {
+		return err
+	}
+	c.rounds = 1
+	c.msgs = total
+	for total > 0 {
+		if err := c.advanceAll(); err != nil {
+			return err
+		}
+		var err error
+		total, err = c.broadcast("Worker.ComputeRound", struct{}{})
+		if err != nil {
+			return err
+		}
+		c.rounds++
+		c.msgs += total
+		if c.rounds > 100000 {
+			return fmt.Errorf("rpcrt: job did not converge")
+		}
+	}
+	return nil
+}
+
+// collectAll gathers result entries from every worker.
+func (c *Cluster) collectAll() ([]ResultEntry, error) {
+	var out []ResultEntry
+	for i, cl := range c.clients {
+		var part []ResultEntry
+		if err := cl.Call("Worker.Collect", struct{}{}, &part); err != nil {
+			return nil, fmt.Errorf("rpcrt: collect from worker %d: %w", i, err)
+		}
+		out = append(out, part...)
+	}
+	return out, nil
+}
+
+// RunMSSP computes shortest-path distances from every source over the RPC
+// cluster. dist[i][v] is +Inf where unreachable.
+func (c *Cluster) RunMSSP(sources []graph.VertexID) ([][]float64, error) {
+	if err := c.runJob(JobSpec{Program: "mssp", Sources: sources}); err != nil {
+		return nil, err
+	}
+	idx := make(map[graph.VertexID]int, len(sources))
+	for i, s := range sources {
+		idx[s] = i
+	}
+	dist := make([][]float64, len(sources))
+	for i := range dist {
+		dist[i] = make([]float64, c.g.NumVertices())
+		for v := range dist[i] {
+			dist[i][v] = math.Inf(1)
+		}
+	}
+	entries, err := c.collectAll()
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		dist[idx[e.Src]][e.V] = float64(e.Val)
+	}
+	return dist, nil
+}
+
+// RunBPPR runs walks per-vertex α-decay random walks over the RPC cluster
+// and returns the PPR estimates as a map from (src, target) to probability.
+func (c *Cluster) RunBPPR(walks int, alpha float64, seed uint64) (map[[2]graph.VertexID]float64, error) {
+	spec := JobSpec{Program: "bppr", Walks: int32(walks), Alpha: float32(alpha), Seed: seed}
+	if err := c.runJob(spec); err != nil {
+		return nil, err
+	}
+	entries, err := c.collectAll()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[[2]graph.VertexID]float64, len(entries))
+	for _, e := range entries {
+		out[[2]graph.VertexID{e.Src, e.V}] += float64(e.Val) / float64(walks)
+	}
+	return out, nil
+}
+
+// RunBKHS counts, for every source, the vertices within k hops (excluding
+// the source).
+func (c *Cluster) RunBKHS(sources []graph.VertexID, k int) ([]int64, error) {
+	if err := c.runJob(JobSpec{Program: "bkhs", Sources: sources, K: int32(k)}); err != nil {
+		return nil, err
+	}
+	idx := make(map[graph.VertexID]int, len(sources))
+	for i, s := range sources {
+		idx[s] = i
+	}
+	counts := make([]int64, len(sources))
+	entries, err := c.collectAll()
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		counts[idx[e.Src]]++
+	}
+	return counts, nil
+}

@@ -1,0 +1,235 @@
+package rpcrt
+
+import (
+	"math"
+
+	"vcmt/internal/graph"
+	"vcmt/internal/randx"
+)
+
+// msspProgram runs multi-source shortest-path relaxation on one worker:
+// the distributed counterpart of tasks.MSSPJob (§3, Pregel (MSSP)).
+type msspProgram struct {
+	sources []graph.VertexID
+	srcIdx  map[graph.VertexID]int
+	dist    [][]float32
+}
+
+func newMSSPProgram(w *Worker, spec JobSpec) *msspProgram {
+	p := &msspProgram{
+		sources: spec.Sources,
+		srcIdx:  make(map[graph.VertexID]int, len(spec.Sources)),
+		dist:    make([][]float32, len(spec.Sources)),
+	}
+	for i, s := range spec.Sources {
+		p.srcIdx[s] = i
+		p.dist[i] = make([]float32, w.g.NumVertices())
+		for v := range p.dist[i] {
+			p.dist[i][v] = float32(math.Inf(1))
+		}
+	}
+	return p
+}
+
+func (p *msspProgram) seed(w *Worker) {
+	for _, s := range w.owned {
+		i, ok := p.srcIdx[s]
+		if !ok {
+			continue
+		}
+		p.dist[i][s] = 0
+		p.relax(w, s, i)
+	}
+}
+
+func (p *msspProgram) compute(w *Worker, v graph.VertexID, msgs []Message) {
+	improved := map[int]bool{}
+	for _, m := range msgs {
+		i := p.srcIdx[m.Src]
+		if m.Val < p.dist[i][v] {
+			p.dist[i][v] = m.Val
+			improved[i] = true
+		}
+	}
+	for i := range improved {
+		p.relax(w, v, i)
+	}
+}
+
+func (p *msspProgram) relax(w *Worker, v graph.VertexID, i int) {
+	d := p.dist[i][v]
+	for e, u := range w.g.Neighbors(v) {
+		w.send(Message{Dst: u, Src: p.sources[i], Val: d + w.g.Weight(v, e)})
+	}
+}
+
+func (p *msspProgram) collect(w *Worker) []ResultEntry {
+	var out []ResultEntry
+	for i, s := range p.sources {
+		for _, v := range w.owned {
+			d := p.dist[i][v]
+			if !math.IsInf(float64(d), 1) {
+				out = append(out, ResultEntry{Src: s, V: v, Val: d})
+			}
+		}
+	}
+	return out
+}
+
+// bkhsProgram runs k-bounded multi-source BFS on one worker: the
+// distributed counterpart of tasks.BKHSJob (§3, Pregel (BKHS)).
+type bkhsProgram struct {
+	sources []graph.VertexID
+	srcIdx  map[graph.VertexID]int
+	k       int32
+	hops    [][]uint8
+}
+
+const rpcUnreached = ^uint8(0)
+
+func newBKHSProgram(w *Worker, spec JobSpec) *bkhsProgram {
+	p := &bkhsProgram{
+		sources: spec.Sources,
+		srcIdx:  make(map[graph.VertexID]int, len(spec.Sources)),
+		k:       spec.K,
+		hops:    make([][]uint8, len(spec.Sources)),
+	}
+	if p.k == 0 {
+		p.k = 2
+	}
+	for i, s := range spec.Sources {
+		p.srcIdx[s] = i
+		p.hops[i] = make([]uint8, w.g.NumVertices())
+		for v := range p.hops[i] {
+			p.hops[i][v] = rpcUnreached
+		}
+	}
+	return p
+}
+
+func (p *bkhsProgram) seed(w *Worker) {
+	for _, s := range w.owned {
+		i, ok := p.srcIdx[s]
+		if !ok {
+			continue
+		}
+		p.hops[i][s] = 0
+		p.forward(w, s, i, 1)
+	}
+}
+
+func (p *bkhsProgram) compute(w *Worker, v graph.VertexID, msgs []Message) {
+	for _, m := range msgs {
+		i := p.srcIdx[m.Src]
+		h := uint8(m.Val)
+		if p.hops[i][v] <= h {
+			continue
+		}
+		p.hops[i][v] = h
+		if int32(h) < p.k {
+			p.forward(w, v, i, h+1)
+		}
+	}
+}
+
+func (p *bkhsProgram) forward(w *Worker, v graph.VertexID, i int, hop uint8) {
+	for _, u := range w.g.Neighbors(v) {
+		w.send(Message{Dst: u, Src: p.sources[i], Val: float32(hop)})
+	}
+}
+
+func (p *bkhsProgram) collect(w *Worker) []ResultEntry {
+	var out []ResultEntry
+	for i, s := range p.sources {
+		for _, v := range w.owned {
+			if h := p.hops[i][v]; h != rpcUnreached && v != s {
+				out = append(out, ResultEntry{Src: s, V: v, Val: float32(h)})
+			}
+		}
+	}
+	return out
+}
+
+// bpprProgram runs Batch Personalized PageRank over the RPC cluster: the
+// distributed counterpart of tasks.BPPRJob's Monte-Carlo implementation
+// (§3, Pregel (BPPR)). Messages carry counted walk bundles in Val.
+type bpprProgram struct {
+	walks   int32
+	alpha   float64
+	rng     *randx.RNG
+	scratch []int64
+	// endpoints[(src,stop)] counts walks from src that stopped at stop (a
+	// vertex owned by this worker).
+	endpoints map[uint64]int64
+}
+
+func newBPPRProgram(w *Worker, spec JobSpec) *bpprProgram {
+	p := &bpprProgram{
+		walks:     spec.Walks,
+		alpha:     float64(spec.Alpha),
+		rng:       randx.New(spec.Seed ^ (uint64(w.id+1) * 0x9e3779b97f4a7c15)),
+		endpoints: make(map[uint64]int64),
+	}
+	if p.walks == 0 {
+		p.walks = 16
+	}
+	if p.alpha == 0 {
+		p.alpha = 0.15
+	}
+	return p
+}
+
+func (p *bpprProgram) seed(w *Worker) {
+	for _, v := range w.owned {
+		p.step(w, v, v, int64(p.walks))
+	}
+}
+
+func (p *bpprProgram) compute(w *Worker, v graph.VertexID, msgs []Message) {
+	for _, m := range msgs {
+		p.step(w, v, m.Src, int64(m.Val))
+	}
+}
+
+func (p *bpprProgram) step(w *Worker, v, src graph.VertexID, count int64) {
+	ns := w.g.Neighbors(v)
+	stops := p.rng.Binomial(count, p.alpha)
+	if len(ns) == 0 {
+		stops = count
+	}
+	if stops > 0 {
+		p.endpoints[uint64(src)<<32|uint64(v)] += stops
+	}
+	rest := count - stops
+	if rest <= 0 {
+		return
+	}
+	if rest*4 <= int64(len(ns)) {
+		for i := int64(0); i < rest; i++ {
+			w.send(Message{Dst: ns[p.rng.Intn(len(ns))], Src: src, Val: 1})
+		}
+		return
+	}
+	if cap(p.scratch) < len(ns) {
+		p.scratch = make([]int64, len(ns))
+	}
+	buckets := p.scratch[:len(ns)]
+	p.rng.Multinomial(rest, buckets)
+	for i, c := range buckets {
+		if c > 0 {
+			w.send(Message{Dst: ns[i], Src: src, Val: float32(c)})
+		}
+	}
+}
+
+func (p *bpprProgram) collect(w *Worker) []ResultEntry {
+	out := make([]ResultEntry, 0, len(p.endpoints))
+	for key, c := range p.endpoints {
+		out = append(out, ResultEntry{
+			Src: graph.VertexID(key >> 32),
+			V:   graph.VertexID(uint32(key)),
+			Val: float32(c),
+		})
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package rpcrt
+
+import (
+	"math"
+	"testing"
+
+	"vcmt/internal/graph"
+	"vcmt/internal/ref"
+)
+
+func startTestCluster(t *testing.T, g *graph.Graph, k int) *Cluster {
+	t.Helper()
+	c, err := StartCluster(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestClusterStartsAndPings(t *testing.T) {
+	g := graph.GenerateRing(20)
+	c := startTestCluster(t, g, 3)
+	if c.Workers() != 3 {
+		t.Fatalf("workers=%d", c.Workers())
+	}
+}
+
+func TestStartClusterRejectsZeroWorkers(t *testing.T) {
+	if _, err := StartCluster(graph.GenerateRing(4), 0); err == nil {
+		t.Fatal("want error for 0 workers")
+	}
+}
+
+func TestMSSPOverRPCMatchesBFS(t *testing.T) {
+	g := graph.GenerateChungLu(150, 600, 2.5, 3)
+	c := startTestCluster(t, g, 4)
+	sources := []graph.VertexID{0, 7, 42}
+	dist, err := c.RunMSSP(sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sources {
+		exact := ref.BFS(g, s)
+		for v := 0; v < g.NumVertices(); v++ {
+			if exact[v] == -1 {
+				if !math.IsInf(dist[i][v], 1) {
+					t.Fatalf("src %d v %d: want Inf got %v", s, v, dist[i][v])
+				}
+				continue
+			}
+			if dist[i][v] != float64(exact[v]) {
+				t.Fatalf("src %d v %d: got %v want %d", s, v, dist[i][v], exact[v])
+			}
+		}
+	}
+	if c.Rounds() < 2 {
+		t.Fatalf("rounds=%d, expected multi-round BSP", c.Rounds())
+	}
+	if c.MessagesSent() <= 0 {
+		t.Fatal("no messages counted")
+	}
+}
+
+func TestMSSPOverRPCWeighted(t *testing.T) {
+	g := graph.WithUniformWeights(graph.GenerateChungLu(80, 320, 2.5, 9), 1, 3, 5)
+	c := startTestCluster(t, g, 3)
+	sources := []graph.VertexID{2, 40}
+	dist, err := c.RunMSSP(sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sources {
+		exact := ref.Dijkstra(g, s)
+		for v := 0; v < g.NumVertices(); v++ {
+			if math.IsInf(exact[v], 1) {
+				if !math.IsInf(dist[i][v], 1) {
+					t.Fatalf("src %d v %d: want Inf", s, v)
+				}
+				continue
+			}
+			if math.Abs(dist[i][v]-exact[v]) > 1e-4 {
+				t.Fatalf("src %d v %d: got %v want %v", s, v, dist[i][v], exact[v])
+			}
+		}
+	}
+}
+
+func TestBKHSOverRPCMatchesOracle(t *testing.T) {
+	g := graph.GenerateChungLu(120, 480, 2.4, 11)
+	c := startTestCluster(t, g, 4)
+	sources := []graph.VertexID{1, 30, 99}
+	counts, err := c.RunBKHS(sources, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sources {
+		want := int64(len(ref.KHop(g, s, 2)))
+		if counts[i] != want {
+			t.Fatalf("src %d: got %d want %d", s, counts[i], want)
+		}
+	}
+}
+
+func TestBKHSOverRPCRoundCount(t *testing.T) {
+	g := graph.GenerateChungLu(200, 800, 2.5, 13)
+	c := startTestCluster(t, g, 2)
+	if _, err := c.RunBKHS([]graph.VertexID{0, 1}, 3); err != nil {
+		t.Fatal(err)
+	}
+	// k+1 supersteps carry messages; one more empty round detects the end.
+	if c.Rounds() < 4 || c.Rounds() > 5 {
+		t.Fatalf("rounds=%d want 4..5 for k=3", c.Rounds())
+	}
+}
+
+func TestSequentialJobsOnOneCluster(t *testing.T) {
+	g := graph.GenerateChungLu(100, 400, 2.5, 17)
+	c := startTestCluster(t, g, 3)
+	// Run MSSP, then BKHS, then MSSP again: job state must fully reset.
+	d1, err := c.RunMSSP([]graph.VertexID{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunBKHS([]graph.VertexID{9}, 2); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := c.RunMSSP([]graph.VertexID{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range d1[0] {
+		if d1[0][v] != d2[0][v] && !(math.IsInf(d1[0][v], 1) && math.IsInf(d2[0][v], 1)) {
+			t.Fatalf("re-run diverged at %d: %v vs %v", v, d1[0][v], d2[0][v])
+		}
+	}
+}
+
+func TestUnknownProgramRejected(t *testing.T) {
+	g := graph.GenerateRing(10)
+	c := startTestCluster(t, g, 2)
+	if err := c.runJob(JobSpec{Program: "nope"}); err == nil {
+		t.Fatal("want error for unknown program")
+	}
+}
+
+func TestSingleWorkerCluster(t *testing.T) {
+	g := graph.GenerateChungLu(60, 240, 2.5, 19)
+	c := startTestCluster(t, g, 1)
+	dist, err := c.RunMSSP([]graph.VertexID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := ref.BFS(g, 0)
+	for v := 0; v < 60; v++ {
+		if exact[v] >= 0 && dist[0][v] != float64(exact[v]) {
+			t.Fatalf("v %d: %v want %d", v, dist[0][v], exact[v])
+		}
+	}
+}
+
+func TestOwnerPartitionsEverything(t *testing.T) {
+	for _, k := range []int{1, 2, 7, 16} {
+		counts := make([]int, k)
+		for v := 0; v < 10000; v++ {
+			o := owner(graph.VertexID(v), k)
+			if o < 0 || o >= k {
+				t.Fatalf("owner out of range: %d", o)
+			}
+			counts[o]++
+		}
+		for m, c := range counts {
+			if c == 0 {
+				t.Fatalf("k=%d: machine %d owns nothing", k, m)
+			}
+		}
+	}
+}
+
+func TestBPPROverRPCMatchesOracle(t *testing.T) {
+	g := graph.GenerateChungLu(40, 160, 2.5, 7)
+	c := startTestCluster(t, g, 3)
+	const walks, alpha = 3000, 0.2
+	ppr, err := c.RunBPPR(walks, alpha, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []graph.VertexID{0, 17} {
+		exact := ref.PPR(g, src, alpha, 300)
+		for v := 0; v < g.NumVertices(); v++ {
+			est := ppr[[2]graph.VertexID{src, graph.VertexID(v)}]
+			if diff := est - exact[v]; diff > 0.025 || diff < -0.025 {
+				t.Fatalf("PPR(%d,%d): est %.4f exact %.4f", src, v, est, exact[v])
+			}
+		}
+	}
+}
+
+func TestBPPROverRPCMassConservation(t *testing.T) {
+	g := graph.GenerateChungLu(60, 240, 2.4, 9)
+	c := startTestCluster(t, g, 4)
+	const walks = 200
+	ppr, err := c.RunBPPR(walks, 0.15, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mass := make(map[graph.VertexID]float64)
+	for key, p := range ppr {
+		mass[key[0]] += p
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if m := mass[graph.VertexID(v)]; m < 0.999 || m > 1.001 {
+			t.Fatalf("source %d: normalized mass %v want 1", v, m)
+		}
+	}
+}

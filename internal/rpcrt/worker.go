@@ -1,0 +1,228 @@
+// Package rpcrt is a real distributed vertex-centric runtime: worker
+// processes (goroutines in-process, but fully isolated behind net/rpc over
+// TCP loopback with gob serialization) each own a hash partition of the
+// vertices; a master drives BSP supersteps — compute, worker-to-worker
+// message exchange, barrier, advance — exactly the execution model of
+// Pregel/Pregel+ (§2.1). It complements the simulated cluster: the
+// simulator measures and prices paper-scale runs, while rpcrt demonstrates
+// the same programming contract end-to-end with real sockets, real
+// serialization and real barriers.
+package rpcrt
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"vcmt/internal/graph"
+)
+
+// Message is the wire message: a (source, value) pair addressed to a
+// vertex, sufficient for the paper's benchmark tasks (distances, hop
+// counts, walk counts).
+type Message struct {
+	Dst graph.VertexID
+	Src graph.VertexID
+	Val float32
+}
+
+// JobSpec selects and parameterizes a program on the workers.
+type JobSpec struct {
+	// Program is a registered program name ("mssp", "bkhs" or "bppr").
+	Program string
+	// Sources is the task's source set (mssp/bkhs; bppr walks start at
+	// every vertex).
+	Sources []graph.VertexID
+	// K is the hop radius for bkhs.
+	K int32
+	// Walks is the per-vertex walk count for bppr.
+	Walks int32
+	// Alpha is the walk stop probability for bppr (default 0.15).
+	Alpha float32
+	// Seed drives worker-local randomness.
+	Seed uint64
+}
+
+// ResultEntry is one unit of program output returned by Collect.
+type ResultEntry struct {
+	Src graph.VertexID
+	V   graph.VertexID
+	Val float32
+}
+
+// workerProgram is the vertex program contract on the worker side.
+type workerProgram interface {
+	seed(w *Worker)
+	compute(w *Worker, v graph.VertexID, msgs []Message)
+	collect(w *Worker) []ResultEntry
+}
+
+// Worker is the RPC service owning one partition.
+type Worker struct {
+	id    int
+	nPeer int
+	g     *graph.Graph
+	owned []graph.VertexID
+
+	mu      sync.Mutex
+	cur     [][]Message // per local vertex index in inboxIdx
+	pending map[graph.VertexID][]Message
+	outbox  [][]Message // per peer
+	prog    workerProgram
+	sent    int64
+
+	peers    []*rpc.Client
+	listener net.Listener
+	server   *rpc.Server
+}
+
+func owner(v graph.VertexID, k int) int {
+	h := uint64(v) * 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	return int(h % uint64(k))
+}
+
+// newWorker builds the service for worker id of k.
+func newWorker(id, k int, g *graph.Graph) *Worker {
+	w := &Worker{
+		id: id, nPeer: k, g: g,
+		pending: make(map[graph.VertexID][]Message),
+		outbox:  make([][]Message, k),
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if owner(graph.VertexID(v), k) == id {
+			w.owned = append(w.owned, graph.VertexID(v))
+		}
+	}
+	return w
+}
+
+// send routes a message: local destinations go straight to the pending
+// inbox; remote ones are buffered for the owning peer.
+func (w *Worker) send(m Message) {
+	w.sent++
+	o := owner(m.Dst, w.nPeer)
+	if o == w.id {
+		w.mu.Lock()
+		w.pending[m.Dst] = append(w.pending[m.Dst], m)
+		w.mu.Unlock()
+		return
+	}
+	w.outbox[o] = append(w.outbox[o], m)
+}
+
+// StartJobArgs configures a job on a worker.
+type StartJobArgs struct {
+	Spec JobSpec
+}
+
+// StartJob installs the program and clears per-job state. Seeding happens
+// in a separate Seed phase so that no worker can deliver messages into a
+// peer that has not reset yet.
+func (w *Worker) StartJob(args StartJobArgs, _ *struct{}) error {
+	w.mu.Lock()
+	w.pending = make(map[graph.VertexID][]Message)
+	w.mu.Unlock()
+	w.cur = nil
+	w.sent = 0
+	switch args.Spec.Program {
+	case "mssp":
+		w.prog = newMSSPProgram(w, args.Spec)
+	case "bkhs":
+		w.prog = newBKHSProgram(w, args.Spec)
+	case "bppr":
+		w.prog = newBPPRProgram(w, args.Spec)
+	default:
+		return fmt.Errorf("rpcrt: unknown program %q", args.Spec.Program)
+	}
+	return nil
+}
+
+// Seed runs the program's seed phase (superstep 1) and exchanges the
+// initial messages; it replies with the number of messages sent.
+func (w *Worker) Seed(_ struct{}, reply *int64) error {
+	if w.prog == nil {
+		return fmt.Errorf("rpcrt: no job started on worker %d", w.id)
+	}
+	w.sent = 0
+	w.prog.seed(w)
+	if err := w.flushOutboxes(); err != nil {
+		return err
+	}
+	*reply = w.sent
+	return nil
+}
+
+// Advance moves pending messages into the current inbox (the barrier's
+// superstep boundary). Must only be called when no peer is mid-exchange.
+func (w *Worker) Advance(_ struct{}, _ *struct{}) error {
+	w.mu.Lock()
+	pending := w.pending
+	w.pending = make(map[graph.VertexID][]Message)
+	w.mu.Unlock()
+	w.cur = w.cur[:0]
+	for _, msgs := range pending {
+		w.cur = append(w.cur, msgs)
+	}
+	return nil
+}
+
+// ComputeRound runs the vertex program over every vertex with messages and
+// exchanges the generated messages with peers. It replies with the number
+// of messages this worker sent.
+func (w *Worker) ComputeRound(_ struct{}, reply *int64) error {
+	if w.prog == nil {
+		return fmt.Errorf("rpcrt: no job started on worker %d", w.id)
+	}
+	w.sent = 0
+	for _, msgs := range w.cur {
+		if len(msgs) == 0 {
+			continue
+		}
+		w.prog.compute(w, msgs[0].Dst, msgs)
+	}
+	if err := w.flushOutboxes(); err != nil {
+		return err
+	}
+	*reply = w.sent
+	return nil
+}
+
+func (w *Worker) flushOutboxes() error {
+	for p, box := range w.outbox {
+		if len(box) == 0 {
+			continue
+		}
+		if err := w.peers[p].Call("Worker.Deliver", box, &struct{}{}); err != nil {
+			return fmt.Errorf("rpcrt: worker %d -> %d deliver: %w", w.id, p, err)
+		}
+		w.outbox[p] = w.outbox[p][:0]
+	}
+	return nil
+}
+
+// Deliver receives a message batch from a peer into the pending inbox.
+func (w *Worker) Deliver(batch []Message, _ *struct{}) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, m := range batch {
+		w.pending[m.Dst] = append(w.pending[m.Dst], m)
+	}
+	return nil
+}
+
+// Collect returns the program's output entries for this worker's vertices.
+func (w *Worker) Collect(_ struct{}, reply *[]ResultEntry) error {
+	if w.prog == nil {
+		return fmt.Errorf("rpcrt: no job on worker %d", w.id)
+	}
+	*reply = w.prog.collect(w)
+	return nil
+}
+
+// Ping lets the master verify liveness.
+func (w *Worker) Ping(_ struct{}, reply *int) error {
+	*reply = w.id
+	return nil
+}

@@ -1,0 +1,180 @@
+package sim
+
+// JobConfig configures cost accounting for one multi-processing job.
+type JobConfig struct {
+	Cluster ClusterProfile
+	System  SystemProfile
+	Task    TaskMemModel
+
+	// StatScale extrapolates measured message/state counts to paper scale:
+	// (paper graph size / replica size) × (paper workload / replica
+	// workload). Message volume in all three benchmark tasks is linear in
+	// both (walks per node for BPPR, source count for MSSP/BKHS).
+	StatScale float64
+	// NodeScale extrapolates per-vertex quantities (active-vertex compute)
+	// which scale only with the graph, not the workload.
+	NodeScale float64
+	// GraphBytesPerMachine is the paper-scale static graph footprint per
+	// machine before the system's GraphMemFactor (full graph size / K for
+	// the default partitioning; the full size in whole-graph access mode).
+	GraphBytesPerMachine float64
+	// CutoffSeconds marks the overload threshold (defaults to 6000 s).
+	CutoffSeconds float64
+}
+
+// Run accumulates per-round statistics for one job and prices them with the
+// cost model. Engines call ObserveRound after every superstep; the batch
+// runner calls AddResidual between batches; Result summarizes.
+type Run struct {
+	cfg            JobConfig
+	seconds        float64
+	rounds         int
+	batches        int
+	totalLogical   float64
+	maxRoundMsgs   float64
+	peakMem        float64
+	maxMemRatio    float64
+	netSec         float64
+	netOveruse     float64
+	diskSec        float64
+	maxDiskUtil    float64
+	ioOveruse      float64
+	maxQueue       float64
+	wireBytes      float64
+	overflow       bool
+	residualByMach []int64
+	residualTotal  int64
+	trace          *Trace
+}
+
+// NewRun starts cost accounting for one job.
+func NewRun(cfg JobConfig) *Run {
+	if cfg.CutoffSeconds == 0 {
+		cfg.CutoffSeconds = DefaultCutoffSeconds
+	}
+	if cfg.StatScale == 0 {
+		cfg.StatScale = 1
+	}
+	if cfg.NodeScale == 0 {
+		cfg.NodeScale = 1
+	}
+	return &Run{cfg: cfg, residualByMach: make([]int64, cfg.Cluster.Machines)}
+}
+
+// Config returns the job configuration.
+func (r *Run) Config() JobConfig { return r.cfg }
+
+func (r *Run) residualBytes(machine int) float64 {
+	if machine < len(r.residualByMach) {
+		return float64(r.residualByMach[machine]) * r.cfg.StatScale * r.cfg.Task.ResidualBytesPerEntry
+	}
+	return 0
+}
+
+// AddResidual records that `entries` residual state entries (replica scale)
+// now live on each machine after a finished batch; they are charged against
+// memory in every subsequent round (§4.5's residual memory).
+func (r *Run) AddResidual(perMachine []int64) {
+	for m, e := range perMachine {
+		if m < len(r.residualByMach) {
+			r.residualByMach[m] += e
+		}
+	}
+	for _, e := range perMachine {
+		r.residualTotal += e
+	}
+}
+
+// ResidualEntries returns the total residual entries recorded so far
+// (replica scale).
+func (r *Run) ResidualEntries() int64 { return r.residualTotal }
+
+// BeginBatch marks the start of a batch (used for the Batches count).
+func (r *Run) BeginBatch() { r.batches++ }
+
+// ObserveRound prices one superstep and accumulates it.
+func (r *Run) ObserveRound(rs RoundStats) RoundResult {
+	res := r.roundCost(rs)
+	r.seconds += res.Seconds
+	r.rounds++
+	r.traceRound(rs, res)
+	logical := float64(rs.TotalSentLogical()) * r.cfg.StatScale
+	r.totalLogical += logical
+	if logical > r.maxRoundMsgs {
+		r.maxRoundMsgs = logical
+	}
+	if res.PeakMemBytes > r.peakMem {
+		r.peakMem = res.PeakMemBytes
+	}
+	if res.MemRatio > r.maxMemRatio {
+		r.maxMemRatio = res.MemRatio
+	}
+	r.netSec += res.NetSeconds
+	r.netOveruse += res.NetOveruseSec
+	r.diskSec += res.DiskSeconds
+	if res.DiskUtil > r.maxDiskUtil {
+		r.maxDiskUtil = res.DiskUtil
+	}
+	r.ioOveruse += res.IOOveruseSec
+	if res.IOQueueLen > r.maxQueue {
+		r.maxQueue = res.IOQueueLen
+	}
+	r.wireBytes += res.WireBytes
+	if res.Overflow {
+		r.overflow = true
+	}
+	return res
+}
+
+// AddSeconds charges extra simulated time outside the superstep loop, e.g.
+// the final aggregation phase of whole-graph access mode (Fig. 10).
+func (r *Run) AddSeconds(s float64) { r.seconds += s }
+
+// Seconds returns the simulated time accumulated so far.
+func (r *Run) Seconds() float64 { return r.seconds }
+
+// Overloaded reports whether the job has blown the cutoff; engines may
+// consult it to stop early, as the paper's 6000 s cutoff does.
+func (r *Run) Overloaded() bool {
+	return r.seconds > r.cfg.CutoffSeconds || r.overflow
+}
+
+// Result summarizes the job.
+func (r *Run) Result() JobResult {
+	res := JobResult{
+		Seconds:          r.seconds,
+		Rounds:           r.rounds,
+		Batches:          r.batches,
+		Overload:         r.seconds > r.cfg.CutoffSeconds,
+		Overflow:         r.overflow,
+		TotalLogicalMsgs: r.totalLogical,
+		MaxMsgsPerRound:  r.maxRoundMsgs,
+		PeakMemBytes:     r.peakMem,
+		MaxMemRatio:      r.maxMemRatio,
+		NetSeconds:       r.netSec,
+		NetOveruseSec:    r.netOveruse,
+		DiskSeconds:      r.diskSec,
+		MaxDiskUtil:      r.maxDiskUtil,
+		IOOveruseSec:     r.ioOveruse,
+		MaxIOQueueLen:    r.maxQueue,
+		WireBytesTotal:   r.wireBytes,
+	}
+	if r.rounds > 0 {
+		res.AvgMsgsPerRound = r.totalLogical / float64(r.rounds)
+		res.WireBytesPerMach = r.wireBytes / float64(r.cfg.Cluster.Machines)
+	}
+	if r.overflow {
+		res.Overload = true
+	}
+	if r.cfg.Cluster.Cloud {
+		sec := res.Seconds
+		if res.Overload && sec > r.cfg.CutoffSeconds {
+			// The paper prices overloaded runs at the cutoff and marks the
+			// credit figure as a lower bound ('>' in Fig. 7).
+			sec = r.cfg.CutoffSeconds
+			res.CreditsLowerBound = true
+		}
+		res.Credits = sec / 3600 * float64(r.cfg.Cluster.Machines) * r.cfg.Cluster.CreditsPerMachineHour
+	}
+	return res
+}

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// Trace records one row per superstep so a run's time series — message
+// volume, memory pressure, disk utilization — can be exported and plotted
+// (the raw material behind the paper's figures). Attach with Run.SetTrace.
+type Trace struct {
+	Rows []TraceRow
+}
+
+// TraceRow is one superstep's priced statistics at paper scale.
+type TraceRow struct {
+	Round        int
+	Batch        int
+	Seconds      float64
+	LogicalMsgs  float64
+	PeakMemBytes float64
+	MemRatio     float64
+	ThrashFactor float64
+	NetSeconds   float64
+	DiskSeconds  float64
+	DiskUtil     float64
+	WireBytes    float64
+}
+
+// SetTrace attaches a trace that ObserveRound appends to.
+func (r *Run) SetTrace(t *Trace) { r.trace = t }
+
+func (r *Run) traceRound(rs RoundStats, res RoundResult) {
+	if r.trace == nil {
+		return
+	}
+	r.trace.Rows = append(r.trace.Rows, TraceRow{
+		Round:        r.rounds,
+		Batch:        r.batches,
+		Seconds:      res.Seconds,
+		LogicalMsgs:  float64(rs.TotalSentLogical()) * r.cfg.StatScale,
+		PeakMemBytes: res.PeakMemBytes,
+		MemRatio:     res.MemRatio,
+		ThrashFactor: res.ThrashFactor,
+		NetSeconds:   res.NetSeconds,
+		DiskSeconds:  res.DiskSeconds,
+		DiskUtil:     res.DiskUtil,
+		WireBytes:    res.WireBytes,
+	})
+}
+
+// WriteCSV emits the trace with a header row.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"round", "batch", "seconds", "logical_msgs", "peak_mem_bytes",
+		"mem_ratio", "thrash_factor", "net_seconds", "disk_seconds",
+		"disk_util", "wire_bytes",
+	}); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		rec := []string{
+			fmt.Sprintf("%d", r.Round),
+			fmt.Sprintf("%d", r.Batch),
+			fmt.Sprintf("%.6f", r.Seconds),
+			fmt.Sprintf("%.0f", r.LogicalMsgs),
+			fmt.Sprintf("%.0f", r.PeakMemBytes),
+			fmt.Sprintf("%.4f", r.MemRatio),
+			fmt.Sprintf("%.4f", r.ThrashFactor),
+			fmt.Sprintf("%.6f", r.NetSeconds),
+			fmt.Sprintf("%.6f", r.DiskSeconds),
+			fmt.Sprintf("%.4f", r.DiskUtil),
+			fmt.Sprintf("%.0f", r.WireBytes),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,225 @@
+package tasks
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"vcmt/internal/engine"
+	"vcmt/internal/gas"
+	"vcmt/internal/graph"
+	"vcmt/internal/sim"
+	"vcmt/internal/vcapi"
+)
+
+// HopMsg announces that the receiving vertex is reachable from Src within
+// Hop hops (§3, Pregel (BKHS)).
+type HopMsg struct {
+	Src graph.VertexID
+	Hop int32
+}
+
+// BKHSConfig configures a Batch k-Hop Search job.
+type BKHSConfig struct {
+	// Sources is the full source set S; the workload unit is one source.
+	Sources []graph.VertexID
+	// K is the hop radius (the paper's motivating applications search
+	// two-hop ego networks; default 2).
+	K      int
+	Mirror bool
+	// Async runs batches on the asynchronous GAS executor; the program
+	// relaxes minimum hop counts monotonically, so asynchronous delivery
+	// preserves the k-hop sets.
+	Async              bool
+	Seed               uint64
+	MaxRounds          int
+	StopWhenOverloaded bool
+}
+
+// BKHSJob computes, for every source s in S, the set of vertices within K
+// hops of s. Per the paper, each batch terminates after exactly k+1
+// communication rounds (§3).
+type BKHSJob struct {
+	g    *graph.Graph
+	part *graph.Partition
+	cfg  BKHSConfig
+
+	// reached[i] counts vertices within K hops of Sources[i] (excluding
+	// the source itself).
+	reached []int64
+	done    int
+}
+
+// NewBKHS constructs a BKHS job.
+func NewBKHS(g *graph.Graph, part *graph.Partition, cfg BKHSConfig) *BKHSJob {
+	if cfg.K == 0 {
+		cfg.K = 2
+	}
+	return &BKHSJob{
+		g: g, part: part, cfg: cfg,
+		reached: make([]int64, len(cfg.Sources)),
+	}
+}
+
+// Name implements Job.
+func (j *BKHSJob) Name() string { return "BKHS" }
+
+// TotalWorkload implements Job: the number of sources.
+func (j *BKHSJob) TotalWorkload() int { return len(j.cfg.Sources) }
+
+// MemModel implements Job: a visited (source, vertex) pair costs ~8 bytes.
+func (j *BKHSJob) MemModel() sim.TaskMemModel {
+	return sim.TaskMemModel{StateBytesPerEntry: 8, ResidualBytesPerEntry: 8}
+}
+
+// Reached returns the number of vertices within K hops of Sources[i]
+// (excluding the source), or -1 if not yet computed.
+func (j *BKHSJob) Reached(i int) int64 {
+	if i >= j.done {
+		return -1
+	}
+	return j.reached[i]
+}
+
+// SourcesDone returns how many sources have completed.
+func (j *BKHSJob) SourcesDone() int { return j.done }
+
+// RunBatch implements Job: processes the next `workload` sources.
+func (j *BKHSJob) RunBatch(run *sim.Run, workload int, batchIdx int) ([]int64, error) {
+	k := j.part.NumMachines()
+	if workload <= 0 || j.done >= len(j.cfg.Sources) {
+		return make([]int64, k), nil
+	}
+	hi := j.done + workload
+	if hi > len(j.cfg.Sources) {
+		hi = len(j.cfg.Sources)
+	}
+	batch := j.cfg.Sources[j.done:hi]
+
+	n := j.g.NumVertices()
+	prog := &bkhsProg{
+		job:     j,
+		sources: batch,
+		srcIdx:  make(map[graph.VertexID]int, len(batch)),
+		hops:    make([][]uint8, len(batch)),
+		counts:  make([]int64, len(batch)),
+		entries: make([]int64, k),
+	}
+	for i, s := range batch {
+		prog.srcIdx[s] = i
+		prog.hops[i] = make([]uint8, n)
+		for v := range prog.hops[i] {
+			prog.hops[i][v] = unreachedHop
+		}
+	}
+	seed := j.cfg.Seed ^ uint64(batchIdx+1)*0x9e3779b97f4a7c15
+	var err error
+	if j.cfg.Async {
+		a := gas.NewAsync[HopMsg](j.g, j.part, prog, run, gas.Options[HopMsg]{
+			Seed:               seed,
+			StopWhenOverloaded: j.cfg.StopWhenOverloaded,
+		})
+		err = a.Run()
+	} else {
+		e := engine.New[HopMsg](j.g, j.part, prog, run, engine.Options[HopMsg]{
+			MaxRounds:          j.cfg.MaxRounds,
+			Seed:               seed,
+			StopWhenOverloaded: j.cfg.StopWhenOverloaded,
+		})
+		err = e.Run()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("tasks: BKHS batch %d: %w", batchIdx, err)
+	}
+	for i := range batch {
+		j.reached[j.done+i] = prog.counts[i]
+	}
+	j.done = hi
+	return prog.entries, nil
+}
+
+// unreachedHop marks a vertex not yet reached for a source; hop radii in
+// the paper's BKHS applications are tiny (ego networks), so uint8 suffices.
+const unreachedHop = ^uint8(0)
+
+// bkhsProg is the per-batch vertex program: a k-bounded multi-source BFS
+// that relaxes minimum hop counts, so it is correct under both synchronous
+// rounds and asynchronous delivery.
+type bkhsProg struct {
+	job     *BKHSJob
+	sources []graph.VertexID
+	srcIdx  map[graph.VertexID]int
+	hops    [][]uint8
+	counts  []int64
+	entries []int64
+}
+
+// visit records that v is reachable from batch source i within h hops; it
+// returns true when h improves the best known hop count.
+func (p *bkhsProg) visit(i int, v graph.VertexID, h uint8) bool {
+	if p.hops[i][v] <= h {
+		return false
+	}
+	p.hops[i][v] = h
+	return true
+}
+
+func (p *bkhsProg) Seed(ctx vcapi.Context[HopMsg]) {
+	for _, s := range ctx.OwnedVertices() {
+		i, ok := p.srcIdx[s]
+		if !ok {
+			continue
+		}
+		p.visit(i, s, 0)
+		p.entries[ctx.Machine()]++
+		p.forward(ctx, s, s, 1)
+	}
+}
+
+func (p *bkhsProg) Compute(ctx vcapi.Context[HopMsg], v graph.VertexID, msgs []HopMsg) {
+	for _, m := range msgs {
+		i := p.srcIdx[m.Src]
+		first := p.hops[i][v] == unreachedHop
+		if !p.visit(i, v, uint8(m.Hop)) {
+			continue
+		}
+		if first {
+			p.counts[i]++
+			p.entries[ctx.Machine()]++
+		}
+		if int(m.Hop) < p.job.cfg.K {
+			p.forward(ctx, v, m.Src, m.Hop+1)
+		}
+	}
+}
+
+func (p *bkhsProg) forward(ctx vcapi.Context[HopMsg], v, src graph.VertexID, hop int32) {
+	if p.job.cfg.Mirror {
+		ctx.Broadcast(v, HopMsg{Src: src, Hop: hop})
+		return
+	}
+	for _, u := range ctx.Graph().Neighbors(v) {
+		ctx.Send(u, HopMsg{Src: src, Hop: hop})
+	}
+}
+
+// StateEntries implements engine.StateReporter.
+func (p *bkhsProg) StateEntries(machine int) int64 { return p.entries[machine] }
+
+// HopMsgCodec serializes HopMsg for out-of-core spilling.
+type HopMsgCodec struct{}
+
+// Encode implements engine.Codec.
+func (HopMsgCodec) Encode(buf []byte, m HopMsg) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint32(b[:4], m.Src)
+	binary.LittleEndian.PutUint32(b[4:], uint32(m.Hop))
+	return append(buf, b[:]...)
+}
+
+// Decode implements engine.Codec.
+func (HopMsgCodec) Decode(data []byte) (HopMsg, int) {
+	return HopMsg{
+		Src: binary.LittleEndian.Uint32(data[:4]),
+		Hop: int32(binary.LittleEndian.Uint32(data[4:8])),
+	}, 8
+}

@@ -1,0 +1,407 @@
+package tasks
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"vcmt/internal/engine"
+	"vcmt/internal/gas"
+	"vcmt/internal/graph"
+	"vcmt/internal/sim"
+	"vcmt/internal/vcapi"
+)
+
+// WalkMsg is the BPPR message of the Pregel-based implementation (§3):
+// Count walks originating at Src take one step to the destination vertex.
+// Sending counted messages instead of one message per walk matches the
+// combining GraphLab's sync engine performs (§4.8); the engine's logical
+// weight function restores per-walk accounting for the systems that send
+// one message per walk.
+type WalkMsg struct {
+	Src   graph.VertexID
+	Count int32
+}
+
+// MassMsg is the BPPR message of the mirror-mechanism-based implementation
+// (§3): a common message broadcast to every neighbor, carrying the
+// fractional number of walks from Src that each receiving neighbor gets
+// (the "generalized random walk" / forward-push formulation).
+type MassMsg struct {
+	Src  graph.VertexID
+	Mass float32
+}
+
+// BPPRConfig configures a Batch Personalized PageRank job.
+type BPPRConfig struct {
+	// Alpha is the walk stop probability (default 0.15).
+	Alpha float64
+	// WalksPerNode is the workload W: every vertex starts W α-decay walks.
+	WalksPerNode int
+	// Sources restricts the walk origins to a subset of vertices: the
+	// paper's alternative workload setting (§4.9), where the unit task is
+	// a PPR query and a batch contains a subset of source nodes. When set,
+	// the workload unit becomes one source (each source runs WalksPerNode
+	// walks, default 1024), and batches split the source set.
+	Sources []graph.VertexID
+	// Mirror selects the broadcast-interface implementation (fractional
+	// push); required for Pregel+(mirror) runs.
+	Mirror bool
+	// PruneThreshold stops propagating fractional walk mass below this
+	// many walks (mirror variant only; default 0.25). Truncated mass is
+	// attributed to the vertex where it was parked, so per-source mass is
+	// conserved exactly.
+	PruneThreshold float64
+	// Async runs batches on the asynchronous GAS executor (GraphLab(async),
+	// §4.8) instead of the synchronous BSP engine. Incompatible with
+	// Mirror (the GraphLab family has no mirroring).
+	Async bool
+	// Seed drives the per-machine deterministic RNG streams.
+	Seed uint64
+	// MaxRounds bounds each batch's supersteps (default 10000).
+	MaxRounds int
+	// StopWhenOverloaded abandons a batch past the 6000 s cutoff.
+	StopWhenOverloaded bool
+}
+
+func (c *BPPRConfig) defaults() {
+	if c.Alpha == 0 {
+		c.Alpha = 0.15
+	}
+	if c.PruneThreshold == 0 {
+		c.PruneThreshold = 0.25
+	}
+}
+
+// BPPRJob runs Batch Personalized PageRank: PPR(s) for every vertex s,
+// estimated from W α-decay random walks per vertex (§2.3). Walk endpoints
+// are the intermediate results that accumulate across batches (the
+// residual memory of §4.5 and §5).
+type BPPRJob struct {
+	g    *graph.Graph
+	part *graph.Partition
+	cfg  BPPRConfig
+
+	// endpoints[m] maps (src, stopVertex) to the (possibly fractional)
+	// number of walks from src that stopped at stopVertex, for pairs whose
+	// stopVertex lives on machine m.
+	endpoints   []map[uint64]float64
+	baseline    []int64 // entry counts at the start of the current batch
+	launched    int     // walks per node launched so far across batches
+	sourcesDone int     // sources completed (source-subset mode)
+}
+
+// NewBPPR constructs a BPPR job over the given graph partition. It panics
+// if both Mirror and Async are set: the GraphLab family has no mirroring.
+func NewBPPR(g *graph.Graph, part *graph.Partition, cfg BPPRConfig) *BPPRJob {
+	if cfg.Mirror && cfg.Async {
+		panic("tasks: BPPR cannot combine Mirror with Async")
+	}
+	if len(cfg.Sources) > 0 && cfg.WalksPerNode == 0 {
+		cfg.WalksPerNode = 1024
+	}
+	cfg.defaults()
+	j := &BPPRJob{
+		g: g, part: part, cfg: cfg,
+		endpoints: make([]map[uint64]float64, part.NumMachines()),
+		baseline:  make([]int64, part.NumMachines()),
+	}
+	for m := range j.endpoints {
+		j.endpoints[m] = make(map[uint64]float64)
+	}
+	return j
+}
+
+// Name implements Job.
+func (j *BPPRJob) Name() string { return "BPPR" }
+
+// TotalWorkload implements Job: walks per node, or the source count in
+// source-subset mode (§4.9).
+func (j *BPPRJob) TotalWorkload() int {
+	if len(j.cfg.Sources) > 0 {
+		return len(j.cfg.Sources)
+	}
+	return j.cfg.WalksPerNode
+}
+
+// MemModel implements Job: an endpoint entry is a (source, vertex, count)
+// triple (~16 bytes in the C++ systems' hash tables).
+func (j *BPPRJob) MemModel() sim.TaskMemModel {
+	return sim.TaskMemModel{StateBytesPerEntry: 16, ResidualBytesPerEntry: 16}
+}
+
+// WalksLaunched returns the per-node walks launched so far.
+func (j *BPPRJob) WalksLaunched() int { return j.launched }
+
+// Estimate returns the current PPR estimate of target with respect to src:
+// the fraction of src's walks that stopped at target. In source-subset
+// mode the denominator is WalksPerNode once src's batch has run.
+func (j *BPPRJob) Estimate(src, target graph.VertexID) float64 {
+	denom := j.launched
+	if len(j.cfg.Sources) > 0 {
+		if j.launched == 0 {
+			return 0
+		}
+		denom = j.cfg.WalksPerNode
+	}
+	if denom == 0 {
+		return 0
+	}
+	m := j.part.Owner(target)
+	return j.endpoints[m][pairKey(src, target)] / float64(denom)
+}
+
+// EndpointEntries returns the total number of (source, vertex) endpoint
+// pairs recorded so far.
+func (j *BPPRJob) EndpointEntries() int64 {
+	var t int64
+	for _, m := range j.endpoints {
+		t += int64(len(m))
+	}
+	return t
+}
+
+// EndpointMass returns the total walk mass recorded for src; exactly the
+// walks launched from src for completed batches (mass conservation).
+func (j *BPPRJob) EndpointMass(src graph.VertexID) float64 {
+	var t float64
+	for _, m := range j.endpoints {
+		for k, c := range m {
+			if uint32(k>>32) == uint32(src) {
+				t += c
+			}
+		}
+	}
+	return t
+}
+
+func (j *BPPRJob) addEndpoint(machine int, src, v graph.VertexID, mass float64) {
+	j.endpoints[machine][pairKey(src, v)] += mass
+}
+
+// MCProgram returns the Pregel-based Monte-Carlo vertex program for one
+// batch of `workload` walks per vertex, for use with custom executors or
+// instrumentation (e.g. the BPPA condition checker); endpoints accumulate
+// into the job. The caller is responsible for updating WalksLaunched
+// bookkeeping when estimates are read.
+func (j *BPPRJob) MCProgram(workload int) vcapi.Program[WalkMsg] {
+	return &bpprMC{job: j, w: workload}
+}
+
+// RunBatch implements Job. In the default mode, `workload` walks start at
+// every vertex; in source-subset mode, the next `workload` sources each
+// start WalksPerNode walks.
+func (j *BPPRJob) RunBatch(run *sim.Run, workload int, batchIdx int) ([]int64, error) {
+	if workload <= 0 {
+		return make([]int64, j.part.NumMachines()), nil
+	}
+	for m := range j.baseline {
+		j.baseline[m] = int64(len(j.endpoints[m]))
+	}
+	var batchSources map[graph.VertexID]bool
+	if len(j.cfg.Sources) > 0 {
+		hi := j.sourcesDone + workload
+		if hi > len(j.cfg.Sources) {
+			hi = len(j.cfg.Sources)
+		}
+		batchSources = make(map[graph.VertexID]bool, hi-j.sourcesDone)
+		for _, s := range j.cfg.Sources[j.sourcesDone:hi] {
+			batchSources[s] = true
+		}
+		j.sourcesDone = hi
+	}
+	opts := engine.Options[WalkMsg]{
+		Weight:             func(m WalkMsg) int64 { return int64(m.Count) },
+		MaxRounds:          j.cfg.MaxRounds,
+		Seed:               j.cfg.Seed ^ uint64(batchIdx+1)*0x9e3779b97f4a7c15,
+		StopWhenOverloaded: j.cfg.StopWhenOverloaded,
+	}
+	var err error
+	perNode := workload
+	if batchSources != nil {
+		perNode = j.cfg.WalksPerNode
+	}
+	switch {
+	case j.cfg.Async:
+		prog := &bpprMC{job: j, w: perNode, sources: batchSources}
+		a := gas.NewAsync[WalkMsg](j.g, j.part, prog, run, gas.Options[WalkMsg]{
+			Weight:             opts.Weight,
+			Seed:               opts.Seed,
+			StopWhenOverloaded: opts.StopWhenOverloaded,
+		})
+		err = a.Run()
+	case j.cfg.Mirror:
+		prog := &bpprPush{job: j, w: perNode, sources: batchSources}
+		e := engine.New[MassMsg](j.g, j.part, prog, run, engine.Options[MassMsg]{
+			MaxRounds:          opts.MaxRounds,
+			Seed:               opts.Seed,
+			StopWhenOverloaded: opts.StopWhenOverloaded,
+		})
+		err = e.Run()
+	default:
+		prog := &bpprMC{job: j, w: perNode, sources: batchSources}
+		e := engine.New[WalkMsg](j.g, j.part, prog, run, opts)
+		err = e.Run()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("tasks: BPPR batch %d: %w", batchIdx, err)
+	}
+	if batchSources != nil {
+		j.launched = j.cfg.WalksPerNode
+	} else {
+		j.launched += workload
+	}
+	resid := make([]int64, j.part.NumMachines())
+	for m := range resid {
+		resid[m] = int64(len(j.endpoints[m])) - j.baseline[m]
+	}
+	return resid, nil
+}
+
+// bpprMC is the Pregel-based Monte-Carlo program: each message moves a
+// counted bundle of walks one step (§3, Pregel (BPPR)).
+type bpprMC struct {
+	job     *BPPRJob
+	w       int
+	sources map[graph.VertexID]bool // nil: every vertex is a source
+	scratch []int64
+}
+
+func (p *bpprMC) Seed(ctx vcapi.Context[WalkMsg]) {
+	for _, v := range ctx.OwnedVertices() {
+		if p.sources != nil && !p.sources[v] {
+			continue
+		}
+		p.step(ctx, v, v, int64(p.w))
+	}
+}
+
+func (p *bpprMC) Compute(ctx vcapi.Context[WalkMsg], v graph.VertexID, msgs []WalkMsg) {
+	for _, m := range msgs {
+		p.step(ctx, v, m.Src, int64(m.Count))
+	}
+}
+
+// step stops a Binomial(count, α) portion of the walks at v and moves the
+// rest to uniformly random neighbors.
+func (p *bpprMC) step(ctx vcapi.Context[WalkMsg], v, src graph.VertexID, count int64) {
+	j := p.job
+	rng := ctx.RNG()
+	ns := ctx.Graph().Neighbors(v)
+	stops := rng.Binomial(count, j.cfg.Alpha)
+	if len(ns) == 0 {
+		stops = count
+	}
+	if stops > 0 {
+		j.addEndpoint(ctx.Machine(), src, v, float64(stops))
+	}
+	rest := count - stops
+	if rest <= 0 {
+		return
+	}
+	if rest*4 <= int64(len(ns)) {
+		// Few walks, many neighbors: route each walk individually.
+		for i := int64(0); i < rest; i++ {
+			ctx.Send(ns[rng.Intn(len(ns))], WalkMsg{Src: src, Count: 1})
+		}
+		return
+	}
+	if cap(p.scratch) < len(ns) {
+		p.scratch = make([]int64, len(ns))
+	}
+	buckets := p.scratch[:len(ns)]
+	rng.Multinomial(rest, buckets)
+	for i, c := range buckets {
+		if c > 0 {
+			ctx.Send(ns[i], WalkMsg{Src: src, Count: int32(c)})
+		}
+	}
+}
+
+// StateEntries implements engine.StateReporter: endpoint entries created by
+// the current batch.
+func (p *bpprMC) StateEntries(machine int) int64 {
+	return int64(len(p.job.endpoints[machine])) - p.job.baseline[machine]
+}
+
+// bpprPush is the mirror-mechanism-based program (§3, Pregel-Mirror
+// (BPPR)): walk mass is fractionalized over neighbors and disseminated via
+// the broadcast interface, so one common message serves all neighbors.
+type bpprPush struct {
+	job     *BPPRJob
+	w       int
+	sources map[graph.VertexID]bool // nil: every vertex is a source
+	// Per-source aggregation scratch indexed by source vertex id; accKeys
+	// preserves insertion order so execution stays deterministic.
+	acc     []float64
+	accKeys []graph.VertexID
+}
+
+func (p *bpprPush) Seed(ctx vcapi.Context[MassMsg]) {
+	for _, v := range ctx.OwnedVertices() {
+		if p.sources != nil && !p.sources[v] {
+			continue
+		}
+		p.push(ctx, v, v, float64(p.w))
+	}
+}
+
+func (p *bpprPush) Compute(ctx vcapi.Context[MassMsg], v graph.VertexID, msgs []MassMsg) {
+	if p.acc == nil {
+		p.acc = make([]float64, ctx.Graph().NumVertices())
+	}
+	for _, m := range msgs {
+		if p.acc[m.Src] == 0 {
+			p.accKeys = append(p.accKeys, m.Src)
+		}
+		p.acc[m.Src] += float64(m.Mass)
+	}
+	for _, src := range p.accKeys {
+		p.push(ctx, v, src, p.acc[src])
+		p.acc[src] = 0
+	}
+	p.accKeys = p.accKeys[:0]
+}
+
+// push parks α·mass at v and broadcasts the remainder, fractionalized over
+// v's neighbors. Sub-threshold remainders are parked at v so that the total
+// mass per source is conserved exactly.
+func (p *bpprPush) push(ctx vcapi.Context[MassMsg], v, src graph.VertexID, mass float64) {
+	j := p.job
+	ns := ctx.Graph().Neighbors(v)
+	stop := j.cfg.Alpha * mass
+	rest := mass - stop
+	if len(ns) == 0 || rest < j.cfg.PruneThreshold {
+		stop = mass
+		rest = 0
+	}
+	if stop > 0 {
+		j.addEndpoint(ctx.Machine(), src, v, stop)
+	}
+	if rest > 0 {
+		ctx.Broadcast(v, MassMsg{Src: src, Mass: float32(rest / float64(len(ns)))})
+	}
+}
+
+// StateEntries implements engine.StateReporter.
+func (p *bpprPush) StateEntries(machine int) int64 {
+	return int64(len(p.job.endpoints[machine])) - p.job.baseline[machine]
+}
+
+// WalkMsgCodec serializes WalkMsg for out-of-core spilling.
+type WalkMsgCodec struct{}
+
+// Encode implements engine.Codec.
+func (WalkMsgCodec) Encode(buf []byte, m WalkMsg) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint32(b[:4], m.Src)
+	binary.LittleEndian.PutUint32(b[4:], uint32(m.Count))
+	return append(buf, b[:]...)
+}
+
+// Decode implements engine.Codec.
+func (WalkMsgCodec) Decode(data []byte) (WalkMsg, int) {
+	return WalkMsg{
+		Src:   binary.LittleEndian.Uint32(data[:4]),
+		Count: int32(binary.LittleEndian.Uint32(data[4:8])),
+	}, 8
+}

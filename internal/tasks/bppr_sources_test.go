@@ -1,0 +1,102 @@
+package tasks
+
+import (
+	"math"
+	"testing"
+
+	"vcmt/internal/graph"
+	"vcmt/internal/ref"
+	"vcmt/internal/sim"
+)
+
+// Tests for the paper's alternative workload setting (§4.9): the unit task
+// is a PPR query and a batch contains a subset of the source nodes.
+
+func TestBPPRSourceSubsetMatchesOracle(t *testing.T) {
+	g := graph.GenerateChungLu(30, 120, 2.5, 5)
+	part := graph.HashPartition(30, 4)
+	sources := []graph.VertexID{0, 7, 19}
+	job := NewBPPR(g, part, BPPRConfig{
+		Alpha: 0.2, WalksPerNode: 5000, Sources: sources, Seed: 7,
+	})
+	if job.TotalWorkload() != 3 {
+		t.Fatalf("workload=%d want 3 sources", job.TotalWorkload())
+	}
+	runJob(t, job, 4, 1)
+	for _, src := range sources {
+		exact := ref.PPR(g, src, 0.2, 300)
+		for v := 0; v < g.NumVertices(); v++ {
+			est := job.Estimate(src, graph.VertexID(v))
+			if math.Abs(est-exact[v]) > 0.02 {
+				t.Fatalf("PPR(%d,%d): est %.4f exact %.4f", src, v, est, exact[v])
+			}
+		}
+	}
+	// Non-sources launched no walks.
+	if mass := job.EndpointMass(1); mass != 0 {
+		t.Fatalf("non-source has mass %v", mass)
+	}
+}
+
+func TestBPPRSourceSubsetBatching(t *testing.T) {
+	g := graph.GenerateChungLu(50, 200, 2.5, 9)
+	part := graph.HashPartition(50, 4)
+	sources := []graph.VertexID{1, 2, 3, 4, 5, 6, 7, 8}
+	job := NewBPPR(g, part, BPPRConfig{WalksPerNode: 100, Sources: sources, Seed: 3})
+	// Two batches of four sources each.
+	runJob(t, job, 4, 2)
+	for _, s := range sources {
+		if mass := job.EndpointMass(s); math.Abs(mass-100) > 1e-9 {
+			t.Fatalf("source %d mass %v want 100", s, mass)
+		}
+	}
+}
+
+func TestBPPRSourceSubsetDefaultWalks(t *testing.T) {
+	g := graph.GenerateRing(10)
+	part := graph.HashPartition(10, 2)
+	job := NewBPPR(g, part, BPPRConfig{Sources: []graph.VertexID{0}})
+	if job.cfg.WalksPerNode != 1024 {
+		t.Fatalf("default walks %d want 1024", job.cfg.WalksPerNode)
+	}
+}
+
+func TestBPPRSourceSubsetMirror(t *testing.T) {
+	g := graph.GenerateChungLu(30, 120, 2.5, 11)
+	part := graph.HashPartition(30, 4)
+	job := NewBPPR(g, part, BPPRConfig{
+		Alpha: 0.2, WalksPerNode: 1000, Sources: []graph.VertexID{4},
+		Mirror: true, PruneThreshold: 0.01, Seed: 7,
+	})
+	cfg := testRunCfg(4)
+	cfg.System = sim.PregelPlusMirror
+	run := sim.NewRun(cfg)
+	if _, err := job.RunBatch(run, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	exact := ref.PPR(g, 4, 0.2, 300)
+	for v := 0; v < g.NumVertices(); v++ {
+		est := job.Estimate(4, graph.VertexID(v))
+		if math.Abs(est-exact[v]) > 0.01 {
+			t.Fatalf("mirror subset PPR(4,%d): est %.5f exact %.5f", v, est, exact[v])
+		}
+	}
+}
+
+func TestBPPRSourceSubsetLighterThanFull(t *testing.T) {
+	g := graph.GenerateChungLu(100, 400, 2.5, 13)
+	part := graph.HashPartition(100, 4)
+	subset := NewBPPR(g, part, BPPRConfig{WalksPerNode: 64, Sources: []graph.VertexID{0, 1}, Seed: 1})
+	full := NewBPPR(g, part, BPPRConfig{WalksPerNode: 64, Seed: 1})
+	runSubset := sim.NewRun(testRunCfg(4))
+	if _, err := subset.RunBatch(runSubset, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	runFull := sim.NewRun(testRunCfg(4))
+	if _, err := full.RunBatch(runFull, 64, 0); err != nil {
+		t.Fatal(err)
+	}
+	if runSubset.Result().TotalLogicalMsgs >= runFull.Result().TotalLogicalMsgs {
+		t.Fatal("two sources must generate far fewer walks than all vertices")
+	}
+}

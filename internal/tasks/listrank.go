@@ -1,0 +1,110 @@
+package tasks
+
+import (
+	"errors"
+	"fmt"
+
+	"vcmt/internal/engine"
+	"vcmt/internal/graph"
+	"vcmt/internal/sim"
+	"vcmt/internal/vcapi"
+)
+
+// List Ranking by pointer jumping: the second practical Pregel algorithm
+// (PPA) of Yan et al. that the paper's §2.4 cites. Given a linked list
+// encoded as succ[v] (with succ[tail] = tail), each element computes its
+// distance to the tail in O(log n) supersteps — every round, v learns its
+// successor's successor and accumulates the skipped distance.
+//
+// The implementation exchanges request/response messages and uses forced
+// activation (vertices stay active across rounds without necessarily
+// receiving messages), exercising the full Pregel programming contract.
+
+// JumpMsg is either a request for the receiver's pointer (Dist < 0) or a
+// response carrying the sender's current pointer and distance.
+type JumpMsg struct {
+	From graph.VertexID
+	Succ graph.VertexID
+	Dist int64 // -1 encodes a request
+}
+
+// ListRankConfig configures a list-ranking run.
+type ListRankConfig struct {
+	// Succ is the successor array; the tail points to itself.
+	Succ               []graph.VertexID
+	Seed               uint64
+	MaxRounds          int
+	StopWhenOverloaded bool
+}
+
+// ListRank returns each element's distance to the tail of its list.
+func ListRank(g *graph.Graph, part *graph.Partition, run *sim.Run, cfg ListRankConfig) ([]int64, error) {
+	n := g.NumVertices()
+	if len(cfg.Succ) != n {
+		return nil, errors.New("tasks: successor array must cover every vertex")
+	}
+	prog := &listRankProg{
+		succ: append([]graph.VertexID(nil), cfg.Succ...),
+		dist: make([]int64, n),
+		done: make([]bool, n),
+	}
+	for v := 0; v < n; v++ {
+		if cfg.Succ[v] == graph.VertexID(v) {
+			prog.dist[v] = 0
+			prog.done[v] = true
+		} else {
+			prog.dist[v] = 1
+		}
+	}
+	e := engine.New[JumpMsg](g, part, prog, run, engine.Options[JumpMsg]{
+		MaxRounds:          cfg.MaxRounds,
+		Seed:               cfg.Seed,
+		StopWhenOverloaded: cfg.StopWhenOverloaded,
+	})
+	if err := e.Run(); err != nil {
+		return nil, fmt.Errorf("tasks: list ranking: %w", err)
+	}
+	return prog.dist, nil
+}
+
+type listRankProg struct {
+	succ []graph.VertexID
+	dist []int64
+	done []bool // successor is the tail-fixpoint; no more jumping needed
+}
+
+func (p *listRankProg) request(ctx vcapi.Context[JumpMsg], v graph.VertexID) {
+	ctx.Send(p.succ[v], JumpMsg{From: v, Dist: -1})
+}
+
+func (p *listRankProg) Seed(ctx vcapi.Context[JumpMsg]) {
+	for _, v := range ctx.OwnedVertices() {
+		if !p.done[v] {
+			p.request(ctx, v)
+		}
+	}
+}
+
+func (p *listRankProg) Compute(ctx vcapi.Context[JumpMsg], v graph.VertexID, msgs []JumpMsg) {
+	// Answer requests first (with the state of the previous round), then
+	// apply responses and jump.
+	for _, m := range msgs {
+		if m.Dist < 0 {
+			ctx.Send(m.From, JumpMsg{From: v, Succ: p.succ[v], Dist: p.dist[v]})
+		}
+	}
+	for _, m := range msgs {
+		if m.Dist < 0 || p.done[v] {
+			continue
+		}
+		// m comes from our successor: skip over it.
+		if m.Succ == m.From {
+			// Successor is the tail (points to itself): finished.
+			p.done[v] = true
+			continue
+		}
+		p.dist[v] += m.Dist
+		p.succ[v] = m.Succ
+		p.request(ctx, v)
+	}
+}

@@ -1,0 +1,237 @@
+package tasks
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"vcmt/internal/engine"
+	"vcmt/internal/gas"
+	"vcmt/internal/graph"
+	"vcmt/internal/sim"
+	"vcmt/internal/vcapi"
+)
+
+// DistMsg proposes a candidate shortest-path distance from Src to the
+// receiving vertex (§3, Pregel (MSSP)). In the broadcast (mirror) variant
+// the message carries the sender's own distance and every receiver adds the
+// unit edge length, matching the paper's Pregel-Mirror (MSSP).
+type DistMsg struct {
+	Src  graph.VertexID
+	Dist float32
+}
+
+// MSSPConfig configures a Multi-Source Shortest Path distance job.
+type MSSPConfig struct {
+	// Sources is the full source set S; the workload unit is one source.
+	Sources []graph.VertexID
+	// Mirror selects the broadcast-interface implementation. Only valid on
+	// unweighted graphs (a broadcast message cannot carry per-edge
+	// weights).
+	Mirror bool
+	// Async runs batches on the asynchronous GAS executor; shortest-path
+	// relaxation is monotone, so asynchronous delivery preserves results.
+	Async              bool
+	Seed               uint64
+	MaxRounds          int
+	StopWhenOverloaded bool
+}
+
+// MSSPJob computes single-source shortest path distances from every source
+// in S. Completed batches keep their distance tables resident (the
+// residual memory the tuning framework of §5 models).
+type MSSPJob struct {
+	g    *graph.Graph
+	part *graph.Partition
+	cfg  MSSPConfig
+
+	// dist[i] is the distance table of Sources[i]; nil until its batch ran.
+	dist [][]float32
+	done int // sources fully processed so far
+}
+
+// NewMSSP constructs an MSSP job. It fails for a mirror configuration on a
+// weighted graph.
+func NewMSSP(g *graph.Graph, part *graph.Partition, cfg MSSPConfig) (*MSSPJob, error) {
+	if cfg.Mirror && g.Weighted() {
+		return nil, errors.New("tasks: MSSP broadcast variant requires an unweighted graph")
+	}
+	if cfg.Mirror && cfg.Async {
+		return nil, errors.New("tasks: MSSP cannot combine Mirror with Async")
+	}
+	return &MSSPJob{
+		g: g, part: part, cfg: cfg,
+		dist: make([][]float32, len(cfg.Sources)),
+	}, nil
+}
+
+// Name implements Job.
+func (j *MSSPJob) Name() string { return "MSSP" }
+
+// TotalWorkload implements Job: the number of sources.
+func (j *MSSPJob) TotalWorkload() int { return len(j.cfg.Sources) }
+
+// MemModel implements Job: a finite (source, vertex, dist) entry costs ~12
+// bytes.
+func (j *MSSPJob) MemModel() sim.TaskMemModel {
+	return sim.TaskMemModel{StateBytesPerEntry: 12, ResidualBytesPerEntry: 12}
+}
+
+// Distance returns the computed shortest-path distance from Sources[i] to
+// v, or +Inf if unreachable or not yet computed.
+func (j *MSSPJob) Distance(i int, v graph.VertexID) float64 {
+	if j.dist[i] == nil {
+		return math.Inf(1)
+	}
+	return float64(j.dist[i][v])
+}
+
+// SourcesDone returns how many sources have completed.
+func (j *MSSPJob) SourcesDone() int { return j.done }
+
+// RunBatch implements Job: processes the next `workload` sources.
+func (j *MSSPJob) RunBatch(run *sim.Run, workload int, batchIdx int) ([]int64, error) {
+	k := j.part.NumMachines()
+	if workload <= 0 || j.done >= len(j.cfg.Sources) {
+		return make([]int64, k), nil
+	}
+	hi := j.done + workload
+	if hi > len(j.cfg.Sources) {
+		hi = len(j.cfg.Sources)
+	}
+	batch := j.cfg.Sources[j.done:hi]
+
+	n := j.g.NumVertices()
+	prog := &msspProg{
+		job:      j,
+		sources:  batch,
+		srcIdx:   make(map[graph.VertexID]int, len(batch)),
+		dist:     make([][]float32, len(batch)),
+		entries:  make([]int64, k),
+		improved: make([]int32, len(batch)),
+	}
+	for i, s := range batch {
+		prog.srcIdx[s] = i
+		prog.dist[i] = make([]float32, n)
+		for v := range prog.dist[i] {
+			prog.dist[i][v] = float32(math.Inf(1))
+		}
+	}
+	seed := j.cfg.Seed ^ uint64(batchIdx+1)*0x9e3779b97f4a7c15
+	var err error
+	if j.cfg.Async {
+		a := gas.NewAsync[DistMsg](j.g, j.part, prog, run, gas.Options[DistMsg]{
+			Seed:               seed,
+			StopWhenOverloaded: j.cfg.StopWhenOverloaded,
+		})
+		err = a.Run()
+	} else {
+		e := engine.New[DistMsg](j.g, j.part, prog, run, engine.Options[DistMsg]{
+			MaxRounds:          j.cfg.MaxRounds,
+			Seed:               seed,
+			StopWhenOverloaded: j.cfg.StopWhenOverloaded,
+		})
+		err = e.Run()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("tasks: MSSP batch %d: %w", batchIdx, err)
+	}
+	for i := range batch {
+		j.dist[j.done+i] = prog.dist[i]
+	}
+	j.done = hi
+	return prog.entries, nil
+}
+
+// msspProg is the per-batch vertex program: each vertex keeps the best
+// known distance per batch source and relaxes neighbors on improvement,
+// terminating when a round produces no shorter paths (§3).
+type msspProg struct {
+	job     *MSSPJob
+	sources []graph.VertexID
+	srcIdx  map[graph.VertexID]int
+	dist    [][]float32
+	entries []int64 // finite entries per machine
+
+	improved     []int32 // epoch marks per batch-source index
+	improvedList []int
+	epoch        int32
+}
+
+func (p *msspProg) Seed(ctx vcapi.Context[DistMsg]) {
+	for _, s := range ctx.OwnedVertices() {
+		i, ok := p.srcIdx[s]
+		if !ok {
+			continue
+		}
+		p.dist[i][s] = 0
+		p.entries[ctx.Machine()]++
+		p.relax(ctx, s, i)
+	}
+}
+
+func (p *msspProg) Compute(ctx vcapi.Context[DistMsg], v graph.VertexID, msgs []DistMsg) {
+	p.epoch++
+	p.improvedList = p.improvedList[:0]
+	for _, m := range msgs {
+		i := p.srcIdx[m.Src]
+		d := m.Dist
+		if p.job.cfg.Mirror {
+			// Broadcast variant: the message carries the sender's own
+			// distance; the receiver adds the unit edge.
+			d++
+		}
+		if d < p.dist[i][v] {
+			if math.IsInf(float64(p.dist[i][v]), 1) {
+				p.entries[ctx.Machine()]++
+			}
+			p.dist[i][v] = d
+			if p.improved[i] != p.epoch {
+				p.improved[i] = p.epoch
+				p.improvedList = append(p.improvedList, i)
+			}
+		}
+	}
+	for _, i := range p.improvedList {
+		p.relax(ctx, v, i)
+	}
+}
+
+// relax propagates v's current distance for batch source i to every
+// neighbor.
+func (p *msspProg) relax(ctx vcapi.Context[DistMsg], v graph.VertexID, i int) {
+	d := p.dist[i][v]
+	src := p.sources[i]
+	if p.job.cfg.Mirror {
+		ctx.Broadcast(v, DistMsg{Src: src, Dist: d})
+		return
+	}
+	g := ctx.Graph()
+	ns := g.Neighbors(v)
+	for e, u := range ns {
+		ctx.Send(u, DistMsg{Src: src, Dist: d + g.Weight(v, e)})
+	}
+}
+
+// StateEntries implements engine.StateReporter.
+func (p *msspProg) StateEntries(machine int) int64 { return p.entries[machine] }
+
+// DistMsgCodec serializes DistMsg for out-of-core spilling.
+type DistMsgCodec struct{}
+
+// Encode implements engine.Codec.
+func (DistMsgCodec) Encode(buf []byte, m DistMsg) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint32(b[:4], m.Src)
+	binary.LittleEndian.PutUint32(b[4:], math.Float32bits(m.Dist))
+	return append(buf, b[:]...)
+}
+
+// Decode implements engine.Codec.
+func (DistMsgCodec) Decode(data []byte) (DistMsg, int) {
+	return DistMsg{
+		Src:  binary.LittleEndian.Uint32(data[:4]),
+		Dist: math.Float32frombits(binary.LittleEndian.Uint32(data[4:8])),
+	}, 8
+}

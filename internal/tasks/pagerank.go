@@ -1,0 +1,91 @@
+package tasks
+
+import (
+	"fmt"
+
+	"vcmt/internal/engine"
+	"vcmt/internal/graph"
+	"vcmt/internal/sim"
+	"vcmt/internal/vcapi"
+)
+
+// RankMsg carries a fragment of PageRank mass along one edge.
+type RankMsg struct {
+	Mass float32
+}
+
+// PageRankConfig configures the classic (non-personalized) PageRank
+// computation used by Table 4's sync-vs-async comparison: a global metric
+// whose workload resembles a single-source query, in contrast with BPPR's
+// per-vertex batch workload (§4.8).
+type PageRankConfig struct {
+	// Damping is the damping factor (default 0.85).
+	Damping float64
+	// Iterations is the number of power iterations (default 30).
+	Iterations         int
+	Seed               uint64
+	StopWhenOverloaded bool
+}
+
+// PageRank runs global PageRank on the engine and returns the rank vector.
+func PageRank(g *graph.Graph, part *graph.Partition, run *sim.Run, cfg PageRankConfig) ([]float64, error) {
+	if cfg.Damping == 0 {
+		cfg.Damping = 0.85
+	}
+	if cfg.Iterations == 0 {
+		cfg.Iterations = 30
+	}
+	n := g.NumVertices()
+	prog := &prProg{
+		cfg:  cfg,
+		rank: make([]float64, n),
+		base: (1 - cfg.Damping) / float64(n),
+	}
+	for v := range prog.rank {
+		prog.rank[v] = 1 / float64(n)
+	}
+	e := engine.New[RankMsg](g, part, prog, run, engine.Options[RankMsg]{
+		MaxRounds:          cfg.Iterations + 2,
+		Seed:               cfg.Seed,
+		StopWhenOverloaded: cfg.StopWhenOverloaded,
+	})
+	if err := e.Run(); err != nil {
+		return nil, fmt.Errorf("tasks: PageRank: %w", err)
+	}
+	return prog.rank, nil
+}
+
+type prProg struct {
+	cfg  PageRankConfig
+	rank []float64
+	base float64
+}
+
+func (p *prProg) Seed(ctx vcapi.Context[RankMsg]) {
+	for _, v := range ctx.OwnedVertices() {
+		p.scatter(ctx, v)
+	}
+}
+
+func (p *prProg) Compute(ctx vcapi.Context[RankMsg], v graph.VertexID, msgs []RankMsg) {
+	var sum float64
+	for _, m := range msgs {
+		sum += float64(m.Mass)
+	}
+	p.rank[v] = p.base + p.cfg.Damping*sum
+	// Round 1 is the seed scatter; iteration i finishes at round i+1.
+	if ctx.Round() <= p.cfg.Iterations {
+		p.scatter(ctx, v)
+	}
+}
+
+func (p *prProg) scatter(ctx vcapi.Context[RankMsg], v graph.VertexID) {
+	ns := ctx.Graph().Neighbors(v)
+	if len(ns) == 0 {
+		return
+	}
+	share := float32(p.rank[v] / float64(len(ns)))
+	for _, u := range ns {
+		ctx.Send(u, RankMsg{Mass: share})
+	}
+}

@@ -1,0 +1,136 @@
+package tasks
+
+import (
+	"testing"
+
+	"vcmt/internal/graph"
+	"vcmt/internal/randx"
+	"vcmt/internal/ref"
+	"vcmt/internal/sim"
+)
+
+func TestConnectedComponentsSingleComponent(t *testing.T) {
+	g := graph.GenerateChungLu(300, 1500, 2.5, 3)
+	part := graph.HashPartition(300, 4)
+	labels, err := ConnectedComponents(g, part, nil, CCConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The generator guarantees no isolated vertices; check against BFS
+	// reachability from vertex 0.
+	dist := ref.BFS(g, 0)
+	for v := 0; v < 300; v++ {
+		if dist[v] >= 0 && labels[v] != labels[0] {
+			t.Fatalf("vertex %d reachable from 0 but in component %d", v, labels[v])
+		}
+	}
+}
+
+func TestConnectedComponentsMultiple(t *testing.T) {
+	// Two disjoint rings: vertices 0-9 and 10-19.
+	b := graph.NewBuilder(20, false)
+	for v := 0; v < 10; v++ {
+		b.AddUndirectedEdge(graph.VertexID(v), graph.VertexID((v+1)%10))
+		b.AddUndirectedEdge(graph.VertexID(10+v), graph.VertexID(10+(v+1)%10))
+	}
+	g := b.Build()
+	part := graph.HashPartition(20, 3)
+	labels, err := ConnectedComponents(g, part, nil, CCConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 10; v++ {
+		if labels[v] != 0 {
+			t.Fatalf("ring A vertex %d labelled %d", v, labels[v])
+		}
+		if labels[10+v] != 10 {
+			t.Fatalf("ring B vertex %d labelled %d", 10+v, labels[10+v])
+		}
+	}
+}
+
+func TestConnectedComponentsRoundsNearDiameter(t *testing.T) {
+	// A path graph has diameter n-1; HashMin needs ~n rounds. A ring of 64
+	// should finish in O(n) rounds — and critically, the round count is
+	// recorded so the BPPA checker can reason about it.
+	g := graph.GenerateRing(64)
+	part := graph.HashPartition(64, 4)
+	run := sim.NewRun(sim.JobConfig{Cluster: sim.Galaxy8.WithMachines(4), System: sim.PregelPlus})
+	if _, err := ConnectedComponents(g, part, run, CCConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	r := run.Result().Rounds
+	if r < 16 || r > 80 {
+		t.Fatalf("ring-64 CC rounds=%d, expected ~diameter", r)
+	}
+}
+
+// buildList returns a ring graph plus a random list permutation over n
+// vertices with the given tail.
+func buildList(n int, tail graph.VertexID, seed uint64) ([]graph.VertexID, []int64) {
+	rng := randx.New(seed)
+	order := make([]int, n)
+	rng.Perm(order)
+	// Move tail to the end of the order.
+	for i, v := range order {
+		if graph.VertexID(v) == tail {
+			order[i], order[n-1] = order[n-1], order[i]
+			break
+		}
+	}
+	succ := make([]graph.VertexID, n)
+	wantDist := make([]int64, n)
+	for i := 0; i < n-1; i++ {
+		succ[order[i]] = graph.VertexID(order[i+1])
+		wantDist[order[i]] = int64(n - 1 - i)
+	}
+	succ[tail] = tail
+	wantDist[tail] = 0
+	return succ, wantDist
+}
+
+func TestListRank(t *testing.T) {
+	const n = 128
+	g := graph.GenerateRing(n)
+	part := graph.HashPartition(n, 4)
+	succ, want := buildList(n, 5, 7)
+	run := sim.NewRun(sim.JobConfig{Cluster: sim.Galaxy8.WithMachines(4), System: sim.PregelPlus})
+	dist, err := ListRank(g, part, run, ListRankConfig{Succ: succ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		if dist[v] != want[v] {
+			t.Fatalf("dist[%d]=%d want %d", v, dist[v], want[v])
+		}
+	}
+	// Pointer jumping is logarithmic: the request/response cycle costs 2
+	// rounds per doubling, so ~2*log2(n)+O(1) supersteps, far below n.
+	if r := run.Result().Rounds; r > 40 {
+		t.Fatalf("list ranking took %d rounds, expected O(log n)", r)
+	}
+}
+
+func TestListRankRejectsBadInput(t *testing.T) {
+	g := graph.GenerateRing(4)
+	part := graph.HashPartition(4, 2)
+	if _, err := ListRank(g, part, nil, ListRankConfig{Succ: []graph.VertexID{0}}); err == nil {
+		t.Fatal("want error for short successor array")
+	}
+}
+
+func TestListRankSingleElement(t *testing.T) {
+	g := graph.GenerateRing(4)
+	part := graph.HashPartition(4, 2)
+	// Every vertex is its own tail.
+	succ := []graph.VertexID{0, 1, 2, 3}
+	dist, err := ListRank(g, part, nil, ListRankConfig{Succ: succ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, d := range dist {
+		if d != 0 {
+			t.Fatalf("dist[%d]=%d want 0", v, d)
+		}
+	}
+}

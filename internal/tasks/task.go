@@ -1,0 +1,34 @@
+// Package tasks implements the paper's benchmark multi-processing tasks
+// (§2.3, §3) as vertex-centric programs: Batch Personalized PageRank
+// (BPPR, Monte-Carlo counted random walks and the fractional-push variant
+// for the mirror/broadcast interface), Multi-Source Shortest Paths (MSSP),
+// Batch k-Hop Search (BKHS), and global PageRank (used by Table 4).
+//
+// Each task exposes a Job: a multi-processing workload that the batch
+// runner (internal/batch) executes batch-by-batch, carrying residual
+// memory (the retained intermediate results of finished batches, §4.5)
+// across batches.
+package tasks
+
+import (
+	"vcmt/internal/sim"
+)
+
+// Job is a multi-processing task that can be executed in batches. The
+// workload unit is task-specific: random walks per node for BPPR, source
+// count for MSSP and BKHS (§4, "Workloads and Evaluation Metrics").
+type Job interface {
+	// Name identifies the task ("BPPR", "MSSP", "BKHS").
+	Name() string
+	// TotalWorkload is the job's full workload W.
+	TotalWorkload() int
+	// RunBatch executes `workload` units as one batch, reporting per-round
+	// statistics to run. It returns the residual entries per machine that
+	// this batch leaves behind for final aggregation.
+	RunBatch(run *sim.Run, workload int, batchIdx int) ([]int64, error)
+	// MemModel returns the task's memory constants for the cost model.
+	MemModel() sim.TaskMemModel
+}
+
+// pairKey packs a (source, vertex) pair into a map key.
+func pairKey(src, v uint32) uint64 { return uint64(src)<<32 | uint64(v) }

@@ -1,0 +1,58 @@
+// Package vcapi defines the vertex-centric programming contract shared by
+// every executor in this repository: the synchronous BSP engine
+// (internal/engine, the Pregel/Giraph/Pregel+/GraphD family) and the
+// GAS-style executors (internal/gas, the GraphLab family, including the
+// asynchronous engine). A vertex program written once against these
+// interfaces runs unchanged on any executor, which is exactly how the
+// paper ports its benchmark tasks across the seven systems (§3).
+package vcapi
+
+import (
+	"vcmt/internal/graph"
+	"vcmt/internal/randx"
+)
+
+// Context is the vertex program's handle to the running executor.
+type Context[M any] interface {
+	// Graph returns the graph under computation.
+	Graph() *graph.Graph
+	// Machine returns the index of the machine executing the current call.
+	Machine() int
+	// Vertex returns the vertex whose Compute call is running (undefined
+	// during Seed).
+	Vertex() graph.VertexID
+	// Round returns the 1-based superstep number (for asynchronous
+	// executors, the accounting epoch).
+	Round() int
+	// OwnedVertices lists the vertices owned by the executing machine.
+	OwnedVertices() []graph.VertexID
+	// RNG returns the executing machine's deterministic random stream.
+	RNG() *randx.RNG
+	// Send transmits a point-to-point message to dst (the Pregel-based
+	// implementation family of §3).
+	Send(dst graph.VertexID, m M)
+	// Broadcast delivers m to every neighbor of src (the broadcast
+	// interface of the mirror-mechanism-based family of §3).
+	Broadcast(src graph.VertexID, m M)
+}
+
+// Program is a vertex-centric program.
+type Program[M any] interface {
+	// Seed runs once per machine as the first superstep and sends the
+	// initial messages.
+	Seed(ctx Context[M])
+	// Compute runs for a vertex with pending messages. msgs aliases
+	// executor-internal storage and is only valid during the call.
+	Compute(ctx Context[M], v graph.VertexID, msgs []M)
+}
+
+// StateReporter is an optional Program extension: executors poll it after
+// each superstep/epoch for the live task-state entries per machine, which
+// the cost model charges against memory.
+type StateReporter interface {
+	StateEntries(machine int) int64
+}
+
+// WeightFunc reports the logical multiplicity of a message (e.g. the
+// number of walks a counted BPPR message carries). nil means 1.
+type WeightFunc[M any] func(M) int64

@@ -1,0 +1,88 @@
+package vcapi_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vcmt/internal/engine"
+	"vcmt/internal/gas"
+	"vcmt/internal/graph"
+	"vcmt/internal/vcapi"
+)
+
+// minLabel floods minimum labels — a monotone program whose fixpoint is
+// executor-independent, used to verify the package's core promise: a
+// program written once against vcapi runs unchanged on the synchronous
+// BSP engine and the asynchronous GAS executor, with identical results.
+type minLabel struct {
+	label []graph.VertexID
+}
+
+func newMinLabel(n int) *minLabel {
+	p := &minLabel{label: make([]graph.VertexID, n)}
+	for v := range p.label {
+		p.label[v] = graph.VertexID(v)
+	}
+	return p
+}
+
+func (p *minLabel) Seed(ctx vcapi.Context[graph.VertexID]) {
+	for _, v := range ctx.OwnedVertices() {
+		for _, u := range ctx.Graph().Neighbors(v) {
+			ctx.Send(u, v)
+		}
+	}
+}
+
+func (p *minLabel) Compute(ctx vcapi.Context[graph.VertexID], v graph.VertexID, msgs []graph.VertexID) {
+	best := p.label[v]
+	for _, m := range msgs {
+		if m < best {
+			best = m
+		}
+	}
+	if best == p.label[v] {
+		return
+	}
+	p.label[v] = best
+	for _, u := range ctx.Graph().Neighbors(v) {
+		ctx.Send(u, best)
+	}
+}
+
+func TestProgramRunsOnBothExecutors(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := graph.GenerateChungLu(150, 600, 2.5, seed%1000)
+		part := graph.HashPartition(g.NumVertices(), 4)
+
+		bsp := newMinLabel(g.NumVertices())
+		e := engine.New[graph.VertexID](g, part, bsp, nil, engine.Options[graph.VertexID]{})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		async := newMinLabel(g.NumVertices())
+		a := gas.NewAsync[graph.VertexID](g, part, async, nil, gas.Options[graph.VertexID]{})
+		if err := a.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for v := range bsp.label {
+			if bsp.label[v] != async.label[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Compile-time checks: both executors' contexts satisfy vcapi.Context.
+var (
+	_ vcapi.Program[int] = (*intProg)(nil)
+)
+
+type intProg struct{}
+
+func (*intProg) Seed(ctx vcapi.Context[int])                                {}
+func (*intProg) Compute(ctx vcapi.Context[int], v graph.VertexID, ms []int) {}

@@ -1,0 +1,31 @@
+// Repository-level smoke test: every experiment entry point is callable
+// and produces non-degenerate results. The per-figure shape assertions
+// live in internal/experiments; this test only guards the top-level wiring
+// that the benchmarks in bench_test.go rely on.
+package vcmt_test
+
+import (
+	"testing"
+
+	"vcmt/internal/experiments"
+)
+
+func TestSmokeFigure4(t *testing.T) {
+	fig, err := experiments.Figure4(experiments.Options{Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series=%d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Rows) != 5 {
+			t.Fatalf("%s: rows=%d", s.Label, len(s.Rows))
+		}
+		for _, r := range s.Rows {
+			if r.Result.Seconds <= 0 || r.Result.Rounds <= 0 {
+				t.Fatalf("%s @%d-batch: degenerate result %+v", s.Label, r.Batches, r.Result)
+			}
+		}
+	}
+}
