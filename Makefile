@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build vet test race bench ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# -short skips the full-workload shape tests, which exceed the default
+# per-package timeout under the race detector's ~10x slowdown.
+race:
+	$(GO) test -race -short -timeout 20m ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+ci: build vet test race

@@ -3,13 +3,20 @@
 //
 // Usage:
 //
-//	vcbench [-fast] [-seed N] [-only fig2,fig4,table3,...] [-out dir]
+//	vcbench [-fast] [-seed N] [-only fig2,fig4,table3,...] [-out dir] \
+//	        [-telemetry file.json]
 //
 // Experiment names: fig2 fig3 fig4 fig6 table2 table3 fig5 fig7 fig8 fig9
 // fig10 fig11 table4 fig12 finer. Without -only, everything runs in paper order.
+//
+// -telemetry writes a per-figure JSON summary (wall-clock seconds and table
+// output bytes per experiment, plus suite totals). Unlike vcrun's -report,
+// this is operational telemetry about the benchmark harness itself, so wall
+// clock is intentional and the file is not byte-stable across runs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -21,11 +28,41 @@ import (
 	"vcmt/internal/experiments"
 )
 
+// stepTelemetry summarizes one experiment's execution for -telemetry.
+type stepTelemetry struct {
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+	OutputBytes int64   `json:"output_bytes"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// suiteTelemetry is the top-level -telemetry document.
+type suiteTelemetry struct {
+	Schema      string          `json:"schema"`
+	Fast        bool            `json:"fast"`
+	Seed        uint64          `json:"seed"`
+	Steps       []stepTelemetry `json:"steps"`
+	WallSeconds float64         `json:"wall_seconds"`
+}
+
+// countingWriter tallies bytes written through it.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
 func main() {
 	fast := flag.Bool("fast", false, "use reduced replica workloads (noisier, much quicker)")
 	seed := flag.Uint64("seed", 0, "experiment seed (0 = default)")
 	only := flag.String("only", "", "comma-separated subset of experiments to run")
 	outDir := flag.String("out", "", "also write each experiment's table to <dir>/<name>.txt")
+	telemetry := flag.String("telemetry", "", "write a per-figure JSON telemetry summary to this file")
 	flag.Parse()
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -176,6 +213,28 @@ func main() {
 			return nil
 		}},
 	}
+	suite := suiteTelemetry{Schema: "vcmt/bench-telemetry/v1", Fast: *fast, Seed: *seed}
+	suiteStart := time.Now()
+	writeTelemetry := func() {
+		if *telemetry == "" {
+			return
+		}
+		suite.WallSeconds = time.Since(suiteStart).Seconds()
+		f, err := os.Create(*telemetry)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vcbench: %v\n", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(suite); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vcbench: telemetry: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	for _, s := range steps {
 		if !run(s.name) {
 			continue
@@ -191,15 +250,27 @@ func main() {
 			}
 			out = io.MultiWriter(os.Stdout, f)
 		}
+		counter := &countingWriter{w: out}
+		out = counter
 		start := time.Now()
 		err := s.fn()
 		if f != nil {
 			f.Close()
 		}
+		st := stepTelemetry{
+			Name:        s.name,
+			WallSeconds: time.Since(start).Seconds(),
+			OutputBytes: counter.n,
+		}
 		if err != nil {
+			st.Error = err.Error()
+			suite.Steps = append(suite.Steps, st)
+			writeTelemetry()
 			fmt.Fprintf(os.Stderr, "vcbench: %s: %v\n", s.name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[%s done in %.1fs]\n\n", s.name, time.Since(start).Seconds())
+		suite.Steps = append(suite.Steps, st)
+		fmt.Printf("[%s done in %.1fs]\n\n", s.name, st.WallSeconds)
 	}
+	writeTelemetry()
 }

@@ -10,6 +10,12 @@
 // The workload is in replica units (walks per vertex for BPPR; source
 // count for MSSP/BKHS). -scale extrapolates the measured statistics before
 // costing; the default uses the dataset's node-scale factor.
+//
+// Telemetry flags: -report writes a machine-readable JSON run report,
+// -events a JSONL event log, -trace / -machine-trace per-round CSVs, and
+// -debug-addr serves /metrics, /debug/vars and /debug/pprof while the job
+// runs. Report, events and traces carry only simulated time, so identical
+// seeded invocations produce byte-identical files.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 
 	"vcmt/internal/batch"
 	"vcmt/internal/graph"
+	"vcmt/internal/obs"
 	"vcmt/internal/sim"
 	"vcmt/internal/tasks"
 )
@@ -39,6 +46,10 @@ func main() {
 		scale       = flag.Float64("scale", 0, "stat extrapolation factor (0 = dataset node scale)")
 		seed        = flag.Uint64("seed", 7, "random seed")
 		tracePath   = flag.String("trace", "", "write a per-round CSV trace to this file")
+		machTrace   = flag.String("machine-trace", "", "write a per-round, per-machine CSV trace to this file")
+		reportPath  = flag.String("report", "", "write a JSON run report to this file")
+		eventsPath  = flag.String("events", "", "write a JSONL event log to this file")
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics, expvar and pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
@@ -99,9 +110,49 @@ func main() {
 	var trace *sim.Trace
 	cfgTask := cfg
 	cfgTask.Task = job.MemModel()
+
+	// Telemetry: collector (registry + optional event log) and debug server.
+	var (
+		collector *obs.Collector
+		eventsF   *os.File
+		reportF   *os.File
+		registry  *obs.Registry
+	)
+	if *reportPath != "" || *eventsPath != "" || *debugAddr != "" {
+		registry = obs.NewRegistry()
+		copts := obs.CollectorOptions{Registry: registry}
+		if *eventsPath != "" {
+			eventsF, err = os.Create(*eventsPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer eventsF.Close()
+			copts.Events = eventsF
+		}
+		// Open the report file before the run so a bad path fails fast
+		// instead of after minutes of simulation.
+		if *reportPath != "" {
+			reportF, err = os.Create(*reportPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer reportF.Close()
+		}
+		collector = obs.NewCollector(copts)
+		cfgTask.Observer = collector
+	}
+	if *debugAddr != "" {
+		srv, err := obs.StartDebugServer(*debugAddr, registry)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("debug server on http://%s (/metrics, /debug/vars, /debug/pprof)", srv.Addr())
+	}
+
 	run := sim.NewRun(cfgTask)
-	if *tracePath != "" {
-		trace = &sim.Trace{}
+	if *tracePath != "" || *machTrace != "" {
+		trace = &sim.Trace{PerMachine: *machTrace != ""}
 		run.SetTrace(trace)
 	}
 	sched := batch.Equal(job.TotalWorkload(), *batches)
@@ -146,7 +197,7 @@ func main() {
 		}
 		fmt.Fprintf(w, "credits:   %s$%.2f\n", mark, res.Credits)
 	}
-	if trace != nil {
+	if trace != nil && *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
 			log.Fatal(err)
@@ -156,6 +207,43 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(w, "trace:     %s (%d rounds)\n", *tracePath, len(trace.Rows))
+	}
+	if trace != nil && *machTrace != "" {
+		f, err := os.Create(*machTrace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := trace.WriteMachineCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "mtrace:    %s (%d machine-rounds)\n", *machTrace, len(trace.MachineRows))
+	}
+	if collector != nil {
+		rep := collector.Report(obs.RunMeta{
+			Task:      *taskName,
+			Dataset:   d.Name,
+			System:    system.Name,
+			Cluster:   cluster.Name,
+			Machines:  cluster.Machines,
+			Workload:  job.TotalWorkload(),
+			Batches:   *batches,
+			Seed:      *seed,
+			StatScale: statScale,
+		}, res)
+		if reportF != nil {
+			if err := rep.WriteJSON(reportF); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(w, "report:    %s (%d supersteps, %d machines)\n",
+				*reportPath, len(rep.Supersteps), len(rep.Machines))
+		}
+		if err := collector.EventErr(); err != nil {
+			log.Fatalf("event log: %v", err)
+		}
+		if *eventsPath != "" {
+			fmt.Fprintf(w, "events:    %s\n", *eventsPath)
+		}
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 
 	"vcmt/internal/batch"
 	"vcmt/internal/core"
@@ -21,6 +22,14 @@ import (
 	"vcmt/internal/sim"
 	"vcmt/internal/tasks"
 )
+
+// pct expresses a residual as a percentage of the measured value.
+func pct(delta, measured float64) float64 {
+	if measured == 0 {
+		return 0
+	}
+	return 100 * delta / measured
+}
 
 func main() {
 	log.SetFlags(0)
@@ -84,6 +93,23 @@ func main() {
 	fmt.Printf("Mr*(W) = %.4g * W^%.4f + %.4g\n", model.Resid.A, model.Resid.B, model.Resid.C)
 	fmt.Printf("budget: p=%.3f of %.0f GB physical memory\n\n",
 		model.P, model.MachineMemBytes/(1<<30))
+
+	// Fit quality: per-point residuals (measured − fitted) and RMS, the
+	// telemetry that shows whether the LMA fit can be trusted before the
+	// schedule built on it is.
+	fmt.Printf("fit residuals (measured - fitted):\n")
+	var sqMem, sqResid float64
+	for _, p := range model.Points {
+		dm := p.MaxMemBytes - model.Mem.Eval(p.Workload)
+		dr := p.MaxResidualBytes - model.Resid.Eval(p.Workload)
+		sqMem += dm * dm
+		sqResid += dr * dr
+		fmt.Printf("  W=%-4.0f dM*=%+9.4f GB (%+.2f%%)   dMr*=%+9.4f GB (%+.2f%%)\n",
+			p.Workload, dm/(1<<30), pct(dm, p.MaxMemBytes), dr/(1<<30), pct(dr, p.MaxResidualBytes))
+	}
+	n := float64(len(model.Points))
+	fmt.Printf("  RMS:   M* %.4f GB, Mr* %.4f GB\n\n",
+		math.Sqrt(sqMem/n)/(1<<30), math.Sqrt(sqResid/n)/(1<<30))
 
 	sched, err := model.Schedule(*workload)
 	if err != nil {

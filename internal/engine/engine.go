@@ -115,6 +115,10 @@ type Engine[M any] struct {
 
 	spilledRecords int64
 	spilledBytes   int64
+	// observed spill totals at the previous observeRound, so each round
+	// reports only its own delta to the sim.Run.
+	obsSpilledRecords int64
+	obsSpilledBytes   int64
 }
 
 type envelope[M any] struct {
@@ -366,8 +370,14 @@ func (e *Engine[M]) observeRound() {
 				per[m].StateEntries = reporter.StateEntries(m)
 			}
 		}
-		e.run.ObserveRound(sim.RoundStats{PerMachine: per})
+		e.run.ObserveRound(sim.RoundStats{
+			PerMachine:     per,
+			SpilledBytes:   e.spilledBytes - e.obsSpilledBytes,
+			SpilledRecords: e.spilledRecords - e.obsSpilledRecords,
+		})
 	}
+	e.obsSpilledBytes = e.spilledBytes
+	e.obsSpilledRecords = e.spilledRecords
 	for m := range e.sent {
 		e.sent[m] = machineCounters{}
 		e.recv[m] = machineCounters{}

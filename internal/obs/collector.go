@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+
+	"vcmt/internal/sim"
+)
+
+// Collector implements sim.Observer: it listens to a sim.Run's batch and
+// round callbacks and accumulates everything the exporters need — per-phase
+// totals, per-superstep and per-machine time series, skew, spill events —
+// while feeding the metrics registry. Attach with run.SetObserver(c).
+//
+// All collected values derive from the cost model's simulated time and the
+// engine's measured counters, so a Collector-produced report is
+// byte-identical across runs with the same seed.
+type Collector struct {
+	reg    *Registry
+	events *EventLog
+
+	phases     PhaseBreakdown
+	rounds     []roundRecord
+	batches    []batchRecord
+	machines   []machineAgg
+	overloaded bool
+	overflowed bool
+}
+
+type roundRecord struct {
+	round, batch int
+	obs          sim.RoundObservation
+	logicalMsgs  float64
+}
+
+type batchRecord struct {
+	batch      int
+	startRound int // 1-based index into rounds of the first round, 0 if none yet
+	startSim   float64
+	rounds     int
+	seconds    float64
+	msgs       float64
+	phases     PhaseBreakdown
+	spillBytes int64
+	spillRecs  int64
+}
+
+type machineAgg struct {
+	sentLogical    int64
+	recvLogical    int64
+	remoteLogical  int64
+	activeVertices int64
+	maxStateEntry  int64
+	phases         PhaseBreakdown
+	maxMemBytes    float64
+}
+
+// CollectorOptions configures a Collector.
+type CollectorOptions struct {
+	// Registry receives counters and histograms; nil creates a private one.
+	Registry *Registry
+	// Events, when non-nil, receives the JSONL event log.
+	Events io.Writer
+}
+
+// NewCollector builds a Collector.
+func NewCollector(opts CollectorOptions) *Collector {
+	reg := opts.Registry
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &Collector{reg: reg, events: NewEventLog(opts.Events)}
+}
+
+// Registry returns the metrics registry the collector feeds.
+func (c *Collector) Registry() *Registry { return c.reg }
+
+// EventErr returns the first event-log write error, if any.
+func (c *Collector) EventErr() error { return c.events.Err() }
+
+// OnBatchStart implements sim.Observer.
+func (c *Collector) OnBatchStart(batch int, simSeconds float64) {
+	c.closeBatch()
+	c.batches = append(c.batches, batchRecord{batch: batch, startSim: simSeconds})
+	c.reg.Counter("sim_batches_total").Inc()
+	c.events.Emit(Event{Type: EventBatchStart, SimSeconds: simSeconds, Batch: batch})
+}
+
+func (c *Collector) closeBatch() {
+	if len(c.batches) == 0 {
+		return
+	}
+	b := &c.batches[len(c.batches)-1]
+	c.events.Emit(Event{
+		Type:       EventBatchEnd,
+		SimSeconds: b.startSim + b.seconds,
+		Batch:      b.batch,
+		Round:      b.rounds,
+		Seconds:    b.seconds,
+		Msgs:       b.msgs,
+	})
+}
+
+// OnRound implements sim.Observer.
+func (c *Collector) OnRound(o sim.RoundObservation) {
+	logical := float64(o.Stats.TotalSentLogical())
+	c.rounds = append(c.rounds, roundRecord{
+		round: o.Round, batch: o.Batch, obs: o, logicalMsgs: logical,
+	})
+	ph := PhaseBreakdown{
+		ComputeSeconds: o.Result.ComputeSeconds,
+		NetSeconds:     o.Result.NetSeconds,
+		DiskSeconds:    o.Result.DiskSeconds,
+		BarrierSeconds: o.Result.BarrierSeconds,
+	}
+	c.phases.Add(ph)
+	if n := len(c.batches); n > 0 {
+		b := &c.batches[n-1]
+		b.rounds++
+		b.seconds += o.Result.Seconds
+		b.msgs += logical
+		b.phases.Add(ph)
+		b.spillBytes += o.Stats.SpilledBytes
+		b.spillRecs += o.Stats.SpilledRecords
+	}
+	for len(c.machines) < len(o.Stats.PerMachine) {
+		c.machines = append(c.machines, machineAgg{})
+	}
+	for m, mr := range o.Stats.PerMachine {
+		agg := &c.machines[m]
+		agg.sentLogical += mr.SentLogical
+		agg.recvLogical += mr.RecvLogical
+		agg.remoteLogical += mr.RemoteLogical
+		agg.activeVertices += mr.ActiveVertices
+		if mr.StateEntries > agg.maxStateEntry {
+			agg.maxStateEntry = mr.StateEntries
+		}
+		if m < len(o.Result.PerMachine) {
+			mc := o.Result.PerMachine[m]
+			agg.phases.Add(PhaseBreakdown{
+				ComputeSeconds: mc.ComputeSeconds,
+				NetSeconds:     mc.NetSeconds,
+				DiskSeconds:    mc.DiskSeconds,
+			})
+			if mc.MemBytes > agg.maxMemBytes {
+				agg.maxMemBytes = mc.MemBytes
+			}
+		}
+		lbl := L("machine", strconv.Itoa(m))
+		c.reg.Counter("sim_sent_logical_total", lbl).Add(mr.SentLogical)
+		c.reg.Counter("sim_recv_logical_total", lbl).Add(mr.RecvLogical)
+	}
+	c.reg.Counter("sim_rounds_total").Inc()
+	c.reg.Histogram("sim_round_seconds").Observe(o.Result.Seconds)
+	c.reg.Histogram("sim_round_msgs").Observe(logical)
+	c.reg.Histogram("sim_round_skew_ratio").Observe(o.Result.SkewRatio)
+	c.reg.Gauge("sim_seconds").Set(o.CumSeconds)
+
+	c.events.Emit(Event{
+		Type:       EventSuperstep,
+		SimSeconds: o.CumSeconds,
+		Batch:      o.Batch,
+		Round:      o.Round,
+		Msgs:       logical,
+		Seconds:    o.Result.Seconds,
+		MemRatio:   o.Result.MemRatio,
+		SkewRatio:  o.Result.SkewRatio,
+	})
+	if o.Stats.SpilledBytes > 0 || o.Stats.SpilledRecords > 0 {
+		c.reg.Counter("engine_spilled_bytes_total").Add(o.Stats.SpilledBytes)
+		c.reg.Counter("engine_spilled_records_total").Add(o.Stats.SpilledRecords)
+		c.events.Emit(Event{
+			Type:       EventSpill,
+			SimSeconds: o.CumSeconds,
+			Batch:      o.Batch,
+			Round:      o.Round,
+			SpillBytes: o.Stats.SpilledBytes,
+			SpillRecs:  o.Stats.SpilledRecords,
+		})
+	}
+	if o.Result.Overflow && !c.overflowed {
+		c.overflowed = true
+		c.events.Emit(Event{
+			Type:       EventOverflow,
+			SimSeconds: o.CumSeconds,
+			Batch:      o.Batch,
+			Round:      o.Round,
+			MemRatio:   o.Result.MemRatio,
+		})
+	}
+	if o.Overloaded && !c.overloaded {
+		c.overloaded = true
+		c.events.Emit(Event{
+			Type:       EventOverload,
+			SimSeconds: o.CumSeconds,
+			Batch:      o.Batch,
+			Round:      o.Round,
+		})
+	}
+}
+
+// Finish closes the trailing batch_end event. Call once after the run; it
+// is idempotent only in the sense that further rounds must not follow.
+func (c *Collector) Finish() {
+	c.closeBatch()
+}

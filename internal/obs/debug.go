@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer serves live run telemetry over HTTP:
+//
+//	/metrics      — the registry snapshot as JSON
+//	/debug/vars   — expvar (includes the registry under "vcmt_metrics")
+//	/debug/pprof/ — the standard pprof handlers
+//
+// It exists for long or real (rpcrt) runs; short simulated runs finish
+// before anyone can connect, but the endpoint still comes up first so flags
+// can be smoke-tested.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartDebugServer binds addr (e.g. ":6060" or "127.0.0.1:0") and serves in
+// a background goroutine until Close.
+func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(reg.Snapshot()) //nolint:errcheck // best-effort over HTTP
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	d := &DebugServer{ln: ln, srv: srv}
+	go srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return d, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close shuts the server down.
+func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// PublishExpvar exposes the registry under the given expvar name so it
+// shows up in /debug/vars. Publishing the same name twice panics (expvar
+// semantics), so call at most once per process per name.
+func PublishExpvar(name string, reg *Registry) {
+	expvar.Publish(name, expvar.Func(func() any { return reg.Snapshot() }))
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestDebugServerServesMetricsAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_total").Add(7)
+	reg.Histogram("test_seconds").Observe(0.5)
+
+	srv, err := StartDebugServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) []byte {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	var snaps []MetricSnapshot
+	if err := json.Unmarshal(get("/metrics"), &snaps); err != nil {
+		t.Fatalf("/metrics is not JSON: %v", err)
+	}
+	found := false
+	for _, s := range snaps {
+		if s.Name == "test_total" && s.Value == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("counter missing from /metrics: %v", snaps)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal(get("/debug/vars"), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if len(get("/debug/pprof/")) == 0 {
+		t.Fatal("pprof index empty")
+	}
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Event is one structured entry in the JSONL event log. A single flat
+// struct (rather than a map) keeps field order fixed, so the encoded log is
+// byte-stable for deterministic runs. SimSeconds is simulated time from the
+// cost model — never wall clock.
+type Event struct {
+	Seq        int     `json:"seq"`
+	Type       string  `json:"type"`
+	SimSeconds float64 `json:"t_sim"`
+	Batch      int     `json:"batch,omitempty"`
+	Round      int     `json:"round,omitempty"`
+	Msgs       float64 `json:"msgs,omitempty"`
+	Seconds    float64 `json:"seconds,omitempty"`
+	MemRatio   float64 `json:"mem_ratio,omitempty"`
+	SkewRatio  float64 `json:"skew_ratio,omitempty"`
+	SpillBytes int64   `json:"spill_bytes,omitempty"`
+	SpillRecs  int64   `json:"spill_records,omitempty"`
+}
+
+// Event types emitted by the Collector.
+const (
+	EventBatchStart = "batch_start"
+	EventBatchEnd   = "batch_end"
+	EventSuperstep  = "superstep"
+	EventSpill      = "spill"
+	EventOverload   = "overload" // cumulative simulated time crossed the cutoff
+	EventOverflow   = "overflow" // a machine's memory demand passed the overflow ratio
+)
+
+// EventLog appends events to an io.Writer as JSON Lines. It is not
+// concurrency-safe: the simulator drives it from a single goroutine, in
+// deterministic order. Errors are sticky; check Err once at the end.
+type EventLog struct {
+	w   io.Writer
+	seq int
+	err error
+}
+
+// NewEventLog wraps w. A nil writer yields a log that drops everything.
+func NewEventLog(w io.Writer) *EventLog { return &EventLog{w: w} }
+
+// Emit assigns the next sequence number and writes one line.
+func (l *EventLog) Emit(e Event) {
+	if l == nil || l.w == nil || l.err != nil {
+		return
+	}
+	l.seq++
+	e.Seq = l.seq
+	b, err := json.Marshal(e)
+	if err != nil {
+		l.err = err
+		return
+	}
+	b = append(b, '\n')
+	if _, err := l.w.Write(b); err != nil {
+		l.err = err
+	}
+}
+
+// Err returns the first write or encoding error, if any.
+func (l *EventLog) Err() error {
+	if l == nil {
+		return nil
+	}
+	return l.err
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// histGrowth is the geometric bucket growth factor. Quantile estimates
+// return the geometric midpoint of the matched bucket, so the worst-case
+// relative error is sqrt(histGrowth)-1 ≈ 2.5%.
+const histGrowth = 1.05
+
+var logHistGrowth = math.Log(histGrowth)
+
+// Histogram is a streaming log-bucketed histogram: observations land in
+// geometrically sized buckets, so p50/p95/p99 can be estimated with bounded
+// relative error in O(1) memory per distinct magnitude. Exact count, sum,
+// min and max are tracked alongside. Safe for concurrent use.
+//
+// Non-positive observations share one underflow bucket reported as 0 (the
+// metrics this repo records — seconds, bytes, messages — are non-negative).
+type Histogram struct {
+	mu      sync.Mutex
+	buckets map[int]int64
+	zero    int64 // observations <= 0
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{buckets: make(map[int]int64)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	if v <= 0 {
+		h.zero++
+		return
+	}
+	h.buckets[bucketIndex(v)]++
+}
+
+func bucketIndex(v float64) int {
+	return int(math.Floor(math.Log(v) / logHistGrowth))
+}
+
+// bucketMid is the geometric midpoint of bucket i: g^(i+0.5).
+func bucketMid(i int) float64 {
+	return math.Exp((float64(i) + 0.5) * logHistGrowth)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1). It returns 0 when the
+// histogram is empty. Estimates are clamped to [min, max].
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	// rank is the 1-based index of the observation we want.
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	if rank <= h.zero {
+		return 0
+	}
+	seen := h.zero
+	idxs := make([]int, 0, len(h.buckets))
+	for i := range h.buckets {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		seen += h.buckets[i]
+		if seen >= rank {
+			v := bucketMid(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// HistogramStats is a histogram's exported summary.
+type HistogramStats struct {
+	Count         int64
+	Sum           float64
+	Min           float64
+	Max           float64
+	P50, P95, P99 float64
+}
+
+// Stats summarizes the histogram.
+func (h *Histogram) Stats() HistogramStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return HistogramStats{}
+	}
+	return HistogramStats{
+		Count: h.count,
+		Sum:   h.sum,
+		Min:   h.min,
+		Max:   h.max,
+		P50:   h.quantileLocked(0.50),
+		P95:   h.quantileLocked(0.95),
+		P99:   h.quantileLocked(0.99),
+	}
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"vcmt/internal/randx"
+)
+
+// quantile tolerance: bucket midpoint error is sqrt(1.05)-1 ≈ 2.5%; allow
+// 5% to cover rank rounding on finite samples.
+const quantileTol = 0.05
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / want
+}
+
+func TestQuantileAccuracyUniform(t *testing.T) {
+	h := newHistogram()
+	// 1..10000 in a scrambled but deterministic order.
+	rng := randx.New(1)
+	vals := make([]float64, 10000)
+	for i := range vals {
+		vals[i] = float64(i + 1)
+	}
+	for i := len(vals) - 1; i > 0; i-- {
+		j := int(rng.Uint64() % uint64(i+1))
+		vals[i], vals[j] = vals[j], vals[i]
+	}
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 5000}, {0.95, 9500}, {0.99, 9900},
+	} {
+		got := h.Quantile(tc.q)
+		if relErr(got, tc.want) > quantileTol {
+			t.Errorf("q=%v: got %.1f want %.1f (err %.2f%%)",
+				tc.q, got, tc.want, 100*relErr(got, tc.want))
+		}
+	}
+}
+
+func TestQuantileAccuracyLogUniform(t *testing.T) {
+	// Values spanning six orders of magnitude — the regime equal-width
+	// buckets would butcher and log buckets must handle.
+	h := newHistogram()
+	rng := randx.New(7)
+	n := 20000
+	vals := make([]float64, n)
+	for i := range vals {
+		u := float64(rng.Uint64()%1e9) / 1e9
+		vals[i] = math.Pow(10, 6*u) // 1 .. 1e6
+	}
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	// Exact quantiles from a sorted copy.
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		want := sorted[int(math.Ceil(q*float64(n)))-1]
+		got := h.Quantile(q)
+		if relErr(got, want) > quantileTol {
+			t.Errorf("q=%v: got %.1f want %.1f (err %.2f%%)",
+				q, got, want, 100*relErr(got, want))
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	h := newHistogram()
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+	h.Observe(5)
+	if got := h.Quantile(0.5); relErr(got, 5) > quantileTol {
+		t.Fatalf("single value: got %v want 5", got)
+	}
+	st := h.Stats()
+	if st.Count != 1 || st.Min != 5 || st.Max != 5 || st.Sum != 5 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Quantiles are clamped into [min, max].
+	if st.P99 > st.Max || st.P50 < st.Min {
+		t.Fatalf("quantiles outside [min,max]: %+v", st)
+	}
+}
+
+func TestHistogramZeroAndNegative(t *testing.T) {
+	h := newHistogram()
+	h.Observe(0)
+	h.Observe(-3)
+	h.Observe(10)
+	st := h.Stats()
+	if st.Count != 3 || st.Min != -3 || st.Max != 10 {
+		t.Fatalf("stats %+v", st)
+	}
+	// 2 of 3 observations are <= 0: the median lands in the zero bucket.
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("p50=%v want 0", got)
+	}
+	if got := h.Quantile(0.99); relErr(got, 10) > quantileTol {
+		t.Fatalf("p99=%v want 10", got)
+	}
+}

@@ -1,0 +1,52 @@
+package obs
+
+import "time"
+
+// PhaseBreakdown decomposes time into the four phases of a superstep:
+// compute, message delivery over the network, out-of-core spill IO, and the
+// synchronization barrier. For simulated runs the segments come from the
+// cost model (deterministic); for the real rpcrt runtime they are measured
+// with wall-clock Timers.
+type PhaseBreakdown struct {
+	ComputeSeconds float64 `json:"compute_seconds"`
+	NetSeconds     float64 `json:"net_seconds"`
+	DiskSeconds    float64 `json:"disk_seconds"`
+	BarrierSeconds float64 `json:"barrier_seconds"`
+}
+
+// Add accumulates another breakdown into p.
+func (p *PhaseBreakdown) Add(q PhaseBreakdown) {
+	p.ComputeSeconds += q.ComputeSeconds
+	p.NetSeconds += q.NetSeconds
+	p.DiskSeconds += q.DiskSeconds
+	p.BarrierSeconds += q.BarrierSeconds
+}
+
+// Total returns the summed phase time.
+func (p PhaseBreakdown) Total() float64 {
+	return p.ComputeSeconds + p.NetSeconds + p.DiskSeconds + p.BarrierSeconds
+}
+
+// Timer measures one wall-clock span and records it into a histogram.
+// Intended for the real runtime (rpcrt) only — wall-clock measurements are
+// never part of the deterministic report schema.
+type Timer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartTimer begins timing; h may be nil, in which case Stop only returns
+// the elapsed seconds.
+func StartTimer(h *Histogram) Timer {
+	return Timer{h: h, start: time.Now()}
+}
+
+// Stop records the elapsed wall-clock seconds into the histogram and
+// returns them.
+func (t Timer) Stop() float64 {
+	sec := time.Since(t.start).Seconds()
+	if t.h != nil {
+		t.h.Observe(sec)
+	}
+	return sec
+}

@@ -5,9 +5,11 @@ import (
 	"math"
 	"net"
 	"net/rpc"
+	"strconv"
 	"sync"
 
 	"vcmt/internal/graph"
+	"vcmt/internal/obs"
 )
 
 // Cluster is a running set of RPC workers plus the master's connections.
@@ -18,6 +20,7 @@ type Cluster struct {
 	clients []*rpc.Client
 	rounds  int
 	msgs    int64
+	reg     *obs.Registry
 }
 
 // StartCluster launches k workers on loopback TCP, connects them to each
@@ -114,6 +117,47 @@ func (c *Cluster) Close() {
 // Workers returns the cluster size.
 func (c *Cluster) Workers() int { return c.k }
 
+// SetRegistry attaches a telemetry registry; subsequent jobs record
+// per-round histograms (message volume, wall-clock superstep latency) and,
+// at job end, per-worker message/byte counters labelled worker=<id>. Nil
+// detaches it. rpcrt is the one place wall-clock timing is legitimate —
+// simulated-time metrics never mix with these.
+func (c *Cluster) SetRegistry(reg *obs.Registry) { c.reg = reg }
+
+// WorkerStats gathers every worker's counters for the current job via the
+// Stats RPC, ordered by worker id.
+func (c *Cluster) WorkerStats() ([]WorkerStats, error) {
+	out := make([]WorkerStats, c.k)
+	for i, cl := range c.clients {
+		if err := cl.Call("Worker.Stats", struct{}{}, &out[i]); err != nil {
+			return nil, fmt.Errorf("rpcrt: stats from worker %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// recordJobMetrics feeds the finished job's per-worker counters into the
+// attached registry.
+func (c *Cluster) recordJobMetrics() error {
+	if c.reg == nil {
+		return nil
+	}
+	stats, err := c.WorkerStats()
+	if err != nil {
+		return err
+	}
+	for _, st := range stats {
+		lbl := obs.L("worker", strconv.Itoa(st.ID))
+		c.reg.Counter("rpcrt_sent_total", lbl).Add(st.Sent)
+		c.reg.Counter("rpcrt_recv_total", lbl).Add(st.Recv)
+		c.reg.Counter("rpcrt_sent_remote_total", lbl).Add(st.SentRemote)
+		c.reg.Counter("rpcrt_recv_remote_total", lbl).Add(st.RecvRemote)
+		c.reg.Counter("rpcrt_sent_bytes_total", lbl).Add(st.SentBytes)
+		c.reg.Counter("rpcrt_recv_bytes_total", lbl).Add(st.RecvBytes)
+	}
+	return nil
+}
+
 // Rounds returns the supersteps of the last job.
 func (c *Cluster) Rounds() int { return c.rounds }
 
@@ -184,29 +228,47 @@ func (c *Cluster) runJob(spec JobSpec) error {
 			return errs[i]
 		}
 	}
+	// Per-round telemetry (rpcrt is real execution, so wall clock is fair
+	// game here, unlike the simulator's deterministic reports).
+	var roundMsgs, roundWall *obs.Histogram
+	if c.reg != nil {
+		roundMsgs = c.reg.Histogram("rpcrt_round_msgs")
+		roundWall = c.reg.Histogram("rpcrt_round_wall_seconds")
+	}
+	observeRound := func(timer obs.Timer, msgs int64) {
+		if c.reg == nil {
+			return
+		}
+		timer.Stop()
+		roundMsgs.Observe(float64(msgs))
+	}
 	// Phase 2: seed superstep.
+	timer := obs.StartTimer(roundWall)
 	total, err := c.broadcast("Worker.Seed", struct{}{})
 	if err != nil {
 		return err
 	}
+	observeRound(timer, total)
 	c.rounds = 1
 	c.msgs = total
 	for total > 0 {
 		if err := c.advanceAll(); err != nil {
 			return err
 		}
+		timer = obs.StartTimer(roundWall)
 		var err error
 		total, err = c.broadcast("Worker.ComputeRound", struct{}{})
 		if err != nil {
 			return err
 		}
+		observeRound(timer, total)
 		c.rounds++
 		c.msgs += total
 		if c.rounds > 100000 {
 			return fmt.Errorf("rpcrt: job did not converge")
 		}
 	}
-	return nil
+	return c.recordJobMetrics()
 }
 
 // collectAll gathers result entries from every worker.

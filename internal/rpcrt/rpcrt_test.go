@@ -2,9 +2,11 @@ package rpcrt
 
 import (
 	"math"
+	"strconv"
 	"testing"
 
 	"vcmt/internal/graph"
+	"vcmt/internal/obs"
 	"vcmt/internal/ref"
 )
 
@@ -193,6 +195,114 @@ func TestBPPROverRPCMatchesOracle(t *testing.T) {
 				t.Fatalf("PPR(%d,%d): est %.4f exact %.4f", src, v, est, exact[v])
 			}
 		}
+	}
+}
+
+func TestWorkerStatsConservation(t *testing.T) {
+	g := graph.GenerateChungLu(150, 600, 2.5, 3)
+	const k = 4
+	c := startTestCluster(t, g, k)
+	if _, err := c.RunMSSP([]graph.VertexID{0, 7, 42}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.WorkerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != k {
+		t.Fatalf("stats for %d workers, want %d", len(stats), k)
+	}
+	var sent, recv, sentRemote, recvRemote int64
+	for i, st := range stats {
+		if st.ID != i {
+			t.Fatalf("stats[%d].ID=%d", i, st.ID)
+		}
+		sent += st.Sent
+		recv += st.Recv
+		sentRemote += st.SentRemote
+		recvRemote += st.RecvRemote
+		if st.SentBytes != st.SentRemote*wireMessageBytes ||
+			st.RecvBytes != st.RecvRemote*wireMessageBytes {
+			t.Fatalf("worker %d: byte counters inconsistent: %+v", i, st)
+		}
+	}
+	// Conservation: every message sent is received exactly once, and the
+	// counters agree with the master's own count.
+	if sent != recv {
+		t.Fatalf("sent %d != recv %d", sent, recv)
+	}
+	if sent != c.MessagesSent() {
+		t.Fatalf("worker counters %d != master count %d", sent, c.MessagesSent())
+	}
+	if sentRemote != recvRemote {
+		t.Fatalf("remote sent %d != remote recv %d", sentRemote, recvRemote)
+	}
+	if sentRemote <= 0 {
+		t.Fatal("multi-worker job generated no cross-partition traffic")
+	}
+	if sentRemote >= sent {
+		t.Fatal("all traffic remote: local-delivery path never taken")
+	}
+	// Pairwise conservation: what i sent to j, j received from i.
+	for i := range stats {
+		for j := range stats {
+			if got, want := stats[j].RecvByPeer[i], stats[i].SentByPeer[j]; got != want {
+				t.Fatalf("matrix mismatch: %d->%d sent %d, received %d", i, j, want, got)
+			}
+		}
+	}
+	// Remote counts match partition crossings: a message from worker i is
+	// remote exactly when its destination hashes to a different owner, so
+	// row i's off-diagonal sum is SentRemote.
+	for i, st := range stats {
+		var off int64
+		for j, n := range st.SentByPeer {
+			if j != i {
+				off += n
+			}
+		}
+		if off != st.SentRemote {
+			t.Fatalf("worker %d: off-diagonal %d != SentRemote %d", i, off, st.SentRemote)
+		}
+	}
+}
+
+func TestClusterFeedsRegistry(t *testing.T) {
+	g := graph.GenerateChungLu(120, 480, 2.4, 11)
+	const k = 3
+	c := startTestCluster(t, g, k)
+	reg := obs.NewRegistry()
+	c.SetRegistry(reg)
+	if _, err := c.RunBKHS([]graph.VertexID{1, 30}, 2); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.WorkerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range stats {
+		lbl := obs.L("worker", strconv.Itoa(st.ID))
+		if got := reg.Counter("rpcrt_sent_total", lbl).Value(); got != st.Sent {
+			t.Fatalf("worker %d: registry sent %d != stats %d", st.ID, got, st.Sent)
+		}
+		if got := reg.Counter("rpcrt_recv_total", lbl).Value(); got != st.Recv {
+			t.Fatalf("worker %d: registry recv %d != stats %d", st.ID, got, st.Recv)
+		}
+		if got := reg.Counter("rpcrt_sent_bytes_total", lbl).Value(); got != st.SentBytes {
+			t.Fatalf("worker %d: registry bytes %d != stats %d", st.ID, got, st.SentBytes)
+		}
+	}
+	// The per-round histograms cover every superstep of the job.
+	msgs := reg.Histogram("rpcrt_round_msgs").Stats()
+	if int(msgs.Count) != c.Rounds() {
+		t.Fatalf("round histogram count %d != rounds %d", msgs.Count, c.Rounds())
+	}
+	if int64(msgs.Sum) != c.MessagesSent() {
+		t.Fatalf("round histogram sum %v != messages %d", msgs.Sum, c.MessagesSent())
+	}
+	wall := reg.Histogram("rpcrt_round_wall_seconds").Stats()
+	if int(wall.Count) != c.Rounds() || wall.Sum <= 0 {
+		t.Fatalf("wall-clock histogram: %+v for %d rounds", wall, c.Rounds())
 	}
 }
 

@@ -58,6 +58,28 @@ type workerProgram interface {
 	collect(w *Worker) []ResultEntry
 }
 
+// wireMessageBytes is the serialized payload size of one Message (Dst +
+// Src + Val); the byte counters price traffic at this fixed rate rather
+// than gob's per-connection framing, so counts are stable and comparable.
+const wireMessageBytes = 12
+
+// WorkerStats are one worker's cumulative message and byte counters for the
+// current job — the per-worker view of the telemetry registry. SentByPeer
+// and RecvByPeer are full k-length matrix rows (self-column = machine-local
+// traffic), so conservation (everything sent is received) is checkable
+// pairwise across workers.
+type WorkerStats struct {
+	ID         int
+	Sent       int64 // messages sent, local + remote
+	Recv       int64 // messages received, local + remote
+	SentRemote int64 // messages whose destination lives on another worker
+	RecvRemote int64 // messages that arrived from another worker
+	SentBytes  int64 // SentRemote * wire size (local delivery is free)
+	RecvBytes  int64
+	SentByPeer []int64 // SentByPeer[j]: messages this worker sent to worker j
+	RecvByPeer []int64 // RecvByPeer[j]: messages this worker received from worker j
+}
+
 // Worker is the RPC service owning one partition.
 type Worker struct {
 	id    int
@@ -71,6 +93,10 @@ type Worker struct {
 	outbox  [][]Message // per peer
 	prog    workerProgram
 	sent    int64
+
+	statsMu    sync.Mutex
+	sentByPeer []int64
+	recvByPeer []int64
 
 	peers    []*rpc.Client
 	listener net.Listener
@@ -87,8 +113,10 @@ func owner(v graph.VertexID, k int) int {
 func newWorker(id, k int, g *graph.Graph) *Worker {
 	w := &Worker{
 		id: id, nPeer: k, g: g,
-		pending: make(map[graph.VertexID][]Message),
-		outbox:  make([][]Message, k),
+		pending:    make(map[graph.VertexID][]Message),
+		outbox:     make([][]Message, k),
+		sentByPeer: make([]int64, k),
+		recvByPeer: make([]int64, k),
 	}
 	for v := 0; v < g.NumVertices(); v++ {
 		if owner(graph.VertexID(v), k) == id {
@@ -103,10 +131,16 @@ func newWorker(id, k int, g *graph.Graph) *Worker {
 func (w *Worker) send(m Message) {
 	w.sent++
 	o := owner(m.Dst, w.nPeer)
+	w.statsMu.Lock()
+	w.sentByPeer[o]++
+	w.statsMu.Unlock()
 	if o == w.id {
 		w.mu.Lock()
 		w.pending[m.Dst] = append(w.pending[m.Dst], m)
 		w.mu.Unlock()
+		w.statsMu.Lock()
+		w.recvByPeer[w.id]++
+		w.statsMu.Unlock()
 		return
 	}
 	w.outbox[o] = append(w.outbox[o], m)
@@ -126,6 +160,10 @@ func (w *Worker) StartJob(args StartJobArgs, _ *struct{}) error {
 	w.mu.Unlock()
 	w.cur = nil
 	w.sent = 0
+	w.statsMu.Lock()
+	w.sentByPeer = make([]int64, w.nPeer)
+	w.recvByPeer = make([]int64, w.nPeer)
+	w.statsMu.Unlock()
 	switch args.Spec.Program {
 	case "mssp":
 		w.prog = newMSSPProgram(w, args.Spec)
@@ -194,7 +232,8 @@ func (w *Worker) flushOutboxes() error {
 		if len(box) == 0 {
 			continue
 		}
-		if err := w.peers[p].Call("Worker.Deliver", box, &struct{}{}); err != nil {
+		args := DeliverArgs{From: w.id, Batch: box}
+		if err := w.peers[p].Call("Worker.Deliver", args, &struct{}{}); err != nil {
 			return fmt.Errorf("rpcrt: worker %d -> %d deliver: %w", w.id, p, err)
 		}
 		w.outbox[p] = w.outbox[p][:0]
@@ -202,13 +241,52 @@ func (w *Worker) flushOutboxes() error {
 	return nil
 }
 
+// DeliverArgs carries a message batch plus the sending worker's id, so the
+// receiver can attribute the traffic in its RecvByPeer matrix row.
+type DeliverArgs struct {
+	From  int
+	Batch []Message
+}
+
 // Deliver receives a message batch from a peer into the pending inbox.
-func (w *Worker) Deliver(batch []Message, _ *struct{}) error {
+func (w *Worker) Deliver(args DeliverArgs, _ *struct{}) error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	for _, m := range batch {
+	for _, m := range args.Batch {
 		w.pending[m.Dst] = append(w.pending[m.Dst], m)
 	}
+	w.mu.Unlock()
+	w.statsMu.Lock()
+	if args.From >= 0 && args.From < len(w.recvByPeer) {
+		w.recvByPeer[args.From] += int64(len(args.Batch))
+	}
+	w.statsMu.Unlock()
+	return nil
+}
+
+// Stats reports this worker's cumulative counters for the current job.
+func (w *Worker) Stats(_ struct{}, reply *WorkerStats) error {
+	w.statsMu.Lock()
+	defer w.statsMu.Unlock()
+	st := WorkerStats{
+		ID:         w.id,
+		SentByPeer: append([]int64(nil), w.sentByPeer...),
+		RecvByPeer: append([]int64(nil), w.recvByPeer...),
+	}
+	for p, n := range st.SentByPeer {
+		st.Sent += n
+		if p != w.id {
+			st.SentRemote += n
+		}
+	}
+	for p, n := range st.RecvByPeer {
+		st.Recv += n
+		if p != w.id {
+			st.RecvRemote += n
+		}
+	}
+	st.SentBytes = st.SentRemote * wireMessageBytes
+	st.RecvBytes = st.RecvRemote * wireMessageBytes
+	*reply = st
 	return nil
 }
 

@@ -66,7 +66,8 @@ func (r *Run) roundCost(rs RoundStats) RoundResult {
 
 	var res RoundResult
 	res.ThrashFactor = 1
-	var worstBase float64
+	res.PerMachine = make([]MachineCost, len(rs.PerMachine))
+	var worstBase, sumBase float64
 
 	var barrierSec float64
 	switch sys.Async {
@@ -144,14 +145,28 @@ func (r *Run) roundCost(rs RoundStats) RoundResult {
 		res.NetSeconds = math.Max(res.NetSeconds, netSec)
 		res.NetOveruseSec += math.Max(0, netSec-netOveruseComputeOverlap*computeSec-barrierSec)
 		res.DiskSeconds = math.Max(res.DiskSeconds, diskSec)
+		res.ComputeSeconds = math.Max(res.ComputeSeconds, computeSec)
 		res.WireBytes += wireBytes
+		res.PerMachine[m] = MachineCost{
+			ComputeSeconds: computeSec,
+			NetSeconds:     netSec,
+			DiskSeconds:    diskSec,
+			MemBytes:       peak,
+			SpillBytes:     spillBytes,
+		}
 
 		base := computeSec + netSec + diskSec
+		sumBase += base
 		if base > worstBase {
 			worstBase = base
 		}
 	}
 
+	res.SkewRatio = 1
+	if n := len(rs.PerMachine); n > 0 && sumBase > 0 {
+		res.SkewRatio = worstBase / (sumBase / float64(n))
+	}
+	res.BarrierSeconds = barrierSec
 	worstBase += barrierSec
 
 	usable := cl.UsableMemBytes()

@@ -20,6 +20,31 @@ type JobConfig struct {
 	GraphBytesPerMachine float64
 	// CutoffSeconds marks the overload threshold (defaults to 6000 s).
 	CutoffSeconds float64
+	// Observer, when non-nil, receives batch and round callbacks (the
+	// telemetry hook); equivalent to calling SetObserver on the Run.
+	Observer Observer
+}
+
+// Observer receives run lifecycle callbacks alongside the cost accounting —
+// the hook the telemetry layer (internal/obs) attaches to. All callbacks
+// fire synchronously on the engine's goroutine, in deterministic order.
+type Observer interface {
+	// OnBatchStart fires when a new batch begins; simSeconds is the
+	// simulated time accumulated so far.
+	OnBatchStart(batch int, simSeconds float64)
+	// OnRound fires after every priced superstep (including Giraph-style
+	// sub-steps).
+	OnRound(o RoundObservation)
+}
+
+// RoundObservation bundles everything known about one priced superstep.
+type RoundObservation struct {
+	Round      int // 1-based, over the whole job
+	Batch      int // 1-based; 0 before the first BeginBatch
+	Stats      RoundStats
+	Result     RoundResult
+	CumSeconds float64 // simulated seconds including this round
+	Overloaded bool    // cumulative time past the cutoff, or overflow
 }
 
 // Run accumulates per-round statistics for one job and prices them with the
@@ -34,6 +59,8 @@ type Run struct {
 	maxRoundMsgs   float64
 	peakMem        float64
 	maxMemRatio    float64
+	computeSec     float64
+	barrierSec     float64
 	netSec         float64
 	netOveruse     float64
 	diskSec        float64
@@ -41,10 +68,14 @@ type Run struct {
 	ioOveruse      float64
 	maxQueue       float64
 	wireBytes      float64
+	maxSkew        float64
+	spilledBytes   int64
+	spilledRecords int64
 	overflow       bool
 	residualByMach []int64
 	residualTotal  int64
 	trace          *Trace
+	obs            Observer
 }
 
 // NewRun starts cost accounting for one job.
@@ -58,7 +89,7 @@ func NewRun(cfg JobConfig) *Run {
 	if cfg.NodeScale == 0 {
 		cfg.NodeScale = 1
 	}
-	return &Run{cfg: cfg, residualByMach: make([]int64, cfg.Cluster.Machines)}
+	return &Run{cfg: cfg, residualByMach: make([]int64, cfg.Cluster.Machines), obs: cfg.Observer}
 }
 
 // Config returns the job configuration.
@@ -89,8 +120,17 @@ func (r *Run) AddResidual(perMachine []int64) {
 // (replica scale).
 func (r *Run) ResidualEntries() int64 { return r.residualTotal }
 
+// SetObserver attaches a telemetry observer that receives batch and round
+// callbacks; nil detaches it.
+func (r *Run) SetObserver(o Observer) { r.obs = o }
+
 // BeginBatch marks the start of a batch (used for the Batches count).
-func (r *Run) BeginBatch() { r.batches++ }
+func (r *Run) BeginBatch() {
+	r.batches++
+	if r.obs != nil {
+		r.obs.OnBatchStart(r.batches, r.seconds)
+	}
+}
 
 // ObserveRound prices one superstep and accumulates it.
 func (r *Run) ObserveRound(rs RoundStats) RoundResult {
@@ -109,6 +149,8 @@ func (r *Run) ObserveRound(rs RoundStats) RoundResult {
 	if res.MemRatio > r.maxMemRatio {
 		r.maxMemRatio = res.MemRatio
 	}
+	r.computeSec += res.ComputeSeconds
+	r.barrierSec += res.BarrierSeconds
 	r.netSec += res.NetSeconds
 	r.netOveruse += res.NetOveruseSec
 	r.diskSec += res.DiskSeconds
@@ -120,8 +162,23 @@ func (r *Run) ObserveRound(rs RoundStats) RoundResult {
 		r.maxQueue = res.IOQueueLen
 	}
 	r.wireBytes += res.WireBytes
+	if res.SkewRatio > r.maxSkew {
+		r.maxSkew = res.SkewRatio
+	}
+	r.spilledBytes += rs.SpilledBytes
+	r.spilledRecords += rs.SpilledRecords
 	if res.Overflow {
 		r.overflow = true
+	}
+	if r.obs != nil {
+		r.obs.OnRound(RoundObservation{
+			Round:      r.rounds,
+			Batch:      r.batches,
+			Stats:      rs,
+			Result:     res,
+			CumSeconds: r.seconds,
+			Overloaded: r.Overloaded(),
+		})
 	}
 	return res
 }
@@ -151,6 +208,8 @@ func (r *Run) Result() JobResult {
 		MaxMsgsPerRound:  r.maxRoundMsgs,
 		PeakMemBytes:     r.peakMem,
 		MaxMemRatio:      r.maxMemRatio,
+		ComputeSeconds:   r.computeSec,
+		BarrierSeconds:   r.barrierSec,
 		NetSeconds:       r.netSec,
 		NetOveruseSec:    r.netOveruse,
 		DiskSeconds:      r.diskSec,
@@ -158,6 +217,9 @@ func (r *Run) Result() JobResult {
 		IOOveruseSec:     r.ioOveruse,
 		MaxIOQueueLen:    r.maxQueue,
 		WireBytesTotal:   r.wireBytes,
+		MaxSkewRatio:     r.maxSkew,
+		SpilledBytes:     r.spilledBytes,
+		SpilledRecords:   r.spilledRecords,
 	}
 	if r.rounds > 0 {
 		res.AvgMsgsPerRound = r.totalLogical / float64(r.rounds)

@@ -453,3 +453,131 @@ func TestRoundStatsTotals(t *testing.T) {
 		t.Fatalf("active=%d", rs.TotalActive())
 	}
 }
+
+func TestPhaseDecompositionPopulated(t *testing.T) {
+	r := NewRun(basicConfig(Galaxy8, GraphD))
+	per := make([]MachineRound, 8)
+	for i := range per {
+		per[i] = MachineRound{SentLogical: 1e6, RecvLogical: 1e6, RemoteLogical: 9e5, ActiveVertices: 100}
+	}
+	rr := r.ObserveRound(RoundStats{PerMachine: per})
+	if rr.ComputeSeconds <= 0 || rr.NetSeconds <= 0 || rr.DiskSeconds <= 0 || rr.BarrierSeconds <= 0 {
+		t.Fatalf("phases not populated: %+v", rr)
+	}
+	if len(rr.PerMachine) != 8 {
+		t.Fatalf("per-machine costs %d want 8", len(rr.PerMachine))
+	}
+	// The round's priced time equals worst-machine base + barrier (no
+	// thrash at this load): the decomposition must be consistent with it.
+	base := rr.PerMachine[0].ComputeSeconds + rr.PerMachine[0].NetSeconds + rr.PerMachine[0].DiskSeconds
+	want := (base + rr.BarrierSeconds) * rr.ThrashFactor
+	if math.Abs(want-rr.Seconds)/rr.Seconds > 1e-9 {
+		t.Fatalf("decomposition inconsistent: parts=%v seconds=%v", want, rr.Seconds)
+	}
+	res := r.Result()
+	if res.ComputeSeconds != rr.ComputeSeconds || res.BarrierSeconds != rr.BarrierSeconds {
+		t.Fatalf("job totals %v/%v, round %v/%v",
+			res.ComputeSeconds, res.BarrierSeconds, rr.ComputeSeconds, rr.BarrierSeconds)
+	}
+}
+
+func TestSkewRatioFlagsStraggler(t *testing.T) {
+	balanced := NewRun(basicConfig(Galaxy8, PregelPlus))
+	skewed := NewRun(basicConfig(Galaxy8, PregelPlus))
+	per := make([]MachineRound, 8)
+	for i := range per {
+		per[i] = MachineRound{SentLogical: 1000, RecvLogical: 1000, RemoteLogical: 900}
+	}
+	rb := balanced.ObserveRound(RoundStats{PerMachine: per})
+	if math.Abs(rb.SkewRatio-1) > 1e-9 {
+		t.Fatalf("balanced skew=%v want 1", rb.SkewRatio)
+	}
+	per[3].RecvLogical = 50000
+	rs := skewed.ObserveRound(RoundStats{PerMachine: per})
+	if rs.SkewRatio < 2 {
+		t.Fatalf("straggler skew=%v want >= 2", rs.SkewRatio)
+	}
+	if skewed.Result().MaxSkewRatio != rs.SkewRatio {
+		t.Fatal("job-level max skew not tracked")
+	}
+}
+
+type recordingObserver struct {
+	batches []int
+	rounds  []RoundObservation
+}
+
+func (o *recordingObserver) OnBatchStart(batch int, simSeconds float64) {
+	o.batches = append(o.batches, batch)
+}
+func (o *recordingObserver) OnRound(ob RoundObservation) { o.rounds = append(o.rounds, ob) }
+
+func TestObserverReceivesCallbacks(t *testing.T) {
+	obs := &recordingObserver{}
+	cfg := basicConfig(Galaxy8, PregelPlus)
+	cfg.Observer = obs
+	r := NewRun(cfg)
+	per := make([]MachineRound, 8)
+	for i := range per {
+		per[i] = MachineRound{SentLogical: 1000, RecvLogical: 1000, RemoteLogical: 900}
+	}
+	r.BeginBatch()
+	r.ObserveRound(RoundStats{PerMachine: per})
+	r.BeginBatch()
+	r.ObserveRound(RoundStats{PerMachine: per, SpilledBytes: 7, SpilledRecords: 2})
+	if len(obs.batches) != 2 || len(obs.rounds) != 2 {
+		t.Fatalf("observer saw %d batches, %d rounds", len(obs.batches), len(obs.rounds))
+	}
+	if obs.rounds[1].Round != 2 || obs.rounds[1].Batch != 2 {
+		t.Fatalf("round attribution: %+v", obs.rounds[1])
+	}
+	if obs.rounds[1].Stats.SpilledBytes != 7 {
+		t.Fatal("spill counters not forwarded to observer")
+	}
+	if obs.rounds[1].CumSeconds <= obs.rounds[0].CumSeconds {
+		t.Fatal("cumulative time must grow")
+	}
+	if r.Result().SpilledBytes != 7 || r.Result().SpilledRecords != 2 {
+		t.Fatal("spill totals missing from JobResult")
+	}
+}
+
+func TestMachineTraceMode(t *testing.T) {
+	cfg := basicConfig(Galaxy8, PregelPlus)
+	r := NewRun(cfg)
+	trace := &Trace{PerMachine: true}
+	r.SetTrace(trace)
+	r.BeginBatch()
+	per := make([]MachineRound, 8)
+	for i := range per {
+		per[i] = MachineRound{
+			SentLogical: int64(1000 * (i + 1)), RecvLogical: 500,
+			RemoteLogical: 400, ActiveVertices: int64(i), StateEntries: int64(10 * i),
+		}
+	}
+	r.ObserveRound(RoundStats{PerMachine: per})
+	if len(trace.MachineRows) != 8 {
+		t.Fatalf("machine rows=%d want 8", len(trace.MachineRows))
+	}
+	row := trace.MachineRows[3]
+	if row.Machine != 3 || row.SentLogical != 4000 || row.StateEntries != 30 {
+		t.Fatalf("per-machine counters wrong: %+v", row)
+	}
+	if row.ComputeSeconds <= 0 || row.MemBytes <= 0 {
+		t.Fatalf("per-machine costs missing: %+v", row)
+	}
+	if trace.Rows[0].SkewRatio <= 1 {
+		t.Fatalf("aggregate row skew=%v want > 1 for imbalanced sends", trace.Rows[0].SkewRatio)
+	}
+	var sb strings.Builder
+	if err := trace.WriteMachineCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 9 {
+		t.Fatalf("machine CSV lines=%d want header + 8", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "round,batch,machine,sent_logical") {
+		t.Fatalf("bad machine CSV header: %s", lines[0])
+	}
+}

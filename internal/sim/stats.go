@@ -24,6 +24,13 @@ type MachineRound struct {
 // RoundStats aggregates one superstep across all machines.
 type RoundStats struct {
 	PerMachine []MachineRound
+
+	// SpilledBytes / SpilledRecords are the real out-of-core spill volumes
+	// the engine measured during this superstep (replica scale, engine-wide:
+	// the spill file is shared across the simulated machines). Zero for
+	// in-memory runs.
+	SpilledBytes   int64
+	SpilledRecords int64
 }
 
 // TotalSentLogical sums logical sends across machines.
@@ -53,20 +60,44 @@ func (r RoundStats) TotalActive() int64 {
 	return t
 }
 
+// MachineCost is one machine's share of a superstep's cost — the per-phase
+// decomposition (compute / network / disk) plus its memory demand. All
+// values are paper scale; seconds are pre-thrash (the thrash multiplier is
+// applied to the round as a whole).
+type MachineCost struct {
+	ComputeSeconds float64 // CPU time for message processing + vertex work
+	NetSeconds     float64 // wire transfer time for this machine's remote sends
+	DiskSeconds    float64 // out-of-core IO time (0 for in-memory systems)
+	MemBytes       float64 // peak memory demand (graph + buffers + state + residual)
+	SpillBytes     float64 // modeled bytes routed through disk by the cost model
+}
+
 // RoundResult is the cost model's verdict for one superstep.
 type RoundResult struct {
-	Seconds       float64
-	PeakMemBytes  float64 // worst machine, paper scale
-	MemRatio      float64 // peak / usable capacity
-	ThrashFactor  float64 // ≥ 1; >1 when memory-bound
-	Overflow      bool    // memory demand beyond physical+swap headroom
-	NetSeconds    float64 // time spent at full network bandwidth (worst machine)
-	NetOveruseSec float64 // duration network demand exceeded the compute overlap window
-	DiskSeconds   float64 // out-of-core IO time (worst machine)
-	DiskUtil      float64 // disk demand / compute+net window; may exceed 1
-	IOOveruseSec  float64 // duration the disk was saturated
-	IOQueueLen    float64 // average messages waiting for the disk
-	WireBytes     float64 // paper-scale bytes crossing the network (total)
+	Seconds        float64
+	ComputeSeconds float64 // compute phase of the worst machine
+	BarrierSeconds float64 // synchronization barrier (0 for full-async)
+	PeakMemBytes   float64 // worst machine, paper scale
+	MemRatio       float64 // peak / usable capacity
+	ThrashFactor   float64 // ≥ 1; >1 when memory-bound
+	Overflow       bool    // memory demand beyond physical+swap headroom
+	NetSeconds     float64 // time spent at full network bandwidth (worst machine)
+	NetOveruseSec  float64 // duration network demand exceeded the compute overlap window
+	DiskSeconds    float64 // out-of-core IO time (worst machine)
+	DiskUtil       float64 // disk demand / compute+net window; may exceed 1
+	IOOveruseSec   float64 // duration the disk was saturated
+	IOQueueLen     float64 // average messages waiting for the disk
+	WireBytes      float64 // paper-scale bytes crossing the network (total)
+
+	// SkewRatio is worst machine base time / mean machine base time (1 when
+	// perfectly balanced) — the straggler metric behind the paper's skewed-
+	// partition observations.
+	SkewRatio float64
+	// PerMachine breaks the round cost down by machine. Note that
+	// Seconds = max over machines of (compute+net+disk) + barrier, all
+	// multiplied by ThrashFactor — phases of *different* machines do not sum
+	// to Seconds.
+	PerMachine []MachineCost
 }
 
 // JobResult summarizes a whole multi-processing job (possibly many batches).
@@ -82,6 +113,8 @@ type JobResult struct {
 	MaxMsgsPerRound   float64
 	PeakMemBytes      float64 // worst machine over the whole job
 	MaxMemRatio       float64
+	ComputeSeconds    float64 // summed worst-machine compute phase
+	BarrierSeconds    float64 // summed barrier overhead
 	NetSeconds        float64
 	NetOveruseSec     float64
 	DiskSeconds       float64
@@ -90,6 +123,9 @@ type JobResult struct {
 	MaxIOQueueLen     float64
 	WireBytesTotal    float64
 	WireBytesPerMach  float64
+	MaxSkewRatio      float64 // worst per-round machine imbalance (1 = balanced)
+	SpilledBytes      int64   // real engine spill volume (replica scale)
+	SpilledRecords    int64   // real engine spill record count (replica scale)
 	Credits           float64 // cloud monetary cost; 0 off-cloud
 	CreditsLowerBound bool    // true when Overload: cost is a lower bound (paper marks '>')
 }
