@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench ci
+.PHONY: build vet test race bench bench-json ci
 
 build:
 	$(GO) build ./...
@@ -18,5 +18,10 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Machine-readable engine benchmark artifact (worker-pool scaling); the CI
+# race-parallel job uploads this as BENCH_engine.json.
+bench-json:
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkEngineWorkers|BenchmarkEngineMessageThroughput' 		-pkg ./internal/engine -benchtime 2x -out BENCH_engine.json
 
 ci: build vet test race

@@ -1,0 +1,116 @@
+// Command benchjson runs a Go benchmark selection and writes the results
+// as machine-readable JSON, for CI artifacts (e.g. BENCH_engine.json) that
+// downstream tooling can diff across commits without scraping test output.
+//
+// Usage:
+//
+//	benchjson -bench 'BenchmarkEngineWorkers' -pkg ./internal/engine \
+//	    -benchtime 2x -out BENCH_engine.json
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line: the canonical ns/op plus any custom
+// metrics the benchmark reported (b.ReportMetric units).
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Output is the whole artifact.
+type Output struct {
+	Package   string   `json:"package"`
+	Bench     string   `json:"bench"`
+	GoVersion string   `json:"go_version"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	var (
+		bench     = flag.String("bench", ".", "benchmark regexp passed to go test -bench")
+		pkg       = flag.String("pkg", ".", "package to benchmark")
+		benchtime = flag.String("benchtime", "1x", "go test -benchtime value")
+		out       = flag.String("out", "", "output JSON path (default stdout)")
+	)
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench,
+		"-benchtime", *benchtime, *pkg)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		log.Fatalf("go test: %v\n%s", err, buf.String())
+	}
+
+	o := Output{Package: *pkg, Bench: *bench, Results: parse(&buf)}
+	if v, err := exec.Command("go", "env", "GOVERSION").Output(); err == nil {
+		o.GoVersion = strings.TrimSpace(string(v))
+	}
+	if len(o.Results) == 0 {
+		log.Fatalf("no benchmark results matched %q in %s", *bench, *pkg)
+	}
+
+	data, err := json.MarshalIndent(o, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d results to %s\n", len(o.Results), *out)
+}
+
+// parse extracts "BenchmarkX-N  iters  v1 unit1  v2 unit2 ..." lines from
+// go test output.
+func parse(r *bytes.Buffer) []Result {
+	var results []Result
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Name: fields[0], Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			if fields[i+1] == "ns/op" {
+				res.NsPerOp = v
+				continue
+			}
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		results = append(results, res)
+	}
+	return results
+}

@@ -60,6 +60,7 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 func main() {
 	fast := flag.Bool("fast", false, "use reduced replica workloads (noisier, much quicker)")
 	seed := flag.Uint64("seed", 0, "experiment seed (0 = default)")
+	workers := flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS, 1 = sequential; results are identical for every value)")
 	only := flag.String("only", "", "comma-separated subset of experiments to run")
 	outDir := flag.String("out", "", "also write each experiment's table to <dir>/<name>.txt")
 	telemetry := flag.String("telemetry", "", "write a per-figure JSON telemetry summary to this file")
@@ -71,7 +72,7 @@ func main() {
 		}
 	}
 
-	o := experiments.Options{Fast: *fast, Seed: *seed}
+	o := experiments.Options{Fast: *fast, Seed: *seed, Workers: *workers}
 	want := map[string]bool{}
 	if *only != "" {
 		for _, name := range strings.Split(*only, ",") {

@@ -45,6 +45,7 @@ func main() {
 		khops       = flag.Int("k", 2, "hop radius for BKHS")
 		scale       = flag.Float64("scale", 0, "stat extrapolation factor (0 = dataset node scale)")
 		seed        = flag.Uint64("seed", 7, "random seed")
+		workers     = flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS, 1 = sequential; results are identical for every value)")
 		tracePath   = flag.String("trace", "", "write a per-round CSV trace to this file")
 		machTrace   = flag.String("machine-trace", "", "write a per-round, per-machine CSV trace to this file")
 		reportPath  = flag.String("report", "", "write a JSON run report to this file")
@@ -89,11 +90,13 @@ func main() {
 	case "BPPR":
 		job = tasks.NewBPPR(g, part, tasks.BPPRConfig{
 			WalksPerNode: *workload, Mirror: system.Mirror, Async: async, Seed: *seed,
+			Workers: *workers,
 		})
 	case "MSSP":
 		sources := firstSources(g.NumVertices(), *workload)
 		job, err = tasks.NewMSSP(g, part, tasks.MSSPConfig{
 			Sources: sources, Mirror: system.Mirror, Async: async, Seed: *seed,
+			Workers: *workers,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -102,6 +105,7 @@ func main() {
 		sources := firstSources(g.NumVertices(), *workload)
 		job = tasks.NewBKHS(g, part, tasks.BKHSConfig{
 			Sources: sources, K: *khops, Mirror: system.Mirror, Async: async, Seed: *seed,
+			Workers: *workers,
 		})
 	default:
 		log.Fatalf("unknown task %q", *taskName)

@@ -63,7 +63,9 @@ func (r Report) IsBPPA(c float64) bool {
 
 // Instrument wraps a vertex program so that per-vertex per-round send
 // counts are recorded. Run the wrapped program on any executor, then call
-// Report.
+// Report. The wrapper keeps shared round-flush state (dirty list, round
+// mark), so instrumented runs must execute sequentially — on the BSP
+// engine, set engine.Options.Workers to 1.
 func Instrument[M any](g *graph.Graph, prog vcapi.Program[M]) *Instrumented[M] {
 	return &Instrumented[M]{
 		g:     g,

@@ -16,7 +16,7 @@ func TestSingleTaskSatisfiesLinearComm(t *testing.T) {
 	g := graph.GenerateChungLu(2000, 8000, 2.5, 3)
 	part := graph.HashPartition(2000, 4)
 	inst := Instrument(g, tasks.CCProgram(2000))
-	e := engine.New[tasks.LabelMsg](g, part, inst, nil, engine.Options[tasks.LabelMsg]{})
+	e := engine.New[tasks.LabelMsg](g, part, inst, nil, engine.Options[tasks.LabelMsg]{Workers: 1})
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +45,8 @@ func TestMultiProcessingViolatesLinearComm(t *testing.T) {
 	job := tasks.NewBPPR(g, part, tasks.BPPRConfig{WalksPerNode: W, Seed: 5})
 	inst := Instrument(g, job.MCProgram(W))
 	e := engine.New[tasks.WalkMsg](g, part, inst, nil, engine.Options[tasks.WalkMsg]{
-		Weight: func(m tasks.WalkMsg) int64 { return int64(m.Count) },
+		Weight:  func(m tasks.WalkMsg) int64 { return int64(m.Count) },
+		Workers: 1,
 	})
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
@@ -69,7 +70,7 @@ func TestSerializedWalksViolateLogRounds(t *testing.T) {
 	// One walk per batch: 32 sequential single-walk executions.
 	for b := 0; b < 32; b++ {
 		inst := Instrument(g, job.MCProgram(1))
-		e := engine.New[tasks.WalkMsg](g, part, inst, nil, engine.Options[tasks.WalkMsg]{})
+		e := engine.New[tasks.WalkMsg](g, part, inst, nil, engine.Options[tasks.WalkMsg]{Workers: 1})
 		if err := e.Run(); err != nil {
 			t.Fatal(err)
 		}

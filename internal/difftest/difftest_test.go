@@ -1,0 +1,273 @@
+package difftest
+
+import (
+	"math"
+	"testing"
+
+	"vcmt/internal/graph"
+	"vcmt/internal/ref"
+	"vcmt/internal/rpcrt"
+	"vcmt/internal/sim"
+	"vcmt/internal/tasks"
+)
+
+// seeds drives every differential scenario; each seed generates its own
+// graph and RNG streams.
+var seeds = []uint64{1, 2, 3}
+
+// workerGrid is the set of engine worker-pool sizes that must agree
+// bit-for-bit. The container running the tests may have a single CPU, so
+// the sizes are pinned explicitly rather than derived from GOMAXPROCS.
+var workerGrid = []int{1, 2, 8}
+
+const (
+	nVertices = 300
+	nEdges    = 1200
+	nMachines = 4
+)
+
+// roundRecorder captures each priced superstep's logical message count via
+// the sim observer hook, so two engine runs can be compared round by round.
+type roundRecorder struct {
+	perRound []int64
+}
+
+func (r *roundRecorder) OnBatchStart(int, float64) {}
+func (r *roundRecorder) OnRound(o sim.RoundObservation) {
+	r.perRound = append(r.perRound, o.Stats.TotalSentLogical())
+}
+
+func newRun(rec *roundRecorder) *sim.Run {
+	return sim.NewRun(sim.JobConfig{
+		Cluster:  sim.Galaxy8.WithMachines(nMachines),
+		System:   sim.PregelPlus,
+		Observer: rec,
+	})
+}
+
+func requireSameRounds(t *testing.T, label string, base, other *roundRecorder, workers int) {
+	t.Helper()
+	if len(base.perRound) != len(other.perRound) {
+		t.Fatalf("%s: workers=%d ran %d rounds, workers=1 ran %d",
+			label, workers, len(other.perRound), len(base.perRound))
+	}
+	for r := range base.perRound {
+		if base.perRound[r] != other.perRound[r] {
+			t.Fatalf("%s: round %d sent %d msgs at workers=%d vs %d at workers=1",
+				label, r+1, other.perRound[r], workers, base.perRound[r])
+		}
+	}
+}
+
+// TestMSSPDifferential checks multi-source shortest paths three ways on a
+// weighted graph: engine at every worker count, Dijkstra, and the RPC
+// cluster must all report the same distances.
+func TestMSSPDifferential(t *testing.T) {
+	for _, seed := range seeds {
+		g := graph.WithUniformWeights(
+			graph.GenerateChungLu(nVertices, nEdges, 2.5, seed), 1, 4, seed+100)
+		part := graph.HashPartition(nVertices, nMachines)
+		sources := []graph.VertexID{0, graph.VertexID(seed * 7 % nVertices), 211}
+
+		runEngine := func(workers int) (*tasks.MSSPJob, *roundRecorder) {
+			job, err := tasks.NewMSSP(g, part, tasks.MSSPConfig{
+				Sources: sources, Seed: seed, Workers: workers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := &roundRecorder{}
+			run := newRun(rec)
+			run.BeginBatch()
+			if _, err := job.RunBatch(run, len(sources), 0); err != nil {
+				t.Fatal(err)
+			}
+			return job, rec
+		}
+
+		baseJob, baseRec := runEngine(1)
+		for _, w := range workerGrid[1:] {
+			job, rec := runEngine(w)
+			requireSameRounds(t, "mssp", baseRec, rec, w)
+			for i := range sources {
+				for v := 0; v < nVertices; v++ {
+					a := baseJob.Distance(i, graph.VertexID(v))
+					b := job.Distance(i, graph.VertexID(v))
+					if a != b && !(math.IsInf(a, 1) && math.IsInf(b, 1)) {
+						t.Fatalf("seed %d src %d v %d: workers=1 %v workers=%d %v",
+							seed, sources[i], v, a, w, b)
+					}
+				}
+			}
+		}
+
+		cluster, err := rpcrt.StartCluster(g, nMachines)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rpcDist, err := cluster.RunMSSP(sources)
+		cluster.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for i, s := range sources {
+			exact := ref.Dijkstra(g, s)
+			for v := 0; v < nVertices; v++ {
+				eng := baseJob.Distance(i, graph.VertexID(v))
+				rpc := rpcDist[i][v]
+				if math.IsInf(exact[v], 1) {
+					if !math.IsInf(eng, 1) || !math.IsInf(rpc, 1) {
+						t.Fatalf("seed %d src %d v %d: want unreachable, engine %v rpc %v",
+							seed, s, v, eng, rpc)
+					}
+					continue
+				}
+				if math.Abs(eng-exact[v]) > 1e-4 {
+					t.Fatalf("seed %d src %d v %d: engine %v oracle %v", seed, s, v, eng, exact[v])
+				}
+				if math.Abs(rpc-exact[v]) > 1e-4 {
+					t.Fatalf("seed %d src %d v %d: rpc %v oracle %v", seed, s, v, rpc, exact[v])
+				}
+			}
+		}
+	}
+}
+
+// TestBKHSDifferential checks k-bounded multi-source BFS reach counts three
+// ways: engine at every worker count, the KHop oracle, and the RPC cluster.
+func TestBKHSDifferential(t *testing.T) {
+	const k = 2
+	for _, seed := range seeds {
+		g := graph.GenerateChungLu(nVertices, nEdges, 2.4, seed)
+		part := graph.HashPartition(nVertices, nMachines)
+		sources := []graph.VertexID{1, graph.VertexID(seed * 13 % nVertices), 250}
+
+		runEngine := func(workers int) (*tasks.BKHSJob, *roundRecorder) {
+			job := tasks.NewBKHS(g, part, tasks.BKHSConfig{
+				Sources: sources, K: k, Seed: seed, Workers: workers,
+			})
+			rec := &roundRecorder{}
+			run := newRun(rec)
+			run.BeginBatch()
+			if _, err := job.RunBatch(run, len(sources), 0); err != nil {
+				t.Fatal(err)
+			}
+			return job, rec
+		}
+
+		baseJob, baseRec := runEngine(1)
+		for _, w := range workerGrid[1:] {
+			job, rec := runEngine(w)
+			requireSameRounds(t, "bkhs", baseRec, rec, w)
+			for i := range sources {
+				if a, b := baseJob.Reached(i), job.Reached(i); a != b {
+					t.Fatalf("seed %d src %d: workers=1 reached %d, workers=%d reached %d",
+						seed, sources[i], a, w, b)
+				}
+			}
+		}
+
+		cluster, err := rpcrt.StartCluster(g, nMachines)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rpcCounts, err := cluster.RunBKHS(sources, k)
+		cluster.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for i, s := range sources {
+			want := int64(len(ref.KHop(g, s, k)))
+			if got := baseJob.Reached(i); got != want {
+				t.Fatalf("seed %d src %d: engine reached %d oracle %d", seed, s, got, want)
+			}
+			if rpcCounts[i] != want {
+				t.Fatalf("seed %d src %d: rpc reached %d oracle %d", seed, s, rpcCounts[i], want)
+			}
+		}
+	}
+}
+
+// TestBPPRDifferential checks Batch Personalized PageRank three ways. The
+// engine's RNG streams are per logical machine, so its estimates must be
+// bit-identical across worker counts; against the power-iteration oracle
+// and the RPC cluster (which draws from different streams) the checks are
+// statistical: exact mass conservation plus estimate accuracy.
+func TestBPPRDifferential(t *testing.T) {
+	const (
+		walks = 3000
+		alpha = 0.2
+	)
+	for _, seed := range seeds {
+		g := graph.GenerateChungLu(60, 240, 2.5, seed)
+		n := g.NumVertices()
+		part := graph.HashPartition(n, nMachines)
+
+		runEngine := func(workers int) (*tasks.BPPRJob, *roundRecorder) {
+			job := tasks.NewBPPR(g, part, tasks.BPPRConfig{
+				Alpha: alpha, WalksPerNode: walks, Seed: seed, Workers: workers,
+			})
+			rec := &roundRecorder{}
+			run := newRun(rec)
+			run.BeginBatch()
+			if _, err := job.RunBatch(run, walks, 0); err != nil {
+				t.Fatal(err)
+			}
+			return job, rec
+		}
+
+		baseJob, baseRec := runEngine(1)
+		for _, w := range workerGrid[1:] {
+			job, rec := runEngine(w)
+			requireSameRounds(t, "bppr", baseRec, rec, w)
+			for src := 0; src < n; src++ {
+				for v := 0; v < n; v++ {
+					a := baseJob.Estimate(graph.VertexID(src), graph.VertexID(v))
+					b := job.Estimate(graph.VertexID(src), graph.VertexID(v))
+					if a != b {
+						t.Fatalf("seed %d PPR(%d,%d): workers=1 %v workers=%d %v",
+							seed, src, v, a, w, b)
+					}
+				}
+			}
+		}
+
+		cluster, err := rpcrt.StartCluster(g, nMachines)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rpcEnds, err := cluster.RunBPPR(walks, alpha, seed)
+		cluster.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		rpcMass := make(map[graph.VertexID]float64)
+		for pair, c := range rpcEnds {
+			rpcMass[pair[0]] += c
+		}
+		checkSrcs := []graph.VertexID{0, graph.VertexID(seed % uint64(n)), graph.VertexID(n - 1)}
+		for _, src := range checkSrcs {
+			if m := baseJob.EndpointMass(src); m != walks {
+				t.Fatalf("seed %d src %d: engine mass %v want %d", seed, src, m, walks)
+			}
+			// RunBPPR returns probabilities, so per-source mass sums to 1.
+			if m := rpcMass[src]; math.Abs(m-1) > 1e-9 {
+				t.Fatalf("seed %d src %d: rpc mass %v want 1", seed, src, m)
+			}
+			exact := ref.PPR(g, src, alpha, 300)
+			for v := 0; v < n; v++ {
+				eng := baseJob.Estimate(src, graph.VertexID(v))
+				rpc := rpcEnds[[2]graph.VertexID{src, graph.VertexID(v)}]
+				if math.Abs(eng-exact[v]) > 0.03 {
+					t.Fatalf("seed %d PPR(%d,%d): engine %.4f oracle %.4f", seed, src, v, eng, exact[v])
+				}
+				if math.Abs(rpc-exact[v]) > 0.03 {
+					t.Fatalf("seed %d PPR(%d,%d): rpc %.4f oracle %.4f", seed, src, v, rpc, exact[v])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,16 @@
+// Package difftest is a differential test harness for the three execution
+// substrates that can run the paper's multi-processing tasks:
+//
+//   - the simulated-cluster BSP engine (internal/engine via internal/tasks),
+//     at several worker-pool sizes (engine.Options.Workers),
+//   - the single-machine reference oracles (internal/ref), and
+//   - the real RPC runtime (internal/rpcrt).
+//
+// For MSSP, BKHS and BPPR on seeded random graphs, the tests in this
+// package assert three-way agreement across multiple seeds, and — the
+// determinism contract of the parallel engine — that sequential and
+// multi-worker engine runs produce bit-identical results and identical
+// per-round message counts. The harness has no non-test exports; it exists
+// so that regressions in any one substrate are caught by disagreement with
+// the other two rather than by curated expectations.
+package difftest

@@ -12,6 +12,14 @@ import "math"
 // message-drain halting covers that case, but aggregators are part of the
 // programming contract real Pregel programs rely on, so tasks such as
 // Connected Components use them here.
+//
+// Each aggregator keeps one accumulation lane per logical machine, so
+// parallel machines contribute without synchronization; the roll at the
+// superstep barrier folds the lanes in machine order. The fold order is
+// therefore fixed for every worker count, which keeps runs bit-identical
+// across Options.Workers settings (for AggSum over floats the lane fold
+// may differ from a strict contribution-order fold in the last ulp, but it
+// never differs between worker counts).
 
 // AggregatorKind selects the reduction.
 type AggregatorKind int
@@ -23,11 +31,16 @@ const (
 	AggMax
 )
 
+// aggLane is one machine's private accumulator for a superstep.
+type aggLane struct {
+	current float64
+	touched bool
+}
+
 type aggregator struct {
 	kind    AggregatorKind
-	current float64 // being accumulated this superstep
-	visible float64 // result of the previous superstep
-	touched bool
+	lanes   []aggLane // one per logical machine
+	visible float64   // result of the previous superstep
 }
 
 func (a *aggregator) zero() float64 {
@@ -41,32 +54,57 @@ func (a *aggregator) zero() float64 {
 	}
 }
 
-func (a *aggregator) add(v float64) {
-	if !a.touched {
-		a.current = a.zero()
-		a.touched = true
+// add contributes v on machine m's lane.
+func (a *aggregator) add(m int, v float64) {
+	l := &a.lanes[m]
+	if !l.touched {
+		l.current = a.zero()
+		l.touched = true
 	}
 	switch a.kind {
 	case AggMin:
-		if v < a.current {
-			a.current = v
+		if v < l.current {
+			l.current = v
 		}
 	case AggMax:
-		if v > a.current {
-			a.current = v
+		if v > l.current {
+			l.current = v
 		}
 	default:
-		a.current += v
+		l.current += v
 	}
 }
 
+// roll folds the touched lanes in machine order into the visible value and
+// resets the lanes for the next superstep.
 func (a *aggregator) roll() {
-	if a.touched {
-		a.visible = a.current
+	acc := a.zero()
+	touched := false
+	for m := range a.lanes {
+		l := &a.lanes[m]
+		if !l.touched {
+			continue
+		}
+		touched = true
+		switch a.kind {
+		case AggMin:
+			if l.current < acc {
+				acc = l.current
+			}
+		case AggMax:
+			if l.current > acc {
+				acc = l.current
+			}
+		default:
+			acc += l.current
+		}
+		l.touched = false
+	}
+	if touched {
+		a.visible = acc
 	} else {
 		a.visible = a.zero()
 	}
-	a.touched = false
 }
 
 // RegisterAggregator declares a named aggregator before Run.
@@ -74,7 +112,7 @@ func (e *Engine[M]) RegisterAggregator(name string, kind AggregatorKind) {
 	if e.aggs == nil {
 		e.aggs = map[string]*aggregator{}
 	}
-	a := &aggregator{kind: kind}
+	a := &aggregator{kind: kind, lanes: make([]aggLane, e.part.NumMachines())}
 	a.visible = a.zero()
 	e.aggs[name] = a
 }
@@ -99,7 +137,7 @@ func (e *Engine[M]) rollAggregators() {
 // to unregistered names are dropped.
 func (c *Context[M]) Aggregate(name string, v float64) {
 	if a, ok := c.e.aggs[name]; ok {
-		a.add(v)
+		a.add(c.machine, v)
 	}
 }
 

@@ -65,6 +65,32 @@ func BenchmarkEngineWithCombiner(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineWorkers measures the worker-pool scaling of the engine on
+// the largest bench graph (50k vertices, 200k edges, 8 logical machines):
+// the same flood workload at pool sizes 1, 2, 4 and 8. Results are
+// bit-identical across sub-benchmarks (the determinism contract); only the
+// wall clock may change. On a single-CPU host all sizes perform alike —
+// the speedup target is meaningful only with 4+ cores.
+func BenchmarkEngineWorkers(b *testing.B) {
+	g := graph.GenerateChungLu(50000, 200000, 2.5, 3)
+	part := graph.HashPartition(g.NumVertices(), 8)
+	const rounds = 8
+	msgsPerRun := g.NumEdges() * (rounds + 1)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(map[int]string{1: "w1", 2: "w2", 4: "w4", 8: "w8"}[w], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := New[hopMsg](g, part, &floodProg{rounds: rounds}, nil, Options[hopMsg]{
+					Seed: 1, Workers: w,
+				})
+				if err := e.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(msgsPerRun)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mmsgs/s")
+		})
+	}
+}
+
 // BenchmarkEngineSpill measures the real out-of-core path (encode, write,
 // read back, decode through a temp file).
 func BenchmarkEngineSpill(b *testing.B) {

@@ -10,8 +10,9 @@ import (
 var _ vcapi.Context[int] = (*Context[int])(nil)
 
 // Context is the vertex program's handle to the engine during Seed and
-// Compute calls. It is bound to the machine (and, during Compute, the
-// vertex) currently executing.
+// Compute calls. The engine creates one Context per logical machine so
+// machines can execute concurrently; during Compute it is additionally
+// bound to the vertex currently executing.
 type Context[M any] struct {
 	e       *Engine[M]
 	machine int
@@ -53,7 +54,7 @@ func (c *Context[M]) Send(dst graph.VertexID, m M) {
 		sc.remoteLogical += w
 		sc.remotePhysical++
 	}
-	e.emit(envelope[M]{dst: dst, payload: m})
+	e.emit(c.machine, envelope[M]{dst: dst, payload: m})
 }
 
 // Broadcast delivers m to every neighbor of src: the broadcast interface of
@@ -87,24 +88,33 @@ func (c *Context[M]) Broadcast(src graph.VertexID, m M) {
 		}
 	}
 	for _, u := range ns {
-		e.emit(envelope[M]{dst: u, payload: m})
+		e.emit(c.machine, envelope[M]{dst: u, payload: m})
 	}
 }
 
 // ActivateNextRound marks v active in the next superstep even without
 // incoming messages: the inverse of Pregel's vote-to-halt, for programs
-// that iterate on local state (e.g. pointer jumping).
+// that iterate on local state (e.g. pointer jumping). v must be owned by
+// the executing machine — a machine activates its own vertices, never a
+// peer's — which keeps the flag arrays race-free under parallel execution.
+// Every program in this repository follows that contract.
 func (c *Context[M]) ActivateNextRound(v graph.VertexID) {
 	e := c.e
 	if !e.forcedFlag[v] {
 		e.forcedFlag[v] = true
-		e.forcedNext = append(e.forcedNext, v)
+		e.forcedNextBy[c.machine] = append(e.forcedNextBy[c.machine], v)
 	}
 }
 
-func (e *Engine[M]) emit(env envelope[M]) {
-	e.out = append(e.out, env)
-	if e.opts.Spill != nil && len(e.out) >= e.opts.Spill.ThresholdMsgs {
-		e.flushSpill()
+// emit buffers one envelope in machine m's outbox. In spill mode (always
+// sequential) the global buffered count triggers flushes at the same
+// threshold the single-outbox engine used.
+func (e *Engine[M]) emit(m int, env envelope[M]) {
+	e.outBy[m] = append(e.outBy[m], env)
+	if e.opts.Spill != nil {
+		e.outPending++
+		if e.outPending >= e.opts.Spill.ThresholdMsgs {
+			e.flushSpill()
+		}
 	}
 }

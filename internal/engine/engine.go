@@ -8,8 +8,12 @@
 // spread across K logical machines by a graph.Partition, message traffic is
 // classified as machine-local or remote, and per-superstep statistics are
 // reported to a sim.Run, which prices them with the paper-calibrated cost
-// model. Execution is sequential and fully deterministic (per-machine
-// SplitMix64 RNG streams), so every experiment is reproducible bit-for-bit.
+// model. Supersteps execute the K logical machines on a worker pool
+// (Options.Workers; 1 reproduces the historical single-thread engine), and
+// every run is fully deterministic regardless of worker count: each machine
+// owns its SplitMix64 RNG stream, outbox, counters and aggregator lane, and
+// cross-machine merges always walk machines in index order, so results,
+// message ordering and round statistics are reproducible bit-for-bit.
 //
 // The engine also implements the two implementation families of §3:
 // point-to-point sends (Pregel-based systems) via Context.Send, and the
@@ -21,6 +25,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"vcmt/internal/graph"
 	"vcmt/internal/randx"
@@ -55,6 +60,11 @@ type Options[M any] struct {
 	MaxRounds int
 	// Seed makes per-machine RNG streams deterministic.
 	Seed uint64
+	// Workers sets the superstep worker-pool size: 0 means GOMAXPROCS and 1
+	// runs fully sequentially. Results are bit-identical for every value.
+	// Spill and MaxInboxPerStep force sequential execution (their global
+	// outbox stream and sub-step accounting have no parallel equivalent).
+	Workers int
 	// StopWhenOverloaded makes the engine abandon the run once the sim.Run
 	// passes the paper's 6000 s cutoff, like the paper's experiments do.
 	StopWhenOverloaded bool
@@ -84,15 +94,34 @@ type Engine[M any] struct {
 	run  *sim.Run
 	opts Options[M]
 
+	// workers is the resolved pool size (see Options.Workers).
+	workers int
+	// ctxs holds one Context per machine so parallel Seed/Compute calls
+	// never share a mutable context.
+	ctxs []*Context[M]
+
 	vertsByMachine [][]graph.VertexID
 	// mirrorSpan[v] is the number of machines (other than v's own) hosting
 	// at least one neighbor of v; computed lazily for mirror mode.
 	mirrorSpan []int32
+	mirrorOnce sync.Once
 
-	out      []envelope[M]
-	inbox    []M
-	inCounts []int32
-	inOffs   []int32
+	// outBy[m] is machine m's outbox for the current superstep. Delivery
+	// concatenates the outboxes in machine order, which reproduces the
+	// sequential engine's single-outbox append order exactly (machines ran
+	// in index order there too).
+	outBy [][]envelope[M]
+	// outPending counts buffered envelopes across all outboxes; maintained
+	// only in spill mode (which is sequential) to trigger flushes at the
+	// same global threshold the single-outbox engine used.
+	outPending int
+	inbox      []M
+	inCounts   []int32
+	inOffs     []int32
+	// chunkCnt[c][v] is scratch for parallel delivery: outbox c's message
+	// count (then placement cursor) for vertex v. Allocated on first
+	// parallel delivery, reused across rounds.
+	chunkCnt [][]int32
 	rngs     []*randx.RNG
 
 	sent    []machineCounters
@@ -103,15 +132,17 @@ type Engine[M any] struct {
 	spill   *spillState
 	aggs    map[string]*aggregator
 
-	// forcedNext lists vertices that requested activation in the next
+	// forcedNextBy[m] lists vertices machine m activated for the next
 	// superstep regardless of incoming messages (Pregel's active-vertex
 	// semantics for programs that iterate without messages). forcedFlag
 	// dedupes requests for the NEXT superstep; forcedNow marks the
 	// vertices forced in the CURRENT one (kept separate so a vertex can
-	// re-arm itself while executing).
-	forcedNext []graph.VertexID
-	forcedFlag []bool
-	forcedNow  []bool
+	// re-arm itself while executing). Both flag arrays are safe under
+	// parallel execution because activation is owner-machine-only (see
+	// Context.ActivateNextRound).
+	forcedNextBy [][]graph.VertexID
+	forcedFlag   []bool
+	forcedNow    []bool
 
 	spilledRecords int64
 	spilledBytes   int64
@@ -139,20 +170,28 @@ func New[M any](g *graph.Graph, part *graph.Partition, prog Program[M], run *sim
 	k := part.NumMachines()
 	e := &Engine[M]{
 		g: g, part: part, prog: prog, run: run, opts: opts,
+		workers:        effectiveWorkers(opts),
 		vertsByMachine: make([][]graph.VertexID, k),
+		outBy:          make([][]envelope[M], k),
 		inCounts:       make([]int32, g.NumVertices()),
 		inOffs:         make([]int32, g.NumVertices()+1),
 		rngs:           make([]*randx.RNG, k),
 		sent:           make([]machineCounters, k),
 		recv:           make([]machineCounters, k),
 		active:         make([]int64, k),
+		forcedNextBy:   make([][]graph.VertexID, k),
+	}
+	if e.workers > k {
+		e.workers = k
 	}
 	for v := 0; v < g.NumVertices(); v++ {
 		m := part.Owner(graph.VertexID(v))
 		e.vertsByMachine[m] = append(e.vertsByMachine[m], graph.VertexID(v))
 	}
+	e.ctxs = make([]*Context[M], k)
 	for m := 0; m < k; m++ {
 		e.rngs[m] = randx.New(opts.Seed ^ (uint64(m+1) * 0x9e3779b97f4a7c15))
+		e.ctxs[m] = &Context[M]{e: e, machine: m}
 	}
 	e.forcedFlag = make([]bool, g.NumVertices())
 	e.forcedNow = make([]bool, g.NumVertices())
@@ -167,6 +206,9 @@ func (e *Engine[M]) Graph() *graph.Graph { return e.g }
 
 // Partition returns the vertex partition.
 func (e *Engine[M]) Partition() *graph.Partition { return e.part }
+
+// Workers returns the resolved worker-pool size for this run.
+func (e *Engine[M]) Workers() int { return e.workers }
 
 func (e *Engine[M]) weight(m M) int64 {
 	if e.opts.Weight == nil {
@@ -189,26 +231,57 @@ func (e *Engine[M]) mirrorThreshold() int {
 	return e.run.Config().System.MirrorDegreeThreshold
 }
 
+// ensureMirrorSpan computes mirrorSpan once; sync.Once because parallel
+// Broadcast calls may race to initialize it.
 func (e *Engine[M]) ensureMirrorSpan() {
-	if e.mirrorSpan != nil {
-		return
-	}
-	e.mirrorSpan = make([]int32, e.g.NumVertices())
-	seen := make([]int, e.part.NumMachines())
-	epoch := 0
-	for v := 0; v < e.g.NumVertices(); v++ {
-		epoch++
-		own := e.part.Owner(graph.VertexID(v))
-		span := int32(0)
-		for _, u := range e.g.Neighbors(graph.VertexID(v)) {
-			m := e.part.Owner(u)
-			if m != own && seen[m] != epoch {
-				seen[m] = epoch
-				span++
+	e.mirrorOnce.Do(func() {
+		e.mirrorSpan = make([]int32, e.g.NumVertices())
+		seen := make([]int, e.part.NumMachines())
+		epoch := 0
+		for v := 0; v < e.g.NumVertices(); v++ {
+			epoch++
+			own := e.part.Owner(graph.VertexID(v))
+			span := int32(0)
+			for _, u := range e.g.Neighbors(graph.VertexID(v)) {
+				m := e.part.Owner(u)
+				if m != own && seen[m] != epoch {
+					seen[m] = epoch
+					span++
+				}
 			}
+			e.mirrorSpan[v] = span
 		}
-		e.mirrorSpan[v] = span
+	})
+}
+
+// pending reports whether any superstep work remains: buffered outbox
+// envelopes, spilled envelopes on disk, or forced activations.
+func (e *Engine[M]) pending() bool {
+	if e.spill != nil {
+		return true
 	}
+	for m := range e.outBy {
+		if len(e.outBy[m]) > 0 {
+			return true
+		}
+	}
+	for m := range e.forcedNextBy {
+		if len(e.forcedNextBy[m]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// takeForced drains the per-machine forced-activation lists, merged in
+// machine order.
+func (e *Engine[M]) takeForced() []graph.VertexID {
+	var forced []graph.VertexID
+	for m := range e.forcedNextBy {
+		forced = append(forced, e.forcedNextBy[m]...)
+		e.forcedNextBy[m] = e.forcedNextBy[m][:0]
+	}
+	return forced
 }
 
 // Run executes supersteps until no messages remain in flight, the round
@@ -216,20 +289,16 @@ func (e *Engine[M]) ensureMirrorSpan() {
 // run overloaded. It returns ErrMaxRounds only for the round bound; an
 // overload stop returns nil, with the overload visible on the sim.Run.
 func (e *Engine[M]) Run() error {
-	k := e.part.NumMachines()
-	ctx := &Context[M]{e: e}
-
 	// Superstep 1: seeding. "In the first round, each of the W walks stops
 	// with α probability and ... a message is sent" (§3).
-	for m := 0; m < k; m++ {
-		ctx.machine = m
-		e.prog.Seed(ctx)
+	e.forEachN(e.part.NumMachines(), func(m int) {
+		e.prog.Seed(e.ctxs[m])
 		e.active[m] += int64(len(e.vertsByMachine[m]))
-	}
+	})
 	e.rollAggregators()
 	e.observeRound()
 
-	for len(e.out) > 0 || e.spill != nil || len(e.forcedNext) > 0 {
+	for e.pending() {
 		if e.rounds >= e.opts.MaxRounds {
 			e.CleanupSpill()
 			return fmt.Errorf("%w (%d)", ErrMaxRounds, e.opts.MaxRounds)
@@ -239,38 +308,16 @@ func (e *Engine[M]) Run() error {
 			e.CleanupSpill()
 			return nil
 		}
-		forced := e.forcedNext
-		e.forcedNext = nil
+		forced := e.takeForced()
 		for _, v := range forced {
 			e.forcedNow[v] = true
 			e.forcedFlag[v] = false
 		}
 		e.deliver()
-		processed := 0
-		for m := 0; m < k; m++ {
-			ctx.machine = m
-			for _, v := range e.vertsByMachine[m] {
-				lo, hi := e.inOffs[v], e.inOffs[v+1]
-				if lo == hi && !e.forcedNow[v] {
-					continue
-				}
-				ctx.vertex = v
-				msgs := e.inbox[lo:hi]
-				rc := &e.recv[m]
-				for _, msg := range msgs {
-					rc.logical += e.weight(msg)
-				}
-				rc.physical += int64(len(msgs))
-				e.prog.Compute(ctx, v, msgs)
-				e.active[m]++
-				processed += len(msgs)
-				// Giraph-style superstep splitting: bound the messages a
-				// sub-step holds in flight.
-				if e.opts.MaxInboxPerStep > 0 && processed >= e.opts.MaxInboxPerStep {
-					e.observeRound()
-					processed = 0
-				}
-			}
+		if e.workers > 1 {
+			e.forEachN(e.part.NumMachines(), e.computeMachine)
+		} else {
+			e.computeSequential()
 		}
 		for _, v := range forced {
 			e.forcedNow[v] = false
@@ -281,54 +328,227 @@ func (e *Engine[M]) Run() error {
 	return nil
 }
 
+// computeMachine runs one machine's Compute calls for the current
+// superstep. All state it touches is owned by machine m (context, RNG,
+// outbox, counters) or is a read-only inbox segment of an owned vertex, so
+// machines may run concurrently.
+func (e *Engine[M]) computeMachine(m int) {
+	ctx := e.ctxs[m]
+	rc := &e.recv[m]
+	for _, v := range e.vertsByMachine[m] {
+		lo, hi := e.inOffs[v], e.inOffs[v+1]
+		if lo == hi && !e.forcedNow[v] {
+			continue
+		}
+		ctx.vertex = v
+		msgs := e.inbox[lo:hi]
+		for _, msg := range msgs {
+			rc.logical += e.weight(msg)
+		}
+		rc.physical += int64(len(msgs))
+		e.prog.Compute(ctx, v, msgs)
+		e.active[m]++
+	}
+}
+
+// computeSequential runs all machines in index order on the calling
+// goroutine, with the Giraph-style sub-step splitting that threads a
+// cross-machine processed counter through mid-round observations.
+func (e *Engine[M]) computeSequential() {
+	k := e.part.NumMachines()
+	processed := 0
+	for m := 0; m < k; m++ {
+		ctx := e.ctxs[m]
+		for _, v := range e.vertsByMachine[m] {
+			lo, hi := e.inOffs[v], e.inOffs[v+1]
+			if lo == hi && !e.forcedNow[v] {
+				continue
+			}
+			ctx.vertex = v
+			msgs := e.inbox[lo:hi]
+			rc := &e.recv[m]
+			for _, msg := range msgs {
+				rc.logical += e.weight(msg)
+			}
+			rc.physical += int64(len(msgs))
+			e.prog.Compute(ctx, v, msgs)
+			e.active[m]++
+			processed += len(msgs)
+			// Giraph-style superstep splitting: bound the messages a
+			// sub-step holds in flight.
+			if e.opts.MaxInboxPerStep > 0 && processed >= e.opts.MaxInboxPerStep {
+				e.observeRound()
+				processed = 0
+			}
+		}
+	}
+}
+
 // Stopped reports whether the run was abandoned due to overload.
 func (e *Engine[M]) Stopped() bool { return e.stopped }
 
 // deliver routes the pending envelopes into per-vertex inbox segments using
-// a counting sort on destination, and accounts per-machine receive counts.
+// a counting sort on destination. The message chunks — per-machine outboxes
+// in machine order, then any spilled envelopes — are placed in chunk order
+// with stable within-chunk order, which is exactly the single-outbox
+// engine's layout; the sequential and parallel paths below produce
+// bit-identical inboxes.
 func (e *Engine[M]) deliver() {
+	spilled := e.drainSpill()
+	chunks := e.outBy
+	if len(spilled) > 0 {
+		chunks = make([][]envelope[M], 0, len(e.outBy)+1)
+		chunks = append(chunks, e.outBy...)
+		chunks = append(chunks, spilled)
+	}
+	total := 0
+	for _, ch := range chunks {
+		total += len(ch)
+	}
+	if e.workers > 1 && total >= parallelDeliverMin {
+		e.deliverParallel(chunks, total)
+	} else {
+		e.deliverSequential(chunks, total)
+	}
+	for m := range e.outBy {
+		e.outBy[m] = e.outBy[m][:0]
+	}
+	e.outPending = 0
+	if e.opts.Combiner != nil {
+		e.combineInboxes()
+	}
+}
+
+// deliverSequential is the single-goroutine counting sort.
+func (e *Engine[M]) deliverSequential(chunks [][]envelope[M], total int) {
 	n := e.g.NumVertices()
 	for i := range e.inCounts {
 		e.inCounts[i] = 0
 	}
-	spilled := e.drainSpill()
-	for _, env := range e.out {
-		e.inCounts[env.dst]++
-	}
-	for _, env := range spilled {
-		e.inCounts[env.dst]++
+	for _, ch := range chunks {
+		for _, env := range ch {
+			e.inCounts[env.dst]++
+		}
 	}
 	e.inOffs[0] = 0
 	for v := 0; v < n; v++ {
 		e.inOffs[v+1] = e.inOffs[v] + e.inCounts[v]
 	}
-	total := int(e.inOffs[n])
 	if cap(e.inbox) < total {
 		e.inbox = make([]M, total)
 	}
 	e.inbox = e.inbox[:total]
 	cursor := make([]int32, n)
 	copy(cursor, e.inOffs[:n])
-	place := func(env envelope[M]) {
-		e.inbox[cursor[env.dst]] = env.payload
-		cursor[env.dst]++
-	}
-	for _, env := range e.out {
-		place(env)
-	}
-	for _, env := range spilled {
-		place(env)
-	}
-	e.out = e.out[:0]
-	if e.opts.Combiner != nil {
-		e.combineInboxes()
+	for _, ch := range chunks {
+		for _, env := range ch {
+			e.inbox[cursor[env.dst]] = env.payload
+			cursor[env.dst]++
+		}
 	}
 }
 
+// deliverParallel distributes the same counting sort over the worker pool:
+// per-chunk histograms (parallel over chunks), per-vertex totals and chunk
+// cursors (parallel over vertex ranges), a sequential prefix sum, and
+// placement (parallel over chunks, each writing disjoint inbox slots).
+func (e *Engine[M]) deliverParallel(chunks [][]envelope[M], total int) {
+	n := e.g.NumVertices()
+	for len(e.chunkCnt) < len(chunks) {
+		e.chunkCnt = append(e.chunkCnt, make([]int32, n))
+	}
+	cnt := e.chunkCnt[:len(chunks)]
+	// Per-chunk destination histograms.
+	e.forEachN(len(chunks), func(c int) {
+		row := cnt[c]
+		for i := range row {
+			row[i] = 0
+		}
+		for _, env := range chunks[c] {
+			row[env.dst]++
+		}
+	})
+	// Per-vertex totals.
+	e.forEachRange(n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			s := int32(0)
+			for c := range cnt {
+				s += cnt[c][v]
+			}
+			e.inCounts[v] = s
+		}
+	})
+	// Prefix sum (sequential; O(n) and dependency-chained).
+	e.inOffs[0] = 0
+	for v := 0; v < n; v++ {
+		e.inOffs[v+1] = e.inOffs[v] + e.inCounts[v]
+	}
+	// Turn histograms into per-chunk placement cursors: chunk c's messages
+	// for vertex v occupy [cnt[c][v], cnt[c][v]+hist) after this, with
+	// chunks laid out in order inside v's segment — the stable layout.
+	e.forEachRange(n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			run := e.inOffs[v]
+			for c := range cnt {
+				h := cnt[c][v]
+				cnt[c][v] = run
+				run += h
+			}
+		}
+	})
+	if cap(e.inbox) < total {
+		e.inbox = make([]M, total)
+	}
+	e.inbox = e.inbox[:total]
+	// Placement: each chunk owns its cursor row and the slots it reserves,
+	// so chunks place concurrently without synchronization.
+	e.forEachN(len(chunks), func(c int) {
+		cur := cnt[c]
+		for _, env := range chunks[c] {
+			e.inbox[cur[env.dst]] = env.payload
+			cur[env.dst]++
+		}
+	})
+}
+
 // combineInboxes folds each vertex's inbox down to a single message using
-// the configured combiner.
+// the configured combiner. The fold is left-to-right within each vertex's
+// segment on both paths; the parallel path folds vertex ranges concurrently
+// (disjoint segments) and compacts sequentially.
 func (e *Engine[M]) combineInboxes() {
 	n := e.g.NumVertices()
+	if e.workers > 1 && len(e.inbox) >= parallelDeliverMin {
+		e.forEachRange(n, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				s, t := e.inOffs[v], e.inOffs[v+1]
+				if t-s < 2 {
+					continue
+				}
+				acc := e.inbox[s]
+				for i := s + 1; i < t; i++ {
+					acc = e.opts.Combiner(acc, e.inbox[i])
+				}
+				e.inbox[s] = acc
+			}
+		})
+		w := int32(0)
+		newOffs := make([]int32, n+1)
+		for v := 0; v < n; v++ {
+			newOffs[v] = w
+			lo, hi := e.inOffs[v], e.inOffs[v+1]
+			if lo == hi {
+				continue
+			}
+			// w <= lo always (each earlier non-empty vertex consumed at
+			// least one slot), so this never overwrites a pending segment.
+			e.inbox[w] = e.inbox[lo]
+			w++
+		}
+		newOffs[n] = w
+		e.inbox = e.inbox[:w]
+		copy(e.inOffs, newOffs)
+		return
+	}
 	w := int32(0)
 	newOffs := make([]int32, n+1)
 	for v := 0; v < n; v++ {

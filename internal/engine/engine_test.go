@@ -3,6 +3,7 @@ package engine
 import (
 	"encoding/binary"
 	"errors"
+	"sync/atomic"
 	"testing"
 
 	"vcmt/internal/graph"
@@ -182,8 +183,9 @@ func TestWeightFuncDrivesLogicalCounts(t *testing.T) {
 	}
 }
 
-// broadcastProg exercises Broadcast from the star center.
-type broadcastProg struct{ received int }
+// broadcastProg exercises Broadcast from the star center. received is
+// atomic because leaves on different machines compute concurrently.
+type broadcastProg struct{ received atomic.Int64 }
 
 func (p *broadcastProg) Seed(ctx vcapi.Context[countMsg]) {
 	for _, v := range ctx.OwnedVertices() {
@@ -193,7 +195,7 @@ func (p *broadcastProg) Seed(ctx vcapi.Context[countMsg]) {
 	}
 }
 func (p *broadcastProg) Compute(ctx vcapi.Context[countMsg], v graph.VertexID, msgs []countMsg) {
-	p.received += len(msgs)
+	p.received.Add(int64(len(msgs)))
 }
 
 func TestBroadcastDeliversToAllNeighbors(t *testing.T) {
@@ -204,8 +206,8 @@ func TestBroadcastDeliversToAllNeighbors(t *testing.T) {
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if prog.received != 32 {
-		t.Fatalf("received=%d want 32", prog.received)
+	if got := prog.received.Load(); got != 32 {
+		t.Fatalf("received=%d want 32", got)
 	}
 }
 
@@ -359,14 +361,15 @@ func TestContextAccessors(t *testing.T) {
 		if ctx.Round() >= 2 {
 			sawRound = true
 		}
+		// Errorf, not Fatalf: Compute may run on a pool goroutine.
 		if ctx.Vertex() != v {
-			t.Fatalf("ctx.Vertex()=%d want %d", ctx.Vertex(), v)
+			t.Errorf("ctx.Vertex()=%d want %d", ctx.Vertex(), v)
 		}
 		if ctx.Graph() != g {
-			t.Fatal("ctx.Graph() mismatch")
+			t.Error("ctx.Graph() mismatch")
 		}
 		if ctx.RNG() == nil {
-			t.Fatal("ctx.RNG() nil")
+			t.Error("ctx.RNG() nil")
 		}
 	}}
 	e := New[hopMsg](g, part, prog, nil, Options[hopMsg]{})
@@ -380,12 +383,12 @@ func TestContextAccessors(t *testing.T) {
 
 type probeProg struct {
 	onCompute func(vcapi.Context[hopMsg], graph.VertexID)
-	sent      bool
 }
 
+// Seed sends from machine 0 only; Seed runs once per machine, possibly
+// concurrently, so a shared "already sent" flag would race.
 func (p *probeProg) Seed(ctx vcapi.Context[hopMsg]) {
-	if !p.sent {
-		p.sent = true
+	if ctx.Machine() == 0 {
 		ctx.Send(3, hopMsg{Hop: 1})
 	}
 }

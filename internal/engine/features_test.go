@@ -158,7 +158,8 @@ func TestCombinerPreservesBFS(t *testing.T) {
 }
 
 // tickProg iterates N rounds using forced activation only (no messages).
-type tickProg struct{ ticks map[graph.VertexID]int }
+// ticks is indexed by vertex so concurrent machines write disjoint slots.
+type tickProg struct{ ticks []int }
 
 func (p *tickProg) Seed(ctx vcapi.Context[hopMsg]) {
 	c := ctx.(*Context[hopMsg])
@@ -169,9 +170,6 @@ func (p *tickProg) Seed(ctx vcapi.Context[hopMsg]) {
 
 func (p *tickProg) Compute(ctx vcapi.Context[hopMsg], v graph.VertexID, msgs []hopMsg) {
 	c := ctx.(*Context[hopMsg])
-	if p.ticks == nil {
-		p.ticks = map[graph.VertexID]int{}
-	}
 	p.ticks[v]++
 	if p.ticks[v] < 5 {
 		c.ActivateNextRound(v)
@@ -181,7 +179,7 @@ func (p *tickProg) Compute(ctx vcapi.Context[hopMsg], v graph.VertexID, msgs []h
 func TestForcedActivationWithoutMessages(t *testing.T) {
 	g := graph.GenerateRing(8)
 	part := graph.HashPartition(8, 2)
-	prog := &tickProg{}
+	prog := &tickProg{ticks: make([]int, 8)}
 	e := New[hopMsg](g, part, prog, nil, Options[hopMsg]{})
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
@@ -197,7 +195,7 @@ func TestForcedActivationCountsAsActive(t *testing.T) {
 	g := graph.GenerateRing(8)
 	part := graph.HashPartition(8, 2)
 	run := sim.NewRun(sim.JobConfig{Cluster: sim.Galaxy8.WithMachines(2), System: sim.PregelPlus})
-	prog := &tickProg{}
+	prog := &tickProg{ticks: make([]int, 8)}
 	e := New[hopMsg](g, part, prog, run, Options[hopMsg]{})
 	if err := e.Run(); err != nil {
 		t.Fatal(err)

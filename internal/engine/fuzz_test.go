@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"testing"
+
+	"vcmt/internal/graph"
+	"vcmt/internal/vcapi"
+)
+
+// nopProg is a vertex program that never sends; the fuzz harness drives
+// the delivery machinery directly.
+type nopProg struct{}
+
+func (nopProg) Seed(vcapi.Context[int32])                             {}
+func (nopProg) Compute(vcapi.Context[int32], graph.VertexID, []int32) {}
+
+// FuzzDeliverRouting decodes arbitrary bytes into a batch of envelopes
+// spread over per-machine outboxes and checks the counting-sort delivery
+// invariants on both the sequential and the parallel path:
+//
+//   - every envelope lands in exactly one inbox segment — the segment of
+//     its destination vertex — and no envelope is duplicated or dropped;
+//   - segments are chunk-major stable: machine order, then send order;
+//   - the parallel path produces a bit-identical inbox layout to the
+//     sequential path (the determinism contract);
+//   - after combining, each non-empty segment holds exactly one message,
+//     the message count equals the number of non-empty inboxes, and a sum
+//     combiner preserves the payload total.
+func FuzzDeliverRouting(f *testing.F) {
+	f.Add([]byte{8, 2, 0, 0, 1, 5, 2, 9, 0, 3})
+	f.Add([]byte{120, 7, 1, 1, 1, 1, 1, 1})
+	f.Add([]byte{16, 1})
+	f.Add([]byte{40, 4, 255, 255, 0, 0, 7, 200, 3, 3, 3, 3, 9, 9})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		n := 8 + int(data[0])%120
+		k := 1 + int(data[1])%8
+		g := graph.GenerateRing(n)
+		part := graph.HashPartition(n, k)
+		sum := func(a, b int32) int32 { return a + b }
+
+		seq := New[int32](g, part, nopProg{}, nil, Options[int32]{Workers: 1, Combiner: sum})
+		par := New[int32](g, part, nopProg{}, nil, Options[int32]{Workers: 4, Combiner: sum})
+
+		// Decode (machine, dst) pairs; payload is the send sequence number.
+		var total int
+		var paySum int64
+		wantPerVertex := make([]int, n)
+		for i := 0; i+1 < len(data)-2; i += 2 {
+			m := int(data[2+i]) % k
+			dst := graph.VertexID(int(data[3+i]) % n)
+			env := envelope[int32]{dst: dst, payload: int32(total)}
+			seq.outBy[m] = append(seq.outBy[m], env)
+			par.outBy[m] = append(par.outBy[m], env)
+			wantPerVertex[dst]++
+			paySum += int64(total)
+			total++
+		}
+
+		// Snapshot chunk layout before the engines truncate their outboxes.
+		chunks := make([][]envelope[int32], k)
+		for m := 0; m < k; m++ {
+			chunks[m] = append([]envelope[int32](nil), seq.outBy[m]...)
+		}
+
+		seq.deliverSequential(chunks, total)
+		par.deliverParallel(chunks, total)
+
+		if len(seq.inbox) != total {
+			t.Fatalf("inbox holds %d messages, %d were sent", len(seq.inbox), total)
+		}
+		// Exactly-one-segment: per-vertex counts match the routing table and
+		// sum to the total, so no envelope is lost, duplicated or misfiled.
+		for v := 0; v < n; v++ {
+			gotN := int(seq.inOffs[v+1] - seq.inOffs[v])
+			if gotN != wantPerVertex[v] {
+				t.Fatalf("vertex %d segment holds %d messages want %d", v, gotN, wantPerVertex[v])
+			}
+		}
+		// Chunk-major stable order inside each segment: sequence numbers
+		// must appear in (machine, send order) — i.e. the same order a
+		// single-outbox sequential engine would have appended them.
+		for v := 0; v < n; v++ {
+			idx := 0
+			var want []int32
+			for m := 0; m < k; m++ {
+				for _, env := range chunks[m] {
+					if env.dst == graph.VertexID(v) {
+						want = append(want, env.payload)
+					}
+				}
+			}
+			for i := seq.inOffs[v]; i < seq.inOffs[v+1]; i++ {
+				if seq.inbox[i] != want[idx] {
+					t.Fatalf("vertex %d slot %d: payload %d want %d (stable order broken)",
+						v, i, seq.inbox[i], want[idx])
+				}
+				idx++
+			}
+		}
+		// Parallel path must reproduce the sequential layout bit-for-bit.
+		for v := 0; v <= n; v++ {
+			if seq.inOffs[v] != par.inOffs[v] {
+				t.Fatalf("offset table diverges at %d: %d vs %d", v, seq.inOffs[v], par.inOffs[v])
+			}
+		}
+		for i := range seq.inbox {
+			if seq.inbox[i] != par.inbox[i] {
+				t.Fatalf("inbox diverges at slot %d: %d vs %d", i, seq.inbox[i], par.inbox[i])
+			}
+		}
+
+		// Combiner invariants on both paths.
+		nonEmpty := 0
+		for v := 0; v < n; v++ {
+			if wantPerVertex[v] > 0 {
+				nonEmpty++
+			}
+		}
+		for _, e := range []*Engine[int32]{seq, par} {
+			e.combineInboxes()
+			if len(e.inbox) != nonEmpty {
+				t.Fatalf("workers=%d: combined inbox holds %d messages, %d inboxes were non-empty",
+					e.workers, len(e.inbox), nonEmpty)
+			}
+			var got int64
+			for v := 0; v < n; v++ {
+				segLen := e.inOffs[v+1] - e.inOffs[v]
+				if segLen > 1 {
+					t.Fatalf("workers=%d: vertex %d still has %d messages after combining",
+						e.workers, v, segLen)
+				}
+				if (segLen > 0) != (wantPerVertex[v] > 0) {
+					t.Fatalf("workers=%d: vertex %d segment presence changed by combining", e.workers, v)
+				}
+				for i := e.inOffs[v]; i < e.inOffs[v+1]; i++ {
+					got += int64(e.inbox[i])
+				}
+			}
+			if got != paySum {
+				t.Fatalf("workers=%d: sum combiner lost mass: %d want %d", e.workers, got, paySum)
+			}
+		}
+	})
+}

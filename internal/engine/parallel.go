@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel execution support. The engine runs each superstep's per-machine
+// work (Seed/Compute plus the counting-sort delivery and combiner fold) on a
+// small worker pool while preserving the sequential engine's determinism
+// contract: all mutable state is partitioned by logical machine (outboxes,
+// counters, RNG streams, aggregator lanes, forced-activation lists) or by
+// vertex range (inbox segments), and every cross-machine merge walks the
+// partitions in machine order. The parallel and sequential paths therefore
+// produce bit-identical message streams, round statistics and results.
+
+// parallelDeliverMin is the message count below which delivery and the
+// combiner fold stay on one goroutine; tiny rounds are cheaper sequentially
+// than the pool handoff. Both paths produce identical inbox layouts, so the
+// threshold never affects results.
+const parallelDeliverMin = 4096
+
+// effectiveWorkers resolves Options.Workers: 0 means GOMAXPROCS, and modes
+// whose semantics are inherently sequential (out-of-core spilling tracks a
+// global outbox byte stream; Giraph-style sub-step splitting threads a
+// cross-machine processed counter through mid-round observations) force one
+// worker.
+func effectiveWorkers[M any](opts Options[M]) int {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if opts.Spill != nil || opts.MaxInboxPerStep > 0 {
+		w = 1
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// forEachN runs fn(i) for every i in [0, n) on up to e.workers goroutines,
+// handing out indices through an atomic counter so uneven work (skewed
+// machine loads) balances itself. Panics in fn are re-raised on the calling
+// goroutine, matching sequential behaviour.
+func (e *Engine[M]) forEachN(n int, fn func(i int)) {
+	w := e.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicVal any
+	)
+	wg.Add(w)
+	for t := 0; t < w; t++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicVal == nil {
+						panicVal = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}
+
+// forEachRange splits [0, n) into contiguous grains (a few per worker, for
+// load balance) and runs fn(lo, hi) on each. Used for the vertex-range
+// phases of delivery and combining, where every grain writes disjoint
+// index ranges.
+func (e *Engine[M]) forEachRange(n int, fn func(lo, hi int)) {
+	if e.workers <= 1 || n < 2048 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	grains := e.workers * 4
+	size := (n + grains - 1) / grains
+	grains = (n + size - 1) / size
+	e.forEachN(grains, func(i int) {
+		lo := i * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
+}

@@ -44,6 +44,12 @@ func (e *Engine[M]) SpilledBytes() int64 { return e.spilledBytes }
 // so far.
 func (e *Engine[M]) SpilledRecords() int64 { return e.spilledRecords }
 
+// flushSpill writes every buffered outbox envelope to the spill file and
+// truncates the outboxes. Spill mode runs sequentially, so walking the
+// per-machine outboxes in machine order reproduces the exact byte stream
+// the single-outbox engine wrote: machines execute in index order, hence
+// buffered envelopes of lower-numbered machines chronologically precede
+// those of the machine currently mid-superstep.
 func (e *Engine[M]) flushSpill() {
 	opts := e.opts.Spill
 	if e.spill == nil {
@@ -54,28 +60,31 @@ func (e *Engine[M]) flushSpill() {
 		e.spill = &spillState{file: f, w: bufio.NewWriterSize(f, 1<<20)}
 	}
 	var scratch [4]byte
-	for _, env := range e.out {
-		binary.LittleEndian.PutUint32(scratch[:], env.dst)
-		if _, err := e.spill.w.Write(scratch[:]); err != nil {
-			panic(fmt.Sprintf("engine: spill write: %v", err))
+	for m := range e.outBy {
+		for _, env := range e.outBy[m] {
+			binary.LittleEndian.PutUint32(scratch[:], env.dst)
+			if _, err := e.spill.w.Write(scratch[:]); err != nil {
+				panic(fmt.Sprintf("engine: spill write: %v", err))
+			}
+			payload := opts.Codec.Encode(nil, env.payload)
+			if len(payload) > 255 {
+				panic("engine: spill payloads are limited to 255 bytes")
+			}
+			if err := e.spill.w.WriteByte(byte(len(payload))); err != nil {
+				panic(fmt.Sprintf("engine: spill write: %v", err))
+			}
+			if _, err := e.spill.w.Write(payload); err != nil {
+				panic(fmt.Sprintf("engine: spill write: %v", err))
+			}
+			e.spill.records++
+			rec := int64(4 + 1 + len(payload))
+			e.spill.bytes += rec
+			e.spilledRecords++
+			e.spilledBytes += rec
 		}
-		payload := opts.Codec.Encode(nil, env.payload)
-		if len(payload) > 255 {
-			panic("engine: spill payloads are limited to 255 bytes")
-		}
-		if err := e.spill.w.WriteByte(byte(len(payload))); err != nil {
-			panic(fmt.Sprintf("engine: spill write: %v", err))
-		}
-		if _, err := e.spill.w.Write(payload); err != nil {
-			panic(fmt.Sprintf("engine: spill write: %v", err))
-		}
-		e.spill.records++
-		rec := int64(4 + 1 + len(payload))
-		e.spill.bytes += rec
-		e.spilledRecords++
-		e.spilledBytes += rec
+		e.outBy[m] = e.outBy[m][:0]
 	}
-	e.out = e.out[:0]
+	e.outPending = 0
 }
 
 // drainSpill reads back every spilled envelope of the current superstep and

@@ -42,6 +42,10 @@ type Options struct {
 	Fast bool
 	// Seed drives all randomness.
 	Seed uint64
+	// Workers sets the BSP engine's worker-pool size for every job (see
+	// engine.Options.Workers: 0 = GOMAXPROCS, 1 = sequential). Results are
+	// identical for every value; only wall-clock time changes.
+	Workers int
 }
 
 func (o Options) seed() uint64 {
@@ -202,7 +206,7 @@ func (s setting) jobConfig(d graph.DatasetSpec, replicaW int) sim.JobConfig {
 }
 
 // makeJob builds a fresh job for one run of the setting.
-func (s setting) makeJob(g *graph.Graph, part *graph.Partition, replicaW int, seed uint64) (tasks.Job, error) {
+func (s setting) makeJob(g *graph.Graph, part *graph.Partition, replicaW int, seed uint64, workers int) (tasks.Job, error) {
 	async := s.system.Async == sim.FullAsync
 	switch s.task {
 	case BPPR:
@@ -212,6 +216,7 @@ func (s setting) makeJob(g *graph.Graph, part *graph.Partition, replicaW int, se
 			Async:              async,
 			Seed:               seed,
 			MaxRounds:          5000,
+			Workers:            workers,
 			StopWhenOverloaded: false,
 		}), nil
 	case MSSP:
@@ -221,6 +226,7 @@ func (s setting) makeJob(g *graph.Graph, part *graph.Partition, replicaW int, se
 			Async:              async,
 			Seed:               seed,
 			MaxRounds:          5000,
+			Workers:            workers,
 			StopWhenOverloaded: false,
 		})
 	case BKHS:
@@ -231,6 +237,7 @@ func (s setting) makeJob(g *graph.Graph, part *graph.Partition, replicaW int, se
 			Async:              async,
 			Seed:               seed,
 			MaxRounds:          5000,
+			Workers:            workers,
 			StopWhenOverloaded: false,
 		}), nil
 	default:
@@ -269,7 +276,7 @@ func (s setting) run(o Options, labelSuffix string) (Series, error) {
 	}
 	series := Series{Label: s.label(labelSuffix)}
 	for _, k := range batches {
-		job, err := s.makeJob(g, part, replicaW, s.seed+uint64(k)*101)
+		job, err := s.makeJob(g, part, replicaW, s.seed+uint64(k)*101, o.Workers)
 		if err != nil {
 			return Series{}, err
 		}

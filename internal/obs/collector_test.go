@@ -140,10 +140,16 @@ func TestOverloadEventEmittedOnce(t *testing.T) {
 // buildReport runs the same wiring vcrun uses — job, batch loop, collector,
 // report — and returns the serialized report and event log.
 func buildReport(t *testing.T) (reportJSON, eventsJSONL []byte) {
+	return buildReportWorkers(t, 1)
+}
+
+// buildReportWorkers is buildReport with an explicit engine worker-pool
+// size; the report must not depend on it.
+func buildReportWorkers(t *testing.T, workers int) (reportJSON, eventsJSONL []byte) {
 	t.Helper()
 	g := graph.GenerateChungLu(200, 900, 2.5, 3)
 	part := graph.HashPartition(g.NumVertices(), 4)
-	job := tasks.NewBPPR(g, part, tasks.BPPRConfig{WalksPerNode: 8, Seed: 11})
+	job := tasks.NewBPPR(g, part, tasks.BPPRConfig{WalksPerNode: 8, Seed: 11, Workers: workers})
 
 	var events bytes.Buffer
 	col := obs.NewCollector(obs.CollectorOptions{Events: &events})
@@ -193,6 +199,18 @@ func TestReportByteStableAcrossRuns(t *testing.T) {
 	}
 	if !bytes.Equal(ev1, ev2) {
 		t.Fatal("event log differs between identical seeded runs")
+	}
+	// The parallel-engine determinism contract extends to the full report
+	// surface: running the same job with a multi-worker engine pool must
+	// reproduce the sequential report and event log byte for byte.
+	for _, workers := range []int{4, 8} {
+		repW, evW := buildReportWorkers(t, workers)
+		if !bytes.Equal(rep1, repW) {
+			t.Fatalf("JSON report differs between workers=1 and workers=%d", workers)
+		}
+		if !bytes.Equal(ev1, evW) {
+			t.Fatalf("event log differs between workers=1 and workers=%d", workers)
+		}
 	}
 	// Sanity: the report is real JSON with the sections the acceptance
 	// criteria name.

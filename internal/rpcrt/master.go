@@ -117,6 +117,20 @@ func (c *Cluster) Close() {
 // Workers returns the cluster size.
 func (c *Cluster) Workers() int { return c.k }
 
+// SetComputeParallelism bounds the number of goroutines each worker may use
+// for one ComputeRound (default GOMAXPROCS). n <= 1 forces sequential
+// rounds. Programs whose compute is not parallel-safe (see
+// workerProgram.parallelOK) always run sequentially regardless of n.
+// Results and conservation counters are identical for every setting.
+func (c *Cluster) SetComputeParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	for _, w := range c.workers {
+		w.procs = n
+	}
+}
+
 // SetRegistry attaches a telemetry registry; subsequent jobs record
 // per-round histograms (message volume, wall-clock superstep latency) and,
 // at job end, per-worker message/byte counters labelled worker=<id>. Nil

@@ -31,35 +31,45 @@ func newMSSPProgram(w *Worker, spec JobSpec) *msspProgram {
 	return p
 }
 
-func (p *msspProgram) seed(w *Worker) {
-	for _, s := range w.owned {
+func (p *msspProgram) seed(sc *sendCtx) {
+	for _, s := range sc.owned {
 		i, ok := p.srcIdx[s]
 		if !ok {
 			continue
 		}
 		p.dist[i][s] = 0
-		p.relax(w, s, i)
+		p.relax(sc, s, i)
 	}
 }
 
-func (p *msspProgram) compute(w *Worker, v graph.VertexID, msgs []Message) {
-	improved := map[int]bool{}
+// compute only touches dist rows at the destination vertex v, so shards
+// over disjoint vertices may run concurrently.
+func (p *msspProgram) parallelOK() bool { return true }
+
+func (p *msspProgram) compute(sc *sendCtx, v graph.VertexID, msgs []Message) {
+	// Track improved batch sources in first-improvement order (not map
+	// order) so the relax/send sequence is deterministic and replayable.
+	var improved []int
+	marked := map[int]bool{}
 	for _, m := range msgs {
 		i := p.srcIdx[m.Src]
 		if m.Val < p.dist[i][v] {
 			p.dist[i][v] = m.Val
-			improved[i] = true
+			if !marked[i] {
+				marked[i] = true
+				improved = append(improved, i)
+			}
 		}
 	}
-	for i := range improved {
-		p.relax(w, v, i)
+	for _, i := range improved {
+		p.relax(sc, v, i)
 	}
 }
 
-func (p *msspProgram) relax(w *Worker, v graph.VertexID, i int) {
+func (p *msspProgram) relax(sc *sendCtx, v graph.VertexID, i int) {
 	d := p.dist[i][v]
-	for e, u := range w.g.Neighbors(v) {
-		w.send(Message{Dst: u, Src: p.sources[i], Val: d + w.g.Weight(v, e)})
+	for e, u := range sc.g.Neighbors(v) {
+		sc.send(Message{Dst: u, Src: p.sources[i], Val: d + sc.g.Weight(v, e)})
 	}
 }
 
@@ -107,18 +117,22 @@ func newBKHSProgram(w *Worker, spec JobSpec) *bkhsProgram {
 	return p
 }
 
-func (p *bkhsProgram) seed(w *Worker) {
-	for _, s := range w.owned {
+func (p *bkhsProgram) seed(sc *sendCtx) {
+	for _, s := range sc.owned {
 		i, ok := p.srcIdx[s]
 		if !ok {
 			continue
 		}
 		p.hops[i][s] = 0
-		p.forward(w, s, i, 1)
+		p.forward(sc, s, i, 1)
 	}
 }
 
-func (p *bkhsProgram) compute(w *Worker, v graph.VertexID, msgs []Message) {
+// compute only touches hops rows at the destination vertex v, so shards
+// over disjoint vertices may run concurrently.
+func (p *bkhsProgram) parallelOK() bool { return true }
+
+func (p *bkhsProgram) compute(sc *sendCtx, v graph.VertexID, msgs []Message) {
 	for _, m := range msgs {
 		i := p.srcIdx[m.Src]
 		h := uint8(m.Val)
@@ -127,14 +141,14 @@ func (p *bkhsProgram) compute(w *Worker, v graph.VertexID, msgs []Message) {
 		}
 		p.hops[i][v] = h
 		if int32(h) < p.k {
-			p.forward(w, v, i, h+1)
+			p.forward(sc, v, i, h+1)
 		}
 	}
 }
 
-func (p *bkhsProgram) forward(w *Worker, v graph.VertexID, i int, hop uint8) {
-	for _, u := range w.g.Neighbors(v) {
-		w.send(Message{Dst: u, Src: p.sources[i], Val: float32(hop)})
+func (p *bkhsProgram) forward(sc *sendCtx, v graph.VertexID, i int, hop uint8) {
+	for _, u := range sc.g.Neighbors(v) {
+		sc.send(Message{Dst: u, Src: p.sources[i], Val: float32(hop)})
 	}
 }
 
@@ -179,20 +193,24 @@ func newBPPRProgram(w *Worker, spec JobSpec) *bpprProgram {
 	return p
 }
 
-func (p *bpprProgram) seed(w *Worker) {
-	for _, v := range w.owned {
-		p.step(w, v, v, int64(p.walks))
+func (p *bpprProgram) seed(sc *sendCtx) {
+	for _, v := range sc.owned {
+		p.step(sc, v, v, int64(p.walks))
 	}
 }
 
-func (p *bpprProgram) compute(w *Worker, v graph.VertexID, msgs []Message) {
+// compute shares the worker RNG, the multinomial scratch buffer and the
+// endpoints map across vertices, so rounds must run single-threaded.
+func (p *bpprProgram) parallelOK() bool { return false }
+
+func (p *bpprProgram) compute(sc *sendCtx, v graph.VertexID, msgs []Message) {
 	for _, m := range msgs {
-		p.step(w, v, m.Src, int64(m.Val))
+		p.step(sc, v, m.Src, int64(m.Val))
 	}
 }
 
-func (p *bpprProgram) step(w *Worker, v, src graph.VertexID, count int64) {
-	ns := w.g.Neighbors(v)
+func (p *bpprProgram) step(sc *sendCtx, v, src graph.VertexID, count int64) {
+	ns := sc.g.Neighbors(v)
 	stops := p.rng.Binomial(count, p.alpha)
 	if len(ns) == 0 {
 		stops = count
@@ -206,7 +224,7 @@ func (p *bpprProgram) step(w *Worker, v, src graph.VertexID, count int64) {
 	}
 	if rest*4 <= int64(len(ns)) {
 		for i := int64(0); i < rest; i++ {
-			w.send(Message{Dst: ns[p.rng.Intn(len(ns))], Src: src, Val: 1})
+			sc.send(Message{Dst: ns[p.rng.Intn(len(ns))], Src: src, Val: 1})
 		}
 		return
 	}
@@ -217,7 +235,7 @@ func (p *bpprProgram) step(w *Worker, v, src graph.VertexID, count int64) {
 	p.rng.Multinomial(rest, buckets)
 	for i, c := range buckets {
 		if c > 0 {
-			w.send(Message{Dst: ns[i], Src: src, Val: float32(c)})
+			sc.send(Message{Dst: ns[i], Src: src, Val: float32(c)})
 		}
 	}
 }

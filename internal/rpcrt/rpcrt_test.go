@@ -324,3 +324,110 @@ func TestBPPROverRPCMassConservation(t *testing.T) {
 		}
 	}
 }
+
+// TestAdvanceSortsInbox delivers a shuffled batch directly and checks that
+// Advance orders the inbox by destination and each vertex's messages by
+// (Src, Val) — the property that makes rpcrt rounds replayable even though
+// peer deliveries interleave nondeterministically.
+func TestAdvanceSortsInbox(t *testing.T) {
+	w := newWorker(0, 1, graph.GenerateRing(8))
+	batch := []Message{
+		{Dst: 5, Src: 3, Val: 2},
+		{Dst: 1, Src: 0, Val: 1},
+		{Dst: 5, Src: 3, Val: 1},
+		{Dst: 3, Src: 2, Val: 9},
+		{Dst: 5, Src: 1, Val: 7},
+		{Dst: 1, Src: 4, Val: 0},
+	}
+	if err := w.Deliver(DeliverArgs{From: 0, Batch: batch}, &struct{}{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Advance(struct{}{}, &struct{}{}); err != nil {
+		t.Fatal(err)
+	}
+	wantDst := []graph.VertexID{1, 3, 5}
+	if len(w.cur) != len(wantDst) {
+		t.Fatalf("inbox groups=%d want %d", len(w.cur), len(wantDst))
+	}
+	for i, msgs := range w.cur {
+		if msgs[0].Dst != wantDst[i] {
+			t.Fatalf("group %d dst=%d want %d", i, msgs[0].Dst, wantDst[i])
+		}
+		for j := 1; j < len(msgs); j++ {
+			a, b := msgs[j-1], msgs[j]
+			if a.Src > b.Src || (a.Src == b.Src && a.Val > b.Val) {
+				t.Fatalf("group %d not sorted: %+v before %+v", i, a, b)
+			}
+		}
+	}
+}
+
+// TestParallelComputeRoundMatchesSequential runs the same MSSP job with
+// sequential and sharded compute rounds and requires identical distance
+// tables, round counts and per-worker conservation counters — the
+// determinism contract on the RPC runtime.
+func TestParallelComputeRoundMatchesSequential(t *testing.T) {
+	g := graph.WithUniformWeights(graph.GenerateChungLu(200, 800, 2.5, 17), 1, 4, 21)
+	sources := []graph.VertexID{0, 9, 77, 150}
+
+	run := func(procs int) ([][]float64, int, int64, []WorkerStats) {
+		c := startTestCluster(t, g, 4)
+		c.SetComputeParallelism(procs)
+		dist, err := c.RunMSSP(sources)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := c.WorkerStats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dist, c.Rounds(), c.MessagesSent(), st
+	}
+
+	seqDist, seqRounds, seqMsgs, seqStats := run(1)
+	parDist, parRounds, parMsgs, parStats := run(4)
+
+	if seqRounds != parRounds {
+		t.Fatalf("rounds: sequential %d parallel %d", seqRounds, parRounds)
+	}
+	if seqMsgs != parMsgs {
+		t.Fatalf("messages: sequential %d parallel %d", seqMsgs, parMsgs)
+	}
+	for i := range sources {
+		for v := 0; v < g.NumVertices(); v++ {
+			sv, pv := seqDist[i][v], parDist[i][v]
+			if sv != pv && !(math.IsInf(sv, 1) && math.IsInf(pv, 1)) {
+				t.Fatalf("src %d v %d: sequential %v parallel %v", sources[i], v, sv, pv)
+			}
+		}
+	}
+	for i := range seqStats {
+		s, p := seqStats[i], parStats[i]
+		if s.Sent != p.Sent || s.Recv != p.Recv {
+			t.Fatalf("worker %d counters diverge: seq %+v par %+v", i, s, p)
+		}
+		for k := range s.SentByPeer {
+			if s.SentByPeer[k] != p.SentByPeer[k] || s.RecvByPeer[k] != p.RecvByPeer[k] {
+				t.Fatalf("worker %d per-peer counters diverge at %d", i, k)
+			}
+		}
+	}
+}
+
+// TestParallelBKHSMatchesOracle exercises the sharded compute path on the
+// second parallel-safe program.
+func TestParallelBKHSMatchesOracle(t *testing.T) {
+	g := graph.GenerateChungLu(150, 600, 2.4, 23)
+	c := startTestCluster(t, g, 3)
+	c.SetComputeParallelism(8)
+	sources := []graph.VertexID{2, 50, 120}
+	counts, err := c.RunBKHS(sources, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sources {
+		if want := int64(len(ref.KHop(g, s, 2))); counts[i] != want {
+			t.Fatalf("src %d: got %d want %d", s, counts[i], want)
+		}
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"net"
 	"net/rpc"
+	"runtime"
+	"sort"
 	"sync"
 
 	"vcmt/internal/graph"
@@ -51,11 +53,16 @@ type ResultEntry struct {
 	Val float32
 }
 
-// workerProgram is the vertex program contract on the worker side.
+// workerProgram is the vertex program contract on the worker side. seed
+// and compute receive a sendCtx — a buffered send channel that lets
+// ComputeRound shard the inbox across goroutines; parallelOK reports
+// whether compute touches only per-destination-vertex state (no shared
+// scratch or RNG), i.e. whether shards may run concurrently.
 type workerProgram interface {
-	seed(w *Worker)
-	compute(w *Worker, v graph.VertexID, msgs []Message)
+	seed(sc *sendCtx)
+	compute(sc *sendCtx, v graph.VertexID, msgs []Message)
 	collect(w *Worker) []ResultEntry
+	parallelOK() bool
 }
 
 // wireMessageBytes is the serialized payload size of one Message (Dst +
@@ -98,9 +105,73 @@ type Worker struct {
 	sentByPeer []int64
 	recvByPeer []int64
 
+	// procs bounds ComputeRound's shard count (default GOMAXPROCS); the
+	// master sets it via Cluster.SetComputeParallelism.
+	procs int
+
 	peers    []*rpc.Client
 	listener net.Listener
 	server   *rpc.Server
+}
+
+// sendCtx buffers the sends of one compute shard: per-peer outboxes, local
+// deliveries and counters, merged into the worker after the shard finishes.
+// Shards cover contiguous ranges of the sorted inbox and are merged in
+// shard order, so the buffered send streams concatenate to exactly the
+// sequential engine's order — parallel rounds stay bit-deterministic.
+type sendCtx struct {
+	w          *Worker
+	g          *graph.Graph
+	owned      []graph.VertexID
+	sent       int64
+	sentByPeer []int64
+	local      []Message
+	outbox     [][]Message
+}
+
+func (w *Worker) newSendCtx() *sendCtx {
+	return &sendCtx{
+		w: w, g: w.g, owned: w.owned,
+		sentByPeer: make([]int64, w.nPeer),
+		outbox:     make([][]Message, w.nPeer),
+	}
+}
+
+// send routes a message into the shard's buffers: local destinations to the
+// local batch, remote ones to the per-peer outbox.
+func (sc *sendCtx) send(m Message) {
+	sc.sent++
+	o := owner(m.Dst, sc.w.nPeer)
+	sc.sentByPeer[o]++
+	if o == sc.w.id {
+		sc.local = append(sc.local, m)
+		return
+	}
+	sc.outbox[o] = append(sc.outbox[o], m)
+}
+
+// merge folds a finished shard's buffers into the worker. Called in shard
+// order, single-goroutine.
+func (w *Worker) merge(sc *sendCtx) {
+	w.sent += sc.sent
+	w.statsMu.Lock()
+	for p, n := range sc.sentByPeer {
+		w.sentByPeer[p] += n
+	}
+	w.recvByPeer[w.id] += int64(len(sc.local))
+	w.statsMu.Unlock()
+	if len(sc.local) > 0 {
+		w.mu.Lock()
+		for _, m := range sc.local {
+			w.pending[m.Dst] = append(w.pending[m.Dst], m)
+		}
+		w.mu.Unlock()
+	}
+	for p := range sc.outbox {
+		if len(sc.outbox[p]) > 0 {
+			w.outbox[p] = append(w.outbox[p], sc.outbox[p]...)
+		}
+	}
 }
 
 func owner(v graph.VertexID, k int) int {
@@ -117,6 +188,7 @@ func newWorker(id, k int, g *graph.Graph) *Worker {
 		outbox:     make([][]Message, k),
 		sentByPeer: make([]int64, k),
 		recvByPeer: make([]int64, k),
+		procs:      runtime.GOMAXPROCS(0),
 	}
 	for v := 0; v < g.NumVertices(); v++ {
 		if owner(graph.VertexID(v), k) == id {
@@ -124,26 +196,6 @@ func newWorker(id, k int, g *graph.Graph) *Worker {
 		}
 	}
 	return w
-}
-
-// send routes a message: local destinations go straight to the pending
-// inbox; remote ones are buffered for the owning peer.
-func (w *Worker) send(m Message) {
-	w.sent++
-	o := owner(m.Dst, w.nPeer)
-	w.statsMu.Lock()
-	w.sentByPeer[o]++
-	w.statsMu.Unlock()
-	if o == w.id {
-		w.mu.Lock()
-		w.pending[m.Dst] = append(w.pending[m.Dst], m)
-		w.mu.Unlock()
-		w.statsMu.Lock()
-		w.recvByPeer[w.id]++
-		w.statsMu.Unlock()
-		return
-	}
-	w.outbox[o] = append(w.outbox[o], m)
 }
 
 // StartJobArgs configures a job on a worker.
@@ -184,7 +236,9 @@ func (w *Worker) Seed(_ struct{}, reply *int64) error {
 		return fmt.Errorf("rpcrt: no job started on worker %d", w.id)
 	}
 	w.sent = 0
-	w.prog.seed(w)
+	sc := w.newSendCtx()
+	w.prog.seed(sc)
+	w.merge(sc)
 	if err := w.flushOutboxes(); err != nil {
 		return err
 	}
@@ -194,6 +248,11 @@ func (w *Worker) Seed(_ struct{}, reply *int64) error {
 
 // Advance moves pending messages into the current inbox (the barrier's
 // superstep boundary). Must only be called when no peer is mid-exchange.
+// The inbox is sorted by destination vertex, and each vertex's messages by
+// (Src, Val): the pending map's iteration order and the peers' delivery
+// interleaving are both nondeterministic, so without the sort, replays of
+// randomized programs would diverge run-to-run and rounds would not be
+// diffable against the deterministic engine.
 func (w *Worker) Advance(_ struct{}, _ *struct{}) error {
 	w.mu.Lock()
 	pending := w.pending
@@ -201,24 +260,69 @@ func (w *Worker) Advance(_ struct{}, _ *struct{}) error {
 	w.mu.Unlock()
 	w.cur = w.cur[:0]
 	for _, msgs := range pending {
+		sort.Slice(msgs, func(a, b int) bool {
+			if msgs[a].Src != msgs[b].Src {
+				return msgs[a].Src < msgs[b].Src
+			}
+			return msgs[a].Val < msgs[b].Val
+		})
 		w.cur = append(w.cur, msgs)
 	}
+	sort.Slice(w.cur, func(a, b int) bool { return w.cur[a][0].Dst < w.cur[b][0].Dst })
 	return nil
 }
 
 // ComputeRound runs the vertex program over every vertex with messages and
 // exchanges the generated messages with peers. It replies with the number
 // of messages this worker sent.
+//
+// When the program's compute touches only per-vertex state (parallelOK),
+// the sorted inbox is split into contiguous shards computed concurrently,
+// each buffering its sends in a private sendCtx; merging the shards in
+// shard order reproduces the sequential send stream exactly, so parallel
+// rounds keep the same conservation invariants and bit-deterministic
+// replies.
 func (w *Worker) ComputeRound(_ struct{}, reply *int64) error {
 	if w.prog == nil {
 		return fmt.Errorf("rpcrt: no job started on worker %d", w.id)
 	}
 	w.sent = 0
-	for _, msgs := range w.cur {
-		if len(msgs) == 0 {
-			continue
+	shards := w.procs
+	if shards > len(w.cur) {
+		shards = len(w.cur)
+	}
+	if shards > 1 && w.prog.parallelOK() {
+		scs := make([]*sendCtx, shards)
+		var wg sync.WaitGroup
+		wg.Add(shards)
+		for sIdx := 0; sIdx < shards; sIdx++ {
+			sc := w.newSendCtx()
+			scs[sIdx] = sc
+			lo := len(w.cur) * sIdx / shards
+			hi := len(w.cur) * (sIdx + 1) / shards
+			go func(sc *sendCtx, lo, hi int) {
+				defer wg.Done()
+				for _, msgs := range w.cur[lo:hi] {
+					if len(msgs) == 0 {
+						continue
+					}
+					w.prog.compute(sc, msgs[0].Dst, msgs)
+				}
+			}(sc, lo, hi)
 		}
-		w.prog.compute(w, msgs[0].Dst, msgs)
+		wg.Wait()
+		for _, sc := range scs {
+			w.merge(sc)
+		}
+	} else {
+		sc := w.newSendCtx()
+		for _, msgs := range w.cur {
+			if len(msgs) == 0 {
+				continue
+			}
+			w.prog.compute(sc, msgs[0].Dst, msgs)
+		}
+		w.merge(sc)
 	}
 	if err := w.flushOutboxes(); err != nil {
 		return err

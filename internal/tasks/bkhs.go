@@ -29,9 +29,12 @@ type BKHSConfig struct {
 	// Async runs batches on the asynchronous GAS executor; the program
 	// relaxes minimum hop counts monotonically, so asynchronous delivery
 	// preserves the k-hop sets.
-	Async              bool
-	Seed               uint64
-	MaxRounds          int
+	Async     bool
+	Seed      uint64
+	MaxRounds int
+	// Workers sets the engine worker-pool size (see engine.Options.Workers);
+	// results are identical for every value.
+	Workers            int
 	StopWhenOverloaded bool
 }
 
@@ -101,8 +104,11 @@ func (j *BKHSJob) RunBatch(run *sim.Run, workload int, batchIdx int) ([]int64, e
 		sources: batch,
 		srcIdx:  make(map[graph.VertexID]int, len(batch)),
 		hops:    make([][]uint8, len(batch)),
-		counts:  make([]int64, len(batch)),
+		counts:  make([][]int64, k),
 		entries: make([]int64, k),
+	}
+	for m := 0; m < k; m++ {
+		prog.counts[m] = make([]int64, len(batch))
 	}
 	for i, s := range batch {
 		prog.srcIdx[s] = i
@@ -123,6 +129,7 @@ func (j *BKHSJob) RunBatch(run *sim.Run, workload int, batchIdx int) ([]int64, e
 		e := engine.New[HopMsg](j.g, j.part, prog, run, engine.Options[HopMsg]{
 			MaxRounds:          j.cfg.MaxRounds,
 			Seed:               seed,
+			Workers:            j.cfg.Workers,
 			StopWhenOverloaded: j.cfg.StopWhenOverloaded,
 		})
 		err = e.Run()
@@ -131,7 +138,11 @@ func (j *BKHSJob) RunBatch(run *sim.Run, workload int, batchIdx int) ([]int64, e
 		return nil, fmt.Errorf("tasks: BKHS batch %d: %w", batchIdx, err)
 	}
 	for i := range batch {
-		j.reached[j.done+i] = prog.counts[i]
+		var c int64
+		for m := 0; m < k; m++ {
+			c += prog.counts[m][i]
+		}
+		j.reached[j.done+i] = c
 	}
 	j.done = hi
 	return prog.entries, nil
@@ -149,7 +160,10 @@ type bkhsProg struct {
 	sources []graph.VertexID
 	srcIdx  map[graph.VertexID]int
 	hops    [][]uint8
-	counts  []int64
+	// counts[m][i] is machine m's tally of first reaches for batch source
+	// i; per-machine lanes because machines compute concurrently, summed
+	// at batch end.
+	counts  [][]int64
 	entries []int64
 }
 
@@ -183,7 +197,7 @@ func (p *bkhsProg) Compute(ctx vcapi.Context[HopMsg], v graph.VertexID, msgs []H
 			continue
 		}
 		if first {
-			p.counts[i]++
+			p.counts[ctx.Machine()][i]++
 			p.entries[ctx.Machine()]++
 		}
 		if int(m.Hop) < p.job.cfg.K {

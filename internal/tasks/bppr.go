@@ -59,6 +59,9 @@ type BPPRConfig struct {
 	Seed uint64
 	// MaxRounds bounds each batch's supersteps (default 10000).
 	MaxRounds int
+	// Workers sets the engine worker-pool size (see engine.Options.Workers);
+	// results are identical for every value.
+	Workers int
 	// StopWhenOverloaded abandons a batch past the 6000 s cutoff.
 	StopWhenOverloaded bool
 }
@@ -184,7 +187,7 @@ func (j *BPPRJob) addEndpoint(machine int, src, v graph.VertexID, mass float64) 
 // into the job. The caller is responsible for updating WalksLaunched
 // bookkeeping when estimates are read.
 func (j *BPPRJob) MCProgram(workload int) vcapi.Program[WalkMsg] {
-	return &bpprMC{job: j, w: workload}
+	return newBpprMC(j, workload, nil)
 }
 
 // RunBatch implements Job. In the default mode, `workload` walks start at
@@ -213,6 +216,7 @@ func (j *BPPRJob) RunBatch(run *sim.Run, workload int, batchIdx int) ([]int64, e
 		Weight:             func(m WalkMsg) int64 { return int64(m.Count) },
 		MaxRounds:          j.cfg.MaxRounds,
 		Seed:               j.cfg.Seed ^ uint64(batchIdx+1)*0x9e3779b97f4a7c15,
+		Workers:            j.cfg.Workers,
 		StopWhenOverloaded: j.cfg.StopWhenOverloaded,
 	}
 	var err error
@@ -222,7 +226,7 @@ func (j *BPPRJob) RunBatch(run *sim.Run, workload int, batchIdx int) ([]int64, e
 	}
 	switch {
 	case j.cfg.Async:
-		prog := &bpprMC{job: j, w: perNode, sources: batchSources}
+		prog := newBpprMC(j, perNode, batchSources)
 		a := gas.NewAsync[WalkMsg](j.g, j.part, prog, run, gas.Options[WalkMsg]{
 			Weight:             opts.Weight,
 			Seed:               opts.Seed,
@@ -230,15 +234,16 @@ func (j *BPPRJob) RunBatch(run *sim.Run, workload int, batchIdx int) ([]int64, e
 		})
 		err = a.Run()
 	case j.cfg.Mirror:
-		prog := &bpprPush{job: j, w: perNode, sources: batchSources}
+		prog := newBpprPush(j, perNode, batchSources)
 		e := engine.New[MassMsg](j.g, j.part, prog, run, engine.Options[MassMsg]{
 			MaxRounds:          opts.MaxRounds,
 			Seed:               opts.Seed,
+			Workers:            j.cfg.Workers,
 			StopWhenOverloaded: opts.StopWhenOverloaded,
 		})
 		err = e.Run()
 	default:
-		prog := &bpprMC{job: j, w: perNode, sources: batchSources}
+		prog := newBpprMC(j, perNode, batchSources)
 		e := engine.New[WalkMsg](j.g, j.part, prog, run, opts)
 		err = e.Run()
 	}
@@ -263,7 +268,13 @@ type bpprMC struct {
 	job     *BPPRJob
 	w       int
 	sources map[graph.VertexID]bool // nil: every vertex is a source
-	scratch []int64
+	// scratch[m] is machine m's multinomial bucket buffer: machines
+	// compute concurrently, so each needs its own.
+	scratch [][]int64
+}
+
+func newBpprMC(j *BPPRJob, w int, sources map[graph.VertexID]bool) *bpprMC {
+	return &bpprMC{job: j, w: w, sources: sources, scratch: make([][]int64, j.part.NumMachines())}
 }
 
 func (p *bpprMC) Seed(ctx vcapi.Context[WalkMsg]) {
@@ -305,10 +316,11 @@ func (p *bpprMC) step(ctx vcapi.Context[WalkMsg], v, src graph.VertexID, count i
 		}
 		return
 	}
-	if cap(p.scratch) < len(ns) {
-		p.scratch = make([]int64, len(ns))
+	mach := ctx.Machine()
+	if cap(p.scratch[mach]) < len(ns) {
+		p.scratch[mach] = make([]int64, len(ns))
 	}
-	buckets := p.scratch[:len(ns)]
+	buckets := p.scratch[mach][:len(ns)]
 	rng.Multinomial(rest, buckets)
 	for i, c := range buckets {
 		if c > 0 {
@@ -330,10 +342,16 @@ type bpprPush struct {
 	job     *BPPRJob
 	w       int
 	sources map[graph.VertexID]bool // nil: every vertex is a source
-	// Per-source aggregation scratch indexed by source vertex id; accKeys
-	// preserves insertion order so execution stays deterministic.
-	acc     []float64
-	accKeys []graph.VertexID
+	// Per-machine, per-source aggregation scratch indexed by source vertex
+	// id; accKeys preserves insertion order so execution stays
+	// deterministic. Per machine because machines compute concurrently.
+	acc     [][]float64
+	accKeys [][]graph.VertexID
+}
+
+func newBpprPush(j *BPPRJob, w int, sources map[graph.VertexID]bool) *bpprPush {
+	k := j.part.NumMachines()
+	return &bpprPush{job: j, w: w, sources: sources, acc: make([][]float64, k), accKeys: make([][]graph.VertexID, k)}
 }
 
 func (p *bpprPush) Seed(ctx vcapi.Context[MassMsg]) {
@@ -346,20 +364,23 @@ func (p *bpprPush) Seed(ctx vcapi.Context[MassMsg]) {
 }
 
 func (p *bpprPush) Compute(ctx vcapi.Context[MassMsg], v graph.VertexID, msgs []MassMsg) {
-	if p.acc == nil {
-		p.acc = make([]float64, ctx.Graph().NumVertices())
+	mach := ctx.Machine()
+	if p.acc[mach] == nil {
+		p.acc[mach] = make([]float64, ctx.Graph().NumVertices())
 	}
+	acc := p.acc[mach]
+	keys := p.accKeys[mach]
 	for _, m := range msgs {
-		if p.acc[m.Src] == 0 {
-			p.accKeys = append(p.accKeys, m.Src)
+		if acc[m.Src] == 0 {
+			keys = append(keys, m.Src)
 		}
-		p.acc[m.Src] += float64(m.Mass)
+		acc[m.Src] += float64(m.Mass)
 	}
-	for _, src := range p.accKeys {
-		p.push(ctx, v, src, p.acc[src])
-		p.acc[src] = 0
+	for _, src := range keys {
+		p.push(ctx, v, src, acc[src])
+		acc[src] = 0
 	}
-	p.accKeys = p.accKeys[:0]
+	p.accKeys[mach] = keys[:0]
 }
 
 // push parks α·mass at v and broadcasts the remainder, fractionalized over

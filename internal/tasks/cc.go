@@ -23,8 +23,11 @@ type LabelMsg struct {
 
 // CCConfig configures a Connected Components run.
 type CCConfig struct {
-	Seed               uint64
-	MaxRounds          int
+	Seed      uint64
+	MaxRounds int
+	// Workers sets the engine worker-pool size (see engine.Options.Workers);
+	// results are identical for every value.
+	Workers            int
 	StopWhenOverloaded bool
 }
 
@@ -39,6 +42,7 @@ func ConnectedComponents(g *graph.Graph, part *graph.Partition, run *sim.Run, cf
 	e := engine.New[LabelMsg](g, part, prog, run, engine.Options[LabelMsg]{
 		MaxRounds:          cfg.MaxRounds,
 		Seed:               cfg.Seed,
+		Workers:            cfg.Workers,
 		StopWhenOverloaded: cfg.StopWhenOverloaded,
 		// HashMin admits the textbook min-combiner.
 		Combiner: func(a, b LabelMsg) LabelMsg {

@@ -31,9 +31,12 @@ type JumpMsg struct {
 // ListRankConfig configures a list-ranking run.
 type ListRankConfig struct {
 	// Succ is the successor array; the tail points to itself.
-	Succ               []graph.VertexID
-	Seed               uint64
-	MaxRounds          int
+	Succ      []graph.VertexID
+	Seed      uint64
+	MaxRounds int
+	// Workers sets the engine worker-pool size (see engine.Options.Workers);
+	// results are identical for every value.
+	Workers            int
 	StopWhenOverloaded bool
 }
 
@@ -59,6 +62,7 @@ func ListRank(g *graph.Graph, part *graph.Partition, run *sim.Run, cfg ListRankC
 	e := engine.New[JumpMsg](g, part, prog, run, engine.Options[JumpMsg]{
 		MaxRounds:          cfg.MaxRounds,
 		Seed:               cfg.Seed,
+		Workers:            cfg.Workers,
 		StopWhenOverloaded: cfg.StopWhenOverloaded,
 	})
 	if err := e.Run(); err != nil {

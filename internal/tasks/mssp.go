@@ -32,9 +32,12 @@ type MSSPConfig struct {
 	Mirror bool
 	// Async runs batches on the asynchronous GAS executor; shortest-path
 	// relaxation is monotone, so asynchronous delivery preserves results.
-	Async              bool
-	Seed               uint64
-	MaxRounds          int
+	Async     bool
+	Seed      uint64
+	MaxRounds int
+	// Workers sets the engine worker-pool size (see engine.Options.Workers);
+	// results are identical for every value.
+	Workers            int
 	StopWhenOverloaded bool
 }
 
@@ -104,12 +107,17 @@ func (j *MSSPJob) RunBatch(run *sim.Run, workload int, batchIdx int) ([]int64, e
 
 	n := j.g.NumVertices()
 	prog := &msspProg{
-		job:      j,
-		sources:  batch,
-		srcIdx:   make(map[graph.VertexID]int, len(batch)),
-		dist:     make([][]float32, len(batch)),
-		entries:  make([]int64, k),
-		improved: make([]int32, len(batch)),
+		job:          j,
+		sources:      batch,
+		srcIdx:       make(map[graph.VertexID]int, len(batch)),
+		dist:         make([][]float32, len(batch)),
+		entries:      make([]int64, k),
+		improved:     make([][]int32, k),
+		improvedList: make([][]int, k),
+		epoch:        make([]int32, k),
+	}
+	for m := 0; m < k; m++ {
+		prog.improved[m] = make([]int32, len(batch))
 	}
 	for i, s := range batch {
 		prog.srcIdx[s] = i
@@ -130,6 +138,7 @@ func (j *MSSPJob) RunBatch(run *sim.Run, workload int, batchIdx int) ([]int64, e
 		e := engine.New[DistMsg](j.g, j.part, prog, run, engine.Options[DistMsg]{
 			MaxRounds:          j.cfg.MaxRounds,
 			Seed:               seed,
+			Workers:            j.cfg.Workers,
 			StopWhenOverloaded: j.cfg.StopWhenOverloaded,
 		})
 		err = e.Run()
@@ -154,9 +163,11 @@ type msspProg struct {
 	dist    [][]float32
 	entries []int64 // finite entries per machine
 
-	improved     []int32 // epoch marks per batch-source index
-	improvedList []int
-	epoch        int32
+	// Relaxation scratch is per machine: machines compute concurrently, so
+	// each keeps its own epoch marks and improved-source list.
+	improved     [][]int32 // [machine][batch-source index] epoch marks
+	improvedList [][]int
+	epoch        []int32
 }
 
 func (p *msspProg) Seed(ctx vcapi.Context[DistMsg]) {
@@ -172,8 +183,11 @@ func (p *msspProg) Seed(ctx vcapi.Context[DistMsg]) {
 }
 
 func (p *msspProg) Compute(ctx vcapi.Context[DistMsg], v graph.VertexID, msgs []DistMsg) {
-	p.epoch++
-	p.improvedList = p.improvedList[:0]
+	mach := ctx.Machine()
+	p.epoch[mach]++
+	epoch := p.epoch[mach]
+	improved := p.improved[mach]
+	list := p.improvedList[mach][:0]
 	for _, m := range msgs {
 		i := p.srcIdx[m.Src]
 		d := m.Dist
@@ -184,16 +198,17 @@ func (p *msspProg) Compute(ctx vcapi.Context[DistMsg], v graph.VertexID, msgs []
 		}
 		if d < p.dist[i][v] {
 			if math.IsInf(float64(p.dist[i][v]), 1) {
-				p.entries[ctx.Machine()]++
+				p.entries[mach]++
 			}
 			p.dist[i][v] = d
-			if p.improved[i] != p.epoch {
-				p.improved[i] = p.epoch
-				p.improvedList = append(p.improvedList, i)
+			if improved[i] != epoch {
+				improved[i] = epoch
+				list = append(list, i)
 			}
 		}
 	}
-	for _, i := range p.improvedList {
+	p.improvedList[mach] = list
+	for _, i := range list {
 		p.relax(ctx, v, i)
 	}
 }

@@ -22,8 +22,11 @@ type PageRankConfig struct {
 	// Damping is the damping factor (default 0.85).
 	Damping float64
 	// Iterations is the number of power iterations (default 30).
-	Iterations         int
-	Seed               uint64
+	Iterations int
+	Seed       uint64
+	// Workers sets the engine worker-pool size (see engine.Options.Workers);
+	// results are identical for every value.
+	Workers            int
 	StopWhenOverloaded bool
 }
 
@@ -47,6 +50,7 @@ func PageRank(g *graph.Graph, part *graph.Partition, run *sim.Run, cfg PageRankC
 	e := engine.New[RankMsg](g, part, prog, run, engine.Options[RankMsg]{
 		MaxRounds:          cfg.Iterations + 2,
 		Seed:               cfg.Seed,
+		Workers:            cfg.Workers,
 		StopWhenOverloaded: cfg.StopWhenOverloaded,
 	})
 	if err := e.Run(); err != nil {
