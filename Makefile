@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-json ci
+.PHONY: build vet test race bench bench-json fault bench-ckpt ci
 
 build:
 	$(GO) build ./...
@@ -23,5 +23,15 @@ bench:
 # race-parallel job uploads this as BENCH_engine.json.
 bench-json:
 	$(GO) run ./cmd/benchjson -bench 'BenchmarkEngineWorkers|BenchmarkEngineMessageThroughput' 		-pkg ./internal/engine -benchtime 2x -out BENCH_engine.json
+
+# Fault-injection + checkpoint/recovery tests under the race detector,
+# mirroring the CI fault-recovery job.
+fault:
+	$(GO) test -race -count=1 -timeout 20m 		-run 'Crash|Recover|Fault|Checkpoint|Close|Drop|Delay|Slow' 		./internal/ckpt/... ./internal/fault/... ./internal/engine/... 		./internal/rpcrt/... ./internal/difftest/... ./internal/tasks/...
+
+# Machine-readable checkpoint-overhead benchmark artifact; the CI
+# fault-recovery job uploads this as BENCH_ckpt.json.
+bench-ckpt:
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkCheckpointWrite|BenchmarkCheckpointRecover' 		-pkg ./internal/ckpt -benchtime 2x -out BENCH_ckpt.json
 
 ci: build vet test race

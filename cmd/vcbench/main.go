@@ -7,7 +7,8 @@
 //	        [-telemetry file.json]
 //
 // Experiment names: fig2 fig3 fig4 fig6 table2 table3 fig5 fig7 fig8 fig9
-// fig10 fig11 table4 fig12 finer. Without -only, everything runs in paper order.
+// fig10 fig11 table4 fig12 recovery finer. Without -only, everything runs
+// in paper order.
 //
 // -telemetry writes a per-figure JSON summary (wall-clock seconds and table
 // output bytes per experiment, plus suite totals). Unlike vcrun's -report,
@@ -199,6 +200,14 @@ func main() {
 				return err
 			}
 			experiments.WriteFigure12(out, panels)
+			return nil
+		}},
+		{"recovery", func() error {
+			res, err := experiments.FigureRecovery(o)
+			if err != nil {
+				return err
+			}
+			experiments.WriteRecovery(out, res)
 			return nil
 		}},
 		{"finer", func() error {

@@ -25,6 +25,7 @@ import (
 	"os"
 
 	"vcmt/internal/batch"
+	"vcmt/internal/fault"
 	"vcmt/internal/graph"
 	"vcmt/internal/obs"
 	"vcmt/internal/sim"
@@ -51,8 +52,20 @@ func main() {
 		reportPath  = flag.String("report", "", "write a JSON run report to this file")
 		eventsPath  = flag.String("events", "", "write a JSONL event log to this file")
 		debugAddr   = flag.String("debug-addr", "", "serve /metrics, expvar and pprof on this address (e.g. :6060)")
+		ckptDir     = flag.String("checkpoint-dir", "", "enable superstep checkpointing into this directory")
+		ckptIval    = flag.Int("checkpoint-interval", 0, "checkpoint every N supersteps (0 = engine default)")
+		faultSpec   = flag.String("fault-plan", "", `deterministic fault plan, e.g. "crash:worker=1,step=5" (see internal/fault; crashes need -checkpoint-dir)`)
 	)
 	flag.Parse()
+
+	var fplan *fault.Plan
+	if *faultSpec != "" {
+		var err error
+		fplan, err = fault.Parse(*faultSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	d, err := graph.Dataset(*datasetName)
 	if err != nil {
@@ -90,13 +103,15 @@ func main() {
 	case "BPPR":
 		job = tasks.NewBPPR(g, part, tasks.BPPRConfig{
 			WalksPerNode: *workload, Mirror: system.Mirror, Async: async, Seed: *seed,
-			Workers: *workers,
+			Workers:       *workers,
+			CheckpointDir: *ckptDir, CheckpointInterval: *ckptIval, Fault: fplan,
 		})
 	case "MSSP":
 		sources := firstSources(g.NumVertices(), *workload)
 		job, err = tasks.NewMSSP(g, part, tasks.MSSPConfig{
 			Sources: sources, Mirror: system.Mirror, Async: async, Seed: *seed,
-			Workers: *workers,
+			Workers:       *workers,
+			CheckpointDir: *ckptDir, CheckpointInterval: *ckptIval, Fault: fplan,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -105,7 +120,8 @@ func main() {
 		sources := firstSources(g.NumVertices(), *workload)
 		job = tasks.NewBKHS(g, part, tasks.BKHSConfig{
 			Sources: sources, K: *khops, Mirror: system.Mirror, Async: async, Seed: *seed,
-			Workers: *workers,
+			Workers:       *workers,
+			CheckpointDir: *ckptDir, CheckpointInterval: *ckptIval, Fault: fplan,
 		})
 	default:
 		log.Fatalf("unknown task %q", *taskName)
@@ -190,6 +206,11 @@ func main() {
 		res.PeakMemBytes/(1<<30), res.MaxMemRatio*100)
 	fmt.Fprintf(w, "network:   %.2f GB total, %.1f s overuse\n",
 		res.WireBytesTotal/(1<<30), res.NetOveruseSec)
+	if res.CheckpointsWritten > 0 || res.Recoveries > 0 {
+		fmt.Fprintf(w, "ckpt:      %d written (%.2f MB, %.1f s); %d recoveries, %d rounds lost, %.1f s recovering\n",
+			res.CheckpointsWritten, float64(res.CheckpointBytes)/(1<<20), res.CheckpointSeconds,
+			res.Recoveries, res.RoundsLost, res.RecoverySeconds)
+	}
 	if system.OutOfCore {
 		fmt.Fprintf(w, "disk:      %.1f s IO, max util %.0f%%, %.1f s overuse, queue %.0f\n",
 			res.DiskSeconds, res.MaxDiskUtil*100, res.IOOveruseSec, res.MaxIOQueueLen)

@@ -1,0 +1,279 @@
+// Package ckpt implements superstep checkpointing for both runtimes: the
+// simulated engine (internal/engine) and the net/rpc runtime
+// (internal/rpcrt). A checkpoint is a versioned, checksummed snapshot of
+// everything a runtime needs to resume from a superstep barrier — vertex
+// state, pending inboxes/outboxes, aggregator values, per-machine RNG
+// state, spill-file contents — organized as named sections so each runtime
+// can define its own layout without changing the container format.
+//
+// Files are written atomically (temp file + rename) and named by superstep
+// so the latest checkpoint is discoverable after a crash. The CRC-64
+// trailer guards against torn or corrupted files: a snapshot that fails
+// the checksum is never loaded silently (Decode returns an error), which
+// the fuzz tests in this package enforce.
+package ckpt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Format constants. Version is bumped on breaking layout changes; Decode
+// rejects files with a different version rather than guessing.
+const (
+	magic   = "VCKP"
+	version = 1
+
+	// FileSuffix is the checkpoint file extension.
+	FileSuffix = ".vck"
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// ErrCorrupt is wrapped by Decode errors caused by damaged bytes (bad
+// magic, truncation, or checksum mismatch).
+var ErrCorrupt = errors.New("ckpt: corrupt checkpoint")
+
+// Section is one named blob inside a snapshot.
+type Section struct {
+	Name string
+	Data []byte
+}
+
+// Snapshot is one checkpoint: the superstep it was cut at plus the
+// runtime-defined sections.
+type Snapshot struct {
+	Step     int
+	Sections []Section
+}
+
+// Add appends a section.
+func (s *Snapshot) Add(name string, data []byte) {
+	s.Sections = append(s.Sections, Section{Name: name, Data: data})
+}
+
+// Get returns the first section with the given name, or nil if absent.
+func (s *Snapshot) Get(name string) []byte {
+	for _, sec := range s.Sections {
+		if sec.Name == name {
+			return sec.Data
+		}
+	}
+	return nil
+}
+
+// Encode serializes the snapshot: magic, version, step, section count,
+// sections (length-prefixed name and data), and a trailing CRC-64 (ECMA)
+// over everything before it. The encoding is deterministic: identical
+// snapshots produce identical bytes.
+func Encode(s *Snapshot) []byte {
+	n := len(magic) + 4 + 8 + 4
+	for _, sec := range s.Sections {
+		n += 2 + len(sec.Name) + 8 + len(sec.Data)
+	}
+	buf := make([]byte, 0, n+8)
+	buf = append(buf, magic...)
+	buf = binary.LittleEndian.AppendUint32(buf, version)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.Step))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Sections)))
+	for _, sec := range s.Sections {
+		if len(sec.Name) > 1<<16-1 {
+			panic("ckpt: section name too long")
+		}
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(sec.Name)))
+		buf = append(buf, sec.Name...)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(len(sec.Data)))
+		buf = append(buf, sec.Data...)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, crc64.Checksum(buf, crcTable))
+	return buf
+}
+
+// Decode parses and verifies a snapshot. Damaged bytes — wrong magic,
+// truncation, oversized lengths, or a checksum mismatch — yield an error
+// wrapping ErrCorrupt; a snapshot is never silently mis-loaded.
+func Decode(data []byte) (*Snapshot, error) {
+	if len(data) < len(magic)+4+8+4+8 {
+		return nil, fmt.Errorf("%w: %d bytes is too short", ErrCorrupt, len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	body, trailer := data[:len(data)-8], data[len(data)-8:]
+	if got, want := crc64.Checksum(body, crcTable), binary.LittleEndian.Uint64(trailer); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (got %016x want %016x)", ErrCorrupt, got, want)
+	}
+	p := body[len(magic):]
+	if v := binary.LittleEndian.Uint32(p); v != version {
+		return nil, fmt.Errorf("ckpt: unsupported version %d (want %d)", v, version)
+	}
+	p = p[4:]
+	s := &Snapshot{Step: int(binary.LittleEndian.Uint64(p))}
+	p = p[8:]
+	count := binary.LittleEndian.Uint32(p)
+	p = p[4:]
+	for i := uint32(0); i < count; i++ {
+		if len(p) < 2 {
+			return nil, fmt.Errorf("%w: truncated section header", ErrCorrupt)
+		}
+		nameLen := int(binary.LittleEndian.Uint16(p))
+		p = p[2:]
+		if len(p) < nameLen+8 {
+			return nil, fmt.Errorf("%w: truncated section name", ErrCorrupt)
+		}
+		name := string(p[:nameLen])
+		p = p[nameLen:]
+		dataLen := binary.LittleEndian.Uint64(p)
+		p = p[8:]
+		if uint64(len(p)) < dataLen {
+			return nil, fmt.Errorf("%w: truncated section data", ErrCorrupt)
+		}
+		s.Add(name, append([]byte(nil), p[:dataLen]...))
+		p = p[dataLen:]
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(p))
+	}
+	return s, nil
+}
+
+// Load reads and decodes one checkpoint file.
+func Load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Manager writes, discovers, and prunes the checkpoints of one
+// participant (one engine run, or one rpcrt worker) inside a directory.
+// Multiple participants share a directory by using distinct prefixes.
+type Manager struct {
+	// Dir is the checkpoint directory; created on first Save.
+	Dir string
+	// Prefix distinguishes this participant's files ("ckpt-" if empty).
+	Prefix string
+	// Keep bounds how many checkpoints survive pruning (1 if <= 0): after
+	// each Save, only the Keep highest-step files remain.
+	Keep int
+}
+
+func (m *Manager) prefix() string {
+	if m.Prefix == "" {
+		return "ckpt-"
+	}
+	return m.Prefix
+}
+
+func (m *Manager) path(step int) string {
+	return filepath.Join(m.Dir, fmt.Sprintf("%s%09d%s", m.prefix(), step, FileSuffix))
+}
+
+// Save encodes the snapshot, writes it atomically (temp file in the same
+// directory, fsync-free rename), prunes superseded checkpoints, and
+// returns the number of bytes written.
+func (m *Manager) Save(s *Snapshot) (int64, error) {
+	if err := os.MkdirAll(m.Dir, 0o755); err != nil {
+		return 0, err
+	}
+	data := Encode(s)
+	tmp, err := os.CreateTemp(m.Dir, m.prefix()+"tmp-*")
+	if err != nil {
+		return 0, err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), m.path(s.Step)); err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	if err := m.Prune(); err != nil {
+		return 0, err
+	}
+	return int64(len(data)), nil
+}
+
+// steps lists this participant's checkpoint steps in ascending order.
+func (m *Manager) steps() ([]int, error) {
+	entries, err := os.ReadDir(m.Dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var steps []int
+	for _, ent := range entries {
+		name := ent.Name()
+		if !strings.HasPrefix(name, m.prefix()) || !strings.HasSuffix(name, FileSuffix) {
+			continue
+		}
+		num := strings.TrimSuffix(strings.TrimPrefix(name, m.prefix()), FileSuffix)
+		step, err := strconv.Atoi(num)
+		if err != nil {
+			continue
+		}
+		steps = append(steps, step)
+	}
+	sort.Ints(steps)
+	return steps, nil
+}
+
+// Latest loads the highest-step checkpoint, or returns (nil, "", nil) when
+// none exists. A damaged latest checkpoint is an error, not a silent
+// fallback.
+func (m *Manager) Latest() (*Snapshot, string, error) {
+	steps, err := m.steps()
+	if err != nil || len(steps) == 0 {
+		return nil, "", err
+	}
+	path := m.path(steps[len(steps)-1])
+	s, err := Load(path)
+	if err != nil {
+		return nil, "", err
+	}
+	return s, path, nil
+}
+
+// LoadStep loads the checkpoint cut at the given superstep.
+func (m *Manager) LoadStep(step int) (*Snapshot, error) {
+	return Load(m.path(step))
+}
+
+// Prune deletes all but the Keep highest-step checkpoints.
+func (m *Manager) Prune() error {
+	keep := m.Keep
+	if keep <= 0 {
+		keep = 1
+	}
+	steps, err := m.steps()
+	if err != nil {
+		return err
+	}
+	for len(steps) > keep {
+		if err := os.Remove(m.path(steps[0])); err != nil {
+			return err
+		}
+		steps = steps[1:]
+	}
+	return nil
+}

@@ -1,0 +1,360 @@
+package engine
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"vcmt/internal/ckpt"
+	"vcmt/internal/graph"
+)
+
+// CheckpointOptions enables periodic superstep checkpointing. At each
+// barrier whose round number is 1 or a multiple of Interval, the engine
+// snapshots everything the next superstep depends on — buffered outboxes,
+// forced activations, per-machine RNG streams, aggregator values, program
+// state, and any spill-file contents — into a checksummed ckpt file.
+// Combined with an injected fault.Plan, a crashed superstep rolls back to
+// the latest checkpoint and replays forward; the determinism contract
+// (machine-ordered merges, per-machine RNG lanes) makes the replayed run
+// bit-for-bit identical to an unfaulted one.
+type CheckpointOptions[M any] struct {
+	// Codec serializes outbox payloads (the same contract as spill codecs).
+	Codec Codec[M]
+	// Dir receives the checkpoint files; created if missing.
+	Dir string
+	// Interval is the number of supersteps between checkpoints (default 8).
+	// The barrier after superstep 1 is always checkpointed so any injected
+	// crash at step >= 2 is recoverable.
+	Interval int
+}
+
+// Section names inside an engine snapshot.
+const (
+	secMeta   = "meta"
+	secOutbox = "outbox"
+	secForced = "forced"
+	secRNG    = "rng"
+	secAggs   = "aggs"
+	secProg   = "prog"
+	secSpill  = "spill"
+)
+
+// Recoveries returns how many injected crashes this engine recovered from.
+func (e *Engine[M]) Recoveries() int { return e.recoveries }
+
+// initCheckpoints validates the checkpoint/fault configuration before the
+// first superstep runs.
+func (e *Engine[M]) initCheckpoints() error {
+	co := e.opts.Checkpoint
+	if co == nil {
+		return nil
+	}
+	if co.Codec == nil {
+		return fmt.Errorf("engine: checkpointing requires a Codec")
+	}
+	if co.Dir == "" {
+		return fmt.Errorf("engine: checkpointing requires a Dir")
+	}
+	if co.Interval <= 0 {
+		co.Interval = 8
+	}
+	if _, ok := e.prog.(StateSnapshotter); !ok {
+		return fmt.Errorf("engine: checkpointing requires the program to implement vcapi.StateSnapshotter")
+	}
+	if e.opts.MaxInboxPerStep > 0 {
+		return fmt.Errorf("engine: checkpointing is incompatible with MaxInboxPerStep (sub-step barriers are not checkpoint cuts)")
+	}
+	e.ckptMgr = &ckpt.Manager{Dir: co.Dir, Keep: 1}
+	e.lastCkptRounds = -1
+	return nil
+}
+
+// maybeCheckpoint cuts a checkpoint at the current barrier when the round
+// matches the interval. Replayed rounds (rounds <= replayTo) never re-cut:
+// their checkpoints already exist and re-pricing them would desynchronize
+// the cost accounting from an unfaulted run.
+func (e *Engine[M]) maybeCheckpoint() error {
+	co := e.opts.Checkpoint
+	if co == nil || e.rounds <= e.replayTo || e.rounds == e.lastCkptRounds {
+		return nil
+	}
+	if e.rounds != 1 && e.rounds%co.Interval != 0 {
+		return nil
+	}
+	snap, err := e.buildSnapshot()
+	if err != nil {
+		return fmt.Errorf("engine: checkpoint at round %d: %w", e.rounds, err)
+	}
+	bytes, err := e.ckptMgr.Save(snap)
+	if err != nil {
+		return fmt.Errorf("engine: checkpoint at round %d: %w", e.rounds, err)
+	}
+	e.lastCkptRounds = e.rounds
+	e.lastCkptBytes = bytes
+	if e.run != nil {
+		e.run.ObserveCheckpoint(e.rounds, bytes)
+		e.ckptSimSeconds = e.run.Seconds()
+	}
+	return nil
+}
+
+// crashPending consults the fault plan for a crash injected at the
+// superstep about to execute (the loop is at the barrier after e.rounds
+// completed supersteps, so the next one is e.rounds+1).
+func (e *Engine[M]) crashPending() bool {
+	if e.opts.Fault == nil {
+		return false
+	}
+	_, ok := e.opts.Fault.CrashAtStep(e.rounds + 1)
+	return ok
+}
+
+// recoverFromCheckpoint reloads the latest checkpoint, prices the recovery
+// (restart + reload + the simulated time of the lost supersteps), and arms
+// silent replay: supersteps up to the pre-crash round re-execute without
+// re-reporting to the sim.Run, so the final report contains every round
+// exactly once — identical to an unfaulted run.
+func (e *Engine[M]) recoverFromCheckpoint() error {
+	if e.opts.Checkpoint == nil {
+		return fmt.Errorf("engine: crash injected at round %d but checkpointing is not configured", e.rounds+1)
+	}
+	snap, _, err := e.ckptMgr.Latest()
+	if err != nil {
+		return fmt.Errorf("engine: recovery: %w", err)
+	}
+	if snap == nil {
+		return fmt.Errorf("engine: crash at round %d with no checkpoint on disk", e.rounds+1)
+	}
+	crashRounds := e.rounds
+	var lostSeconds float64
+	if e.run != nil {
+		lostSeconds = e.run.Seconds() - e.ckptSimSeconds
+	}
+	if err := e.restoreSnapshot(snap); err != nil {
+		return fmt.Errorf("engine: recovery: %w", err)
+	}
+	if e.run != nil {
+		e.run.ObserveRecovery(e.rounds, crashRounds-e.rounds, e.lastCkptBytes, lostSeconds)
+	}
+	if crashRounds > e.replayTo {
+		e.replayTo = crashRounds
+	}
+	e.recoveries++
+	return nil
+}
+
+// buildSnapshot captures the barrier state. Everything the next superstep
+// reads is included; per-round scratch (inbox, counters, forcedNow,
+// aggregator lanes) is empty/reset at a barrier and is not.
+func (e *Engine[M]) buildSnapshot() (*ckpt.Snapshot, error) {
+	co := e.opts.Checkpoint
+	k := e.part.NumMachines()
+	snap := &ckpt.Snapshot{Step: e.rounds}
+
+	meta := make([]byte, 0, 3*8)
+	meta = binary.LittleEndian.AppendUint64(meta, uint64(e.rounds))
+	meta = binary.LittleEndian.AppendUint64(meta, uint64(e.spilledRecords))
+	meta = binary.LittleEndian.AppendUint64(meta, uint64(e.spilledBytes))
+	snap.Add(secMeta, meta)
+
+	var out []byte
+	out = binary.LittleEndian.AppendUint32(out, uint32(k))
+	for m := 0; m < k; m++ {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(e.outBy[m])))
+		for _, env := range e.outBy[m] {
+			out = binary.LittleEndian.AppendUint32(out, env.dst)
+			payload := co.Codec.Encode(nil, env.payload)
+			out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+			out = append(out, payload...)
+		}
+	}
+	snap.Add(secOutbox, out)
+
+	var forced []byte
+	forced = binary.LittleEndian.AppendUint32(forced, uint32(k))
+	for m := 0; m < k; m++ {
+		forced = binary.LittleEndian.AppendUint32(forced, uint32(len(e.forcedNextBy[m])))
+		for _, v := range e.forcedNextBy[m] {
+			forced = binary.LittleEndian.AppendUint32(forced, uint32(v))
+		}
+	}
+	snap.Add(secForced, forced)
+
+	var rng []byte
+	rng = binary.LittleEndian.AppendUint32(rng, uint32(k))
+	for m := 0; m < k; m++ {
+		rng = binary.LittleEndian.AppendUint64(rng, e.rngs[m].State())
+	}
+	snap.Add(secRNG, rng)
+
+	names := make([]string, 0, len(e.aggs))
+	for name := range e.aggs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var aggs []byte
+	aggs = binary.LittleEndian.AppendUint32(aggs, uint32(len(names)))
+	for _, name := range names {
+		aggs = binary.LittleEndian.AppendUint16(aggs, uint16(len(name)))
+		aggs = append(aggs, name...)
+		aggs = binary.LittleEndian.AppendUint64(aggs, math.Float64bits(e.aggs[name].visible))
+	}
+	snap.Add(secAggs, aggs)
+
+	prog, err := e.prog.(StateSnapshotter).SaveState()
+	if err != nil {
+		return nil, fmt.Errorf("program SaveState: %w", err)
+	}
+	snap.Add(secProg, prog)
+
+	if e.spill != nil {
+		spillSec, err := e.snapshotSpill()
+		if err != nil {
+			return nil, err
+		}
+		snap.Add(secSpill, spillSec)
+	}
+	return snap, nil
+}
+
+// snapshotSpill copies the current spill-file bytes into the snapshot
+// (inline: drainSpill deletes the file, so a path reference would dangle).
+// The bufio writer is flushed first; flushing does not change the record
+// stream, so delivery order is unaffected.
+func (e *Engine[M]) snapshotSpill() ([]byte, error) {
+	st := e.spill
+	if err := st.w.Flush(); err != nil {
+		return nil, fmt.Errorf("spill flush: %w", err)
+	}
+	content, err := os.ReadFile(st.file.Name())
+	if err != nil {
+		return nil, fmt.Errorf("spill read: %w", err)
+	}
+	var sec []byte
+	sec = binary.LittleEndian.AppendUint64(sec, uint64(st.records))
+	sec = binary.LittleEndian.AppendUint64(sec, uint64(len(content)))
+	sec = append(sec, content...)
+	return sec, nil
+}
+
+// restoreSnapshot rolls every piece of volatile superstep state back to
+// the checkpointed barrier.
+func (e *Engine[M]) restoreSnapshot(snap *ckpt.Snapshot) error {
+	co := e.opts.Checkpoint
+	k := e.part.NumMachines()
+
+	meta := snap.Get(secMeta)
+	if len(meta) < 24 {
+		return fmt.Errorf("snapshot meta section truncated")
+	}
+	e.rounds = int(binary.LittleEndian.Uint64(meta))
+	e.spilledRecords = int64(binary.LittleEndian.Uint64(meta[8:]))
+	e.spilledBytes = int64(binary.LittleEndian.Uint64(meta[16:]))
+	// At a barrier observeRound has already synced the observed totals.
+	e.obsSpilledRecords = e.spilledRecords
+	e.obsSpilledBytes = e.spilledBytes
+
+	out := snap.Get(secOutbox)
+	if got := int(binary.LittleEndian.Uint32(out)); got != k {
+		return fmt.Errorf("snapshot has %d machines, engine has %d", got, k)
+	}
+	out = out[4:]
+	e.outPending = 0
+	for m := 0; m < k; m++ {
+		n := int(binary.LittleEndian.Uint32(out))
+		out = out[4:]
+		e.outBy[m] = e.outBy[m][:0]
+		for i := 0; i < n; i++ {
+			dst := binary.LittleEndian.Uint32(out)
+			plen := int(binary.LittleEndian.Uint32(out[4:]))
+			payload, used := co.Codec.Decode(out[8 : 8+plen])
+			if used != plen {
+				return fmt.Errorf("snapshot outbox payload decoded %d of %d bytes", used, plen)
+			}
+			out = out[8+plen:]
+			e.outBy[m] = append(e.outBy[m], envelope[M]{dst: dst, payload: payload})
+			e.outPending++
+		}
+	}
+
+	for i := range e.forcedFlag {
+		e.forcedFlag[i] = false
+		e.forcedNow[i] = false
+	}
+	forced := snap.Get(secForced)
+	forced = forced[4:] // machine count validated via the outbox section
+	for m := 0; m < k; m++ {
+		n := int(binary.LittleEndian.Uint32(forced))
+		forced = forced[4:]
+		e.forcedNextBy[m] = e.forcedNextBy[m][:0]
+		for i := 0; i < n; i++ {
+			v := graph.VertexID(binary.LittleEndian.Uint32(forced))
+			forced = forced[4:]
+			e.forcedNextBy[m] = append(e.forcedNextBy[m], v)
+			e.forcedFlag[v] = true
+		}
+	}
+
+	rng := snap.Get(secRNG)
+	rng = rng[4:]
+	for m := 0; m < k; m++ {
+		e.rngs[m].SetState(binary.LittleEndian.Uint64(rng))
+		rng = rng[8:]
+	}
+
+	aggs := snap.Get(secAggs)
+	nAggs := int(binary.LittleEndian.Uint32(aggs))
+	aggs = aggs[4:]
+	for i := 0; i < nAggs; i++ {
+		nameLen := int(binary.LittleEndian.Uint16(aggs))
+		aggs = aggs[2:]
+		name := string(aggs[:nameLen])
+		aggs = aggs[nameLen:]
+		visible := math.Float64frombits(binary.LittleEndian.Uint64(aggs))
+		aggs = aggs[8:]
+		agg, ok := e.aggs[name]
+		if !ok {
+			return fmt.Errorf("snapshot names unknown aggregator %q", name)
+		}
+		agg.visible = visible
+		for l := range agg.lanes {
+			agg.lanes[l] = aggLane{}
+		}
+	}
+
+	if err := e.restoreSpill(snap.Get(secSpill)); err != nil {
+		return err
+	}
+
+	if err := e.prog.(StateSnapshotter).LoadState(snap.Get(secProg)); err != nil {
+		return fmt.Errorf("program LoadState: %w", err)
+	}
+	return nil
+}
+
+// restoreSpill recreates the spill file from the snapshot (or discards the
+// current one when the snapshot had none).
+func (e *Engine[M]) restoreSpill(sec []byte) error {
+	e.CleanupSpill()
+	if len(sec) == 0 {
+		return nil
+	}
+	records := int64(binary.LittleEndian.Uint64(sec))
+	n := int64(binary.LittleEndian.Uint64(sec[8:]))
+	content := sec[16 : 16+n]
+	f, err := os.CreateTemp(e.opts.Spill.Dir, "vcmt-spill-*.bin")
+	if err != nil {
+		return fmt.Errorf("spill restore: %w", err)
+	}
+	if _, err := f.Write(content); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return fmt.Errorf("spill restore: %w", err)
+	}
+	e.spill = &spillState{file: f, w: bufio.NewWriterSize(f, 1<<20), records: records, bytes: n}
+	return nil
+}

@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"sync"
 
+	"vcmt/internal/ckpt"
+	"vcmt/internal/fault"
 	"vcmt/internal/graph"
 	"vcmt/internal/randx"
 	"vcmt/internal/sim"
@@ -38,6 +40,9 @@ type Program[M any] = vcapi.Program[M]
 
 // StateReporter is re-exported from vcapi for convenience.
 type StateReporter = vcapi.StateReporter
+
+// StateSnapshotter is re-exported from vcapi for convenience.
+type StateSnapshotter = vcapi.StateSnapshotter
 
 // WeightFunc is re-exported from vcapi for convenience.
 type WeightFunc[M any] = vcapi.WeightFunc[M]
@@ -80,6 +85,14 @@ type Options[M any] struct {
 	// disables splitting. Programs must treat their inbox incrementally
 	// (all the tasks in this repository do).
 	MaxInboxPerStep int
+	// Checkpoint enables periodic superstep checkpointing (see
+	// CheckpointOptions). The program must implement vcapi.StateSnapshotter.
+	Checkpoint *CheckpointOptions[M]
+	// Fault injects deterministic failures. The engine honors crash events
+	// (any crash rolls the single-process run back to its last checkpoint
+	// and silently replays forward); drop/delay/slow events are wall-clock
+	// faults that only the rpcrt runtime exercises.
+	Fault *fault.Plan
 }
 
 // ErrMaxRounds is returned when the superstep bound is hit before the
@@ -150,6 +163,18 @@ type Engine[M any] struct {
 	// reports only its own delta to the sim.Run.
 	obsSpilledRecords int64
 	obsSpilledBytes   int64
+
+	// Checkpoint/recovery state. lastCkptRounds/Bytes identify the latest
+	// checkpoint; ckptSimSeconds is the simulated clock right after it was
+	// priced (so a crash knows how much simulated work it loses). replayTo
+	// marks the pre-crash round during silent replay: supersteps up to it
+	// re-execute without re-reporting to the sim.Run.
+	ckptMgr        *ckpt.Manager
+	lastCkptRounds int
+	lastCkptBytes  int64
+	ckptSimSeconds float64
+	replayTo       int
+	recoveries     int
 }
 
 type envelope[M any] struct {
@@ -289,6 +314,9 @@ func (e *Engine[M]) takeForced() []graph.VertexID {
 // run overloaded. It returns ErrMaxRounds only for the round bound; an
 // overload stop returns nil, with the overload visible on the sim.Run.
 func (e *Engine[M]) Run() error {
+	if err := e.initCheckpoints(); err != nil {
+		return err
+	}
 	// Superstep 1: seeding. "In the first round, each of the W walks stops
 	// with α probability and ... a message is sent" (§3).
 	e.forEachN(e.part.NumMachines(), func(m int) {
@@ -297,6 +325,9 @@ func (e *Engine[M]) Run() error {
 	})
 	e.rollAggregators()
 	e.observeRound()
+	if err := e.maybeCheckpoint(); err != nil {
+		return err
+	}
 
 	for e.pending() {
 		if e.rounds >= e.opts.MaxRounds {
@@ -307,6 +338,13 @@ func (e *Engine[M]) Run() error {
 			e.stopped = true
 			e.CleanupSpill()
 			return nil
+		}
+		if e.crashPending() {
+			if err := e.recoverFromCheckpoint(); err != nil {
+				e.CleanupSpill()
+				return err
+			}
+			continue
 		}
 		forced := e.takeForced()
 		for _, v := range forced {
@@ -324,6 +362,10 @@ func (e *Engine[M]) Run() error {
 		}
 		e.rollAggregators()
 		e.observeRound()
+		if err := e.maybeCheckpoint(); err != nil {
+			e.CleanupSpill()
+			return err
+		}
 	}
 	return nil
 }
@@ -569,9 +611,23 @@ func (e *Engine[M]) combineInboxes() {
 	copy(e.inOffs, newOffs)
 }
 
-// observeRound flushes the superstep statistics into the sim.Run.
+// observeRound flushes the superstep statistics into the sim.Run. During
+// silent replay (rounds <= replayTo after a recovery) the counters still
+// roll — the replayed supersteps recompute them identically — but nothing
+// is re-reported: the pre-crash run already priced those rounds, so the
+// final accounting and report contain each superstep exactly once.
 func (e *Engine[M]) observeRound() {
 	e.rounds++
+	if e.rounds <= e.replayTo {
+		e.obsSpilledBytes = e.spilledBytes
+		e.obsSpilledRecords = e.spilledRecords
+		for m := range e.sent {
+			e.sent[m] = machineCounters{}
+			e.recv[m] = machineCounters{}
+			e.active[m] = 0
+		}
+		return
+	}
 	if e.run != nil {
 		k := e.part.NumMachines()
 		per := make([]sim.MachineRound, k)

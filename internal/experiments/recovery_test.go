@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFigureRecoverySweep checks the fault-tolerance sweep's invariants:
+// every faulted run recovers from both crashes, reports the same rounds and
+// message statistics as its clean twin (the deterministic-recovery
+// contract priced by the simulator), and shorter intervals never lose more
+// rounds than longer ones.
+func TestFigureRecoverySweep(t *testing.T) {
+	res, err := FigureRecovery(Options{Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(recoveryIntervals) {
+		t.Fatalf("points=%d want %d", len(res.Points), len(recoveryIntervals))
+	}
+	if res.Baseline.Rounds <= res.CrashSteps[len(res.CrashSteps)-1] {
+		t.Fatalf("baseline only %d rounds; crashes at %v never fire", res.Baseline.Rounds, res.CrashSteps)
+	}
+	prevLost := -1
+	for _, p := range res.Points {
+		if p.Faulted.Recoveries != len(res.CrashSteps) {
+			t.Fatalf("interval %d: recoveries=%d want %d", p.Interval, p.Faulted.Recoveries, len(res.CrashSteps))
+		}
+		if p.Clean.Recoveries != 0 || p.Clean.RoundsLost != 0 {
+			t.Fatalf("interval %d: clean run reports recoveries", p.Interval)
+		}
+		if p.Clean.Rounds != res.Baseline.Rounds || p.Faulted.Rounds != res.Baseline.Rounds {
+			t.Fatalf("interval %d: rounds clean=%d faulted=%d baseline=%d",
+				p.Interval, p.Clean.Rounds, p.Faulted.Rounds, res.Baseline.Rounds)
+		}
+		if p.Faulted.TotalLogicalMsgs != res.Baseline.TotalLogicalMsgs ||
+			p.Clean.TotalLogicalMsgs != res.Baseline.TotalLogicalMsgs {
+			t.Fatalf("interval %d: message totals diverge from baseline", p.Interval)
+		}
+		if p.Clean.CheckpointsWritten < p.Faulted.CheckpointsWritten-len(res.CrashSteps)*2 {
+			t.Fatalf("interval %d: checkpoint counts implausible: clean %d faulted %d",
+				p.Interval, p.Clean.CheckpointsWritten, p.Faulted.CheckpointsWritten)
+		}
+		if p.Faulted.Seconds <= p.Clean.Seconds {
+			t.Fatalf("interval %d: faulted run (%.2fs) not slower than clean (%.2fs)",
+				p.Interval, p.Faulted.Seconds, p.Clean.Seconds)
+		}
+		if prevLost >= 0 && p.Faulted.RoundsLost < prevLost {
+			// Longer intervals replay at least as many rounds per crash.
+			t.Fatalf("interval %d: rounds lost %d < previous interval's %d",
+				p.Interval, p.Faulted.RoundsLost, prevLost)
+		}
+		prevLost = p.Faulted.RoundsLost
+	}
+
+	var sb strings.Builder
+	WriteRecovery(&sb, res)
+	for _, want := range []string{"interval", "recovery-cost", "baseline"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, sb.String())
+		}
+	}
+}

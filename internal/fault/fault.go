@@ -1,0 +1,291 @@
+// Package fault provides seeded, deterministic fault plans for exercising
+// the checkpoint/recovery subsystem. A Plan is a fixed list of one-shot
+// events — crash worker i at superstep s, drop or delay a Deliver RPC,
+// slow a machine's compute — that the runtimes consult at well-defined
+// points. Events are consumed when they fire, so a recovered run that
+// replays the same superstep does not re-trigger the fault (a crash loop
+// would otherwise make recovery untestable).
+//
+// Plans are built from a compact spec string (see Parse) so they can ride
+// on a command-line flag, and the "rand:" clause expands to concrete
+// events deterministically from its seed — the same spec always injects
+// the same faults.
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"vcmt/internal/randx"
+)
+
+type kind int
+
+const (
+	kindCrash kind = iota
+	kindDrop
+	kindDelay
+	kindSlow
+)
+
+type event struct {
+	kind   kind
+	worker int // crash/delay/slow target; drop: sender
+	peer   int // drop: receiver
+	step   int
+	count  int // drop: remaining send attempts to drop
+	delay  time.Duration
+	factor float64
+	fired  bool
+}
+
+// Plan is a deterministic schedule of fault events. All query methods are
+// safe for concurrent use (rpcrt workers share one plan in-process) and
+// are nil-receiver safe, so callers can hold a nil *Plan for "no faults".
+type Plan struct {
+	mu     sync.Mutex
+	events []event
+	spec   string
+}
+
+// Parse builds a Plan from a spec: semicolon-separated clauses of the form
+// kind:key=value,key=value. Supported clauses:
+//
+//	crash:worker=1,step=5          kill worker 1 before superstep 5 runs
+//	drop:from=0,to=2,step=3        drop 1 Deliver attempt 0->2 in step 3
+//	drop:from=0,to=2,step=3,count=2
+//	delay:worker=2,step=4,ms=50    stall worker 2's compute by 50 ms
+//	slow:worker=1,step=3,factor=2  stretch worker 1's step-3 compute 2x
+//	rand:crashes=2,workers=4,maxstep=20,seed=7
+//
+// The rand clause expands, deterministically from its seed, into `crashes`
+// crash events at distinct supersteps in [2, maxstep] on workers chosen
+// uniformly from [0, workers). Superstep 1 (seeding) is never a fault
+// point: both runtimes cut their first checkpoint at the step-1 barrier,
+// so every recoverable fault lands at step >= 2.
+func Parse(spec string) (*Plan, error) {
+	p := &Plan{spec: spec}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		head, rest, ok := strings.Cut(clause, ":")
+		if !ok {
+			return nil, fmt.Errorf("fault: clause %q has no kind", clause)
+		}
+		kv, err := parseKV(rest)
+		if err != nil {
+			return nil, fmt.Errorf("fault: clause %q: %w", clause, err)
+		}
+		switch head {
+		case "crash":
+			ev, err := need(kv, "worker", "step")
+			if err != nil {
+				return nil, fmt.Errorf("fault: clause %q: %w", clause, err)
+			}
+			p.events = append(p.events, event{kind: kindCrash, worker: ev["worker"], step: ev["step"]})
+		case "drop":
+			ev, err := need(kv, "from", "to", "step")
+			if err != nil {
+				return nil, fmt.Errorf("fault: clause %q: %w", clause, err)
+			}
+			count := kv["count"]
+			if count == 0 {
+				count = 1
+			}
+			p.events = append(p.events, event{kind: kindDrop, worker: ev["from"], peer: ev["to"], step: ev["step"], count: count})
+		case "delay":
+			ev, err := need(kv, "worker", "step", "ms")
+			if err != nil {
+				return nil, fmt.Errorf("fault: clause %q: %w", clause, err)
+			}
+			p.events = append(p.events, event{kind: kindDelay, worker: ev["worker"], step: ev["step"], delay: time.Duration(ev["ms"]) * time.Millisecond})
+		case "slow":
+			ev, err := need(kv, "worker", "step", "factor")
+			if err != nil {
+				return nil, fmt.Errorf("fault: clause %q: %w", clause, err)
+			}
+			if ev["factor"] < 1 {
+				return nil, fmt.Errorf("fault: clause %q: factor must be >= 1", clause)
+			}
+			p.events = append(p.events, event{kind: kindSlow, worker: ev["worker"], step: ev["step"], factor: float64(ev["factor"])})
+		case "rand":
+			ev, err := need(kv, "crashes", "workers", "maxstep")
+			if err != nil {
+				return nil, fmt.Errorf("fault: clause %q: %w", clause, err)
+			}
+			if ev["maxstep"] < 2 {
+				return nil, fmt.Errorf("fault: clause %q: maxstep must be >= 2", clause)
+			}
+			if ev["crashes"] > ev["maxstep"]-1 {
+				return nil, fmt.Errorf("fault: clause %q: cannot place %d crashes at distinct steps in [2, %d]", clause, ev["crashes"], ev["maxstep"])
+			}
+			rng := randx.New(uint64(kv["seed"]))
+			taken := map[int]bool{}
+			for i := 0; i < ev["crashes"]; i++ {
+				step := 2 + rng.Intn(ev["maxstep"]-1)
+				for taken[step] {
+					step = 2 + rng.Intn(ev["maxstep"]-1)
+				}
+				taken[step] = true
+				p.events = append(p.events, event{kind: kindCrash, worker: rng.Intn(ev["workers"]), step: step})
+			}
+		default:
+			return nil, fmt.Errorf("fault: unknown clause kind %q", head)
+		}
+	}
+	return p, nil
+}
+
+func parseKV(s string) (map[string]int, error) {
+	kv := map[string]int{}
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad key=value pair %q", pair)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, fmt.Errorf("value of %q: %v", k, err)
+		}
+		kv[k] = n
+	}
+	return kv, nil
+}
+
+func need(kv map[string]int, keys ...string) (map[string]int, error) {
+	for _, k := range keys {
+		if _, ok := kv[k]; !ok {
+			return nil, fmt.Errorf("missing key %q", k)
+		}
+	}
+	return kv, nil
+}
+
+// String returns the spec the plan was parsed from.
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	return p.spec
+}
+
+// Remaining counts events that have not fired yet.
+func (p *Plan) Remaining() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, ev := range p.events {
+		if !ev.fired {
+			n++
+		}
+	}
+	return n
+}
+
+// Crash consumes and reports a crash event targeting the given worker at
+// the given superstep.
+func (p *Plan) Crash(worker, step int) bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.events {
+		ev := &p.events[i]
+		if ev.kind == kindCrash && !ev.fired && ev.worker == worker && ev.step == step {
+			ev.fired = true
+			return true
+		}
+	}
+	return false
+}
+
+// CrashAtStep consumes the first unfired crash event at the given
+// superstep regardless of its worker, returning the worker it named. The
+// simulated engine uses this form: all of its machines live in one
+// process, so any crash rolls the whole run back.
+func (p *Plan) CrashAtStep(step int) (worker int, ok bool) {
+	if p == nil {
+		return 0, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.events {
+		ev := &p.events[i]
+		if ev.kind == kindCrash && !ev.fired && ev.step == step {
+			ev.fired = true
+			return ev.worker, true
+		}
+	}
+	return 0, false
+}
+
+// DropDeliver consumes one drop attempt for a from->to Deliver during the
+// given superstep. Each call consumes one of the event's count attempts,
+// so a bounded retry eventually gets the message through.
+func (p *Plan) DropDeliver(from, to, step int) bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.events {
+		ev := &p.events[i]
+		if ev.kind == kindDrop && !ev.fired && ev.worker == from && ev.peer == to && ev.step == step {
+			ev.count--
+			if ev.count <= 0 {
+				ev.fired = true
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Delay consumes and returns the stall duration for a worker's compute at
+// the given superstep (0 when no delay event matches).
+func (p *Plan) Delay(worker, step int) time.Duration {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.events {
+		ev := &p.events[i]
+		if ev.kind == kindDelay && !ev.fired && ev.worker == worker && ev.step == step {
+			ev.fired = true
+			return ev.delay
+		}
+	}
+	return 0
+}
+
+// SlowFactor consumes and returns the compute stretch factor for a worker
+// at the given superstep (1 when no slow event matches).
+func (p *Plan) SlowFactor(worker, step int) float64 {
+	if p == nil {
+		return 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.events {
+		ev := &p.events[i]
+		if ev.kind == kindSlow && !ev.fired && ev.worker == worker && ev.step == step {
+			ev.fired = true
+			return ev.factor
+		}
+	}
+	return 1
+}

@@ -1,0 +1,141 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseAndConsume(t *testing.T) {
+	p, err := Parse("crash:worker=1,step=5; drop:from=0,to=2,step=3,count=2; delay:worker=2,step=4,ms=50; slow:worker=0,step=6,factor=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Remaining(); got != 4 {
+		t.Fatalf("Remaining = %d, want 4", got)
+	}
+
+	if p.Crash(1, 4) || p.Crash(0, 5) {
+		t.Fatal("crash fired for wrong worker/step")
+	}
+	if !p.Crash(1, 5) {
+		t.Fatal("crash did not fire")
+	}
+	if p.Crash(1, 5) {
+		t.Fatal("crash fired twice (must be one-shot)")
+	}
+
+	if p.DropDeliver(0, 1, 3) || p.DropDeliver(2, 0, 3) {
+		t.Fatal("drop fired for wrong pair")
+	}
+	if !p.DropDeliver(0, 2, 3) || !p.DropDeliver(0, 2, 3) {
+		t.Fatal("drop should cover count=2 attempts")
+	}
+	if p.DropDeliver(0, 2, 3) {
+		t.Fatal("drop fired beyond its count")
+	}
+
+	if d := p.Delay(2, 4); d != 50*time.Millisecond {
+		t.Fatalf("Delay = %v, want 50ms", d)
+	}
+	if d := p.Delay(2, 4); d != 0 {
+		t.Fatalf("Delay fired twice: %v", d)
+	}
+
+	if f := p.SlowFactor(0, 6); f != 3 {
+		t.Fatalf("SlowFactor = %v, want 3", f)
+	}
+	if f := p.SlowFactor(0, 6); f != 1 {
+		t.Fatalf("SlowFactor fired twice: %v", f)
+	}
+	if got := p.Remaining(); got != 0 {
+		t.Fatalf("Remaining = %d, want 0", got)
+	}
+}
+
+func TestCrashAtStep(t *testing.T) {
+	p, err := Parse("crash:worker=3,step=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.CrashAtStep(6); ok {
+		t.Fatal("CrashAtStep fired at wrong step")
+	}
+	w, ok := p.CrashAtStep(7)
+	if !ok || w != 3 {
+		t.Fatalf("CrashAtStep(7) = %d, %v; want 3, true", w, ok)
+	}
+	if _, ok := p.CrashAtStep(7); ok {
+		t.Fatal("CrashAtStep fired twice")
+	}
+}
+
+func TestRandExpansionDeterministic(t *testing.T) {
+	spec := "rand:crashes=3,workers=4,maxstep=20,seed=9"
+	a, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.events) != 3 {
+		t.Fatalf("expanded %d events, want 3", len(a.events))
+	}
+	seen := map[int]bool{}
+	for i := range a.events {
+		ea, eb := a.events[i], b.events[i]
+		if ea != eb {
+			t.Fatalf("event %d differs between identical specs: %+v vs %+v", i, ea, eb)
+		}
+		if ea.step < 2 || ea.step > 20 {
+			t.Fatalf("event %d step %d out of [2, 20]", i, ea.step)
+		}
+		if seen[ea.step] {
+			t.Fatalf("duplicate crash step %d", ea.step)
+		}
+		seen[ea.step] = true
+		if ea.worker < 0 || ea.worker >= 4 {
+			t.Fatalf("event %d worker %d out of range", i, ea.worker)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"boom:worker=1,step=2",
+		"crash:worker=1",
+		"crash:step=x,worker=1",
+		"drop:from=0,step=2",
+		"slow:worker=0,step=2,factor=0",
+		"rand:crashes=5,workers=2,maxstep=3,seed=1",
+		"crash",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestNilPlanIsInert(t *testing.T) {
+	var p *Plan
+	if p.Crash(0, 2) {
+		t.Fatal("nil plan crashed")
+	}
+	if _, ok := p.CrashAtStep(2); ok {
+		t.Fatal("nil plan crashed")
+	}
+	if p.DropDeliver(0, 1, 2) || p.Delay(0, 2) != 0 || p.SlowFactor(0, 2) != 1 || p.Remaining() != 0 || p.String() != "" {
+		t.Fatal("nil plan not inert")
+	}
+}
+
+func TestEmptySpec(t *testing.T) {
+	p, err := Parse("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Remaining() != 0 {
+		t.Fatal("empty spec has events")
+	}
+}

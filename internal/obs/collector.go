@@ -199,6 +199,37 @@ func (c *Collector) OnRound(o sim.RoundObservation) {
 	}
 }
 
+// OnCheckpoint implements sim.RecoveryObserver: it counts checkpoint
+// writes and their real snapshot bytes, and logs a checkpoint event.
+func (c *Collector) OnCheckpoint(round int, bytes int64, seconds, simSeconds float64) {
+	c.reg.Counter("ckpt_writes_total").Inc()
+	c.reg.Counter("ckpt_bytes_total").Add(bytes)
+	c.reg.Histogram("ckpt_write_seconds").Observe(seconds)
+	c.events.Emit(Event{
+		Type:       EventCheckpoint,
+		SimSeconds: simSeconds,
+		Round:      round,
+		Seconds:    seconds,
+		CkptBytes:  bytes,
+	})
+}
+
+// OnRecovery implements sim.RecoveryObserver: it counts recoveries and the
+// supersteps they re-execute, and logs a recovery event.
+func (c *Collector) OnRecovery(round, roundsLost int, reloadBytes int64, seconds, simSeconds float64) {
+	c.reg.Counter("recoveries_total").Inc()
+	c.reg.Counter("recovery_rounds_lost_total").Add(int64(roundsLost))
+	c.reg.Histogram("recovery_seconds").Observe(seconds)
+	c.events.Emit(Event{
+		Type:       EventRecovery,
+		SimSeconds: simSeconds,
+		Round:      round,
+		Seconds:    seconds,
+		CkptBytes:  reloadBytes,
+		RoundsLost: roundsLost,
+	})
+}
+
 // Finish closes the trailing batch_end event. Call once after the run; it
 // is idempotent only in the sense that further rounds must not follow.
 func (c *Collector) Finish() {

@@ -21,6 +21,8 @@ type Event struct {
 	SkewRatio  float64 `json:"skew_ratio,omitempty"`
 	SpillBytes int64   `json:"spill_bytes,omitempty"`
 	SpillRecs  int64   `json:"spill_records,omitempty"`
+	CkptBytes  int64   `json:"ckpt_bytes,omitempty"`
+	RoundsLost int     `json:"rounds_lost,omitempty"`
 }
 
 // Event types emitted by the Collector.
@@ -29,8 +31,10 @@ const (
 	EventBatchEnd   = "batch_end"
 	EventSuperstep  = "superstep"
 	EventSpill      = "spill"
-	EventOverload   = "overload" // cumulative simulated time crossed the cutoff
-	EventOverflow   = "overflow" // a machine's memory demand passed the overflow ratio
+	EventOverload   = "overload"   // cumulative simulated time crossed the cutoff
+	EventOverflow   = "overflow"   // a machine's memory demand passed the overflow ratio
+	EventCheckpoint = "checkpoint" // a checkpoint was cut at a superstep barrier
+	EventRecovery   = "recovery"   // a crash was recovered from the last checkpoint
 )
 
 // EventLog appends events to an io.Writer as JSON Lines. It is not

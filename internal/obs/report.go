@@ -44,6 +44,15 @@ type ResultSummary struct {
 	SpilledRecords    int64   `json:"spilled_records"`
 	Credits           float64 `json:"credits,omitempty"`
 	CreditsLowerBound bool    `json:"credits_lower_bound,omitempty"`
+
+	// Fault-tolerance fields; omitted for runs without checkpointing so
+	// pre-existing reports stay byte-identical.
+	CheckpointsWritten int     `json:"checkpoints_written,omitempty"`
+	CheckpointBytes    int64   `json:"checkpoint_bytes,omitempty"`
+	CheckpointSeconds  float64 `json:"checkpoint_seconds,omitempty"`
+	Recoveries         int     `json:"recoveries,omitempty"`
+	RoundsLost         int     `json:"rounds_lost,omitempty"`
+	RecoverySeconds    float64 `json:"recovery_seconds,omitempty"`
 }
 
 // BatchReport is one batch's share of the run.
@@ -135,6 +144,13 @@ func (c *Collector) Report(meta RunMeta, res sim.JobResult) *RunReport {
 			SpilledRecords:    res.SpilledRecords,
 			Credits:           res.Credits,
 			CreditsLowerBound: res.CreditsLowerBound,
+
+			CheckpointsWritten: res.CheckpointsWritten,
+			CheckpointBytes:    res.CheckpointBytes,
+			CheckpointSeconds:  res.CheckpointSeconds,
+			Recoveries:         res.Recoveries,
+			RoundsLost:         res.RoundsLost,
+			RecoverySeconds:    res.RecoverySeconds,
 		},
 		Phases: c.phases,
 	}

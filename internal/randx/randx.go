@@ -19,6 +19,13 @@ func New(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// State returns the generator's internal state, for checkpointing.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState restores a state captured by State: the generator resumes the
+// exact draw sequence it would have produced from that point.
+func (r *RNG) SetState(s uint64) { r.state = s }
+
 // Uint64 returns the next pseudo-random 64-bit value.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

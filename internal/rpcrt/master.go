@@ -1,13 +1,16 @@
 package rpcrt
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"net"
 	"net/rpc"
 	"strconv"
 	"sync"
+	"time"
 
+	"vcmt/internal/fault"
 	"vcmt/internal/graph"
 	"vcmt/internal/obs"
 )
@@ -18,9 +21,24 @@ type Cluster struct {
 	g       *graph.Graph
 	workers []*Worker
 	clients []*rpc.Client
+	addrs   []string
 	rounds  int
 	msgs    int64
 	reg     *obs.Registry
+
+	// rpcTimeout bounds every master->worker call (default 30 s).
+	rpcTimeout time.Duration
+	// ckptDir/ckptInterval enable barrier checkpointing (SetCheckpoint).
+	ckptDir      string
+	ckptInterval int
+	// fplan injects deterministic faults (SetFaultPlan).
+	fplan *fault.Plan
+	// recoveries/roundsLost account the last job's fault handling.
+	recoveries int
+	roundsLost int
+
+	closeMu sync.Mutex
+	closed  bool
 }
 
 // StartCluster launches k workers on loopback TCP, connects them to each
@@ -30,38 +48,19 @@ func StartCluster(g *graph.Graph, k int) (*Cluster, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("rpcrt: need at least one worker, got %d", k)
 	}
-	c := &Cluster{k: k, g: g}
-	addrs := make([]string, k)
+	c := &Cluster{k: k, g: g, rpcTimeout: defaultRPCTimeout, addrs: make([]string, k)}
 	for i := 0; i < k; i++ {
 		w := newWorker(i, k, g)
-		srv := rpc.NewServer()
-		if err := srv.RegisterName("Worker", w); err != nil {
+		if err := serveWorker(w); err != nil {
 			c.Close()
-			return nil, fmt.Errorf("rpcrt: register worker %d: %w", i, err)
+			return nil, err
 		}
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			c.Close()
-			return nil, fmt.Errorf("rpcrt: listen worker %d: %w", i, err)
-		}
-		w.listener = ln
-		w.server = srv
-		// Accept loop without net/rpc's noisy error logging on shutdown.
-		go func(srv *rpc.Server, ln net.Listener) {
-			for {
-				conn, err := ln.Accept()
-				if err != nil {
-					return
-				}
-				go srv.ServeConn(conn)
-			}
-		}(srv, ln)
-		addrs[i] = ln.Addr().String()
+		c.addrs[i] = w.listener.Addr().String()
 		c.workers = append(c.workers, w)
 	}
 	// Master connections.
 	for i := 0; i < k; i++ {
-		cl, err := rpc.Dial("tcp", addrs[i])
+		cl, err := rpc.Dial("tcp", c.addrs[i])
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("rpcrt: dial worker %d: %w", i, err)
@@ -73,7 +72,7 @@ func StartCluster(g *graph.Graph, k int) (*Cluster, error) {
 	for i := 0; i < k; i++ {
 		c.workers[i].peers = make([]*rpc.Client, k)
 		for j := 0; j < k; j++ {
-			cl, err := rpc.Dial("tcp", addrs[j])
+			cl, err := rpc.Dial("tcp", c.addrs[j])
 			if err != nil {
 				c.Close()
 				return nil, fmt.Errorf("rpcrt: peer dial %d->%d: %w", i, j, err)
@@ -84,7 +83,7 @@ func StartCluster(g *graph.Graph, k int) (*Cluster, error) {
 	// Verify liveness.
 	for i, cl := range c.clients {
 		var id int
-		if err := cl.Call("Worker.Ping", struct{}{}, &id); err != nil || id != i {
+		if err := callTimeout(cl, "Worker.Ping", struct{}{}, &id, c.rpcTimeout); err != nil || id != i {
 			c.Close()
 			return nil, fmt.Errorf("rpcrt: worker %d ping failed: %v", i, err)
 		}
@@ -92,26 +91,69 @@ func StartCluster(g *graph.Graph, k int) (*Cluster, error) {
 	return c, nil
 }
 
-// Close tears down every connection and listener.
-func (c *Cluster) Close() {
-	for _, cl := range c.clients {
+// serveWorker registers the worker's RPC service, binds a loopback
+// listener, and starts the accept loop (without net/rpc's noisy error
+// logging on shutdown).
+func serveWorker(w *Worker) error {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Worker", w); err != nil {
+		return fmt.Errorf("rpcrt: register worker %d: %w", w.id, err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("rpcrt: listen worker %d: %w", w.id, err)
+	}
+	w.listener = ln
+	w.server = srv
+	go func(srv *rpc.Server, ln net.Listener) {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}(srv, ln)
+	return nil
+}
+
+// Close tears down every connection and listener. It is idempotent —
+// repeated calls return nil — and collects real shutdown errors; errors
+// that only say "already closed" (a crashed worker's listener, a client
+// whose transport died with the peer) are not failures and are filtered.
+func (c *Cluster) Close() error {
+	c.closeMu.Lock()
+	defer c.closeMu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	var errs []error
+	closeErr := func(what string, err error) {
+		if err == nil || errors.Is(err, net.ErrClosed) || errors.Is(err, rpc.ErrShutdown) {
+			return
+		}
+		errs = append(errs, fmt.Errorf("%s: %w", what, err))
+	}
+	for i, cl := range c.clients {
 		if cl != nil {
-			cl.Close()
+			closeErr(fmt.Sprintf("client %d", i), cl.Close())
 		}
 	}
 	for _, w := range c.workers {
 		if w == nil {
 			continue
 		}
-		for _, p := range w.peers {
+		for j, p := range w.peers {
 			if p != nil {
-				p.Close()
+				closeErr(fmt.Sprintf("worker %d peer %d", w.id, j), p.Close())
 			}
 		}
 		if w.listener != nil {
-			w.listener.Close()
+			closeErr(fmt.Sprintf("worker %d listener", w.id), w.listener.Close())
 		}
 	}
+	return errors.Join(errs...)
 }
 
 // Workers returns the cluster size.
@@ -131,6 +173,45 @@ func (c *Cluster) SetComputeParallelism(n int) {
 	}
 }
 
+// SetRPCTimeout bounds every master->worker and worker->worker call
+// (default 30 s; net/rpc itself would block forever on a hung peer).
+// d <= 0 disables the bound.
+func (c *Cluster) SetRPCTimeout(d time.Duration) {
+	c.rpcTimeout = d
+	for _, w := range c.workers {
+		w.rpcTimeout = d
+	}
+}
+
+// SetCheckpoint enables barrier checkpointing for subsequent jobs: every
+// worker snapshots into dir (per-worker file prefixes) at the barrier after
+// superstep 1 and after every interval-th superstep. interval <= 0 means 8.
+// An empty dir disables checkpointing.
+func (c *Cluster) SetCheckpoint(dir string, interval int) {
+	if interval <= 0 {
+		interval = 8
+	}
+	c.ckptDir = dir
+	c.ckptInterval = interval
+}
+
+// SetFaultPlan injects a deterministic fault plan into subsequent jobs
+// (crashes surface in ComputeRound, drops/delays/slowdowns inside the
+// workers). Nil removes it.
+func (c *Cluster) SetFaultPlan(p *fault.Plan) {
+	c.fplan = p
+	for _, w := range c.workers {
+		w.fplan = p
+	}
+}
+
+// Recoveries returns how many injected crashes the last job recovered from.
+func (c *Cluster) Recoveries() int { return c.recoveries }
+
+// RoundsLost returns how many completed supersteps the last job had to
+// re-execute after crashes.
+func (c *Cluster) RoundsLost() int { return c.roundsLost }
+
 // SetRegistry attaches a telemetry registry; subsequent jobs record
 // per-round histograms (message volume, wall-clock superstep latency) and,
 // at job end, per-worker message/byte counters labelled worker=<id>. Nil
@@ -143,7 +224,7 @@ func (c *Cluster) SetRegistry(reg *obs.Registry) { c.reg = reg }
 func (c *Cluster) WorkerStats() ([]WorkerStats, error) {
 	out := make([]WorkerStats, c.k)
 	for i, cl := range c.clients {
-		if err := cl.Call("Worker.Stats", struct{}{}, &out[i]); err != nil {
+		if err := callTimeout(cl, "Worker.Stats", struct{}{}, &out[i], c.rpcTimeout); err != nil {
 			return nil, fmt.Errorf("rpcrt: stats from worker %d: %w", i, err)
 		}
 	}
@@ -168,6 +249,7 @@ func (c *Cluster) recordJobMetrics() error {
 		c.reg.Counter("rpcrt_recv_remote_total", lbl).Add(st.RecvRemote)
 		c.reg.Counter("rpcrt_sent_bytes_total", lbl).Add(st.SentBytes)
 		c.reg.Counter("rpcrt_recv_bytes_total", lbl).Add(st.RecvBytes)
+		c.reg.Counter("rpcrt_deliver_retries_total", lbl).Add(st.Retries)
 	}
 	return nil
 }
@@ -188,7 +270,7 @@ func (c *Cluster) broadcast(method string, arg interface{}) (int64, error) {
 		wg.Add(1)
 		go func(i int, cl *rpc.Client) {
 			defer wg.Done()
-			errs[i] = cl.Call(method, arg, &replies[i])
+			errs[i] = callTimeout(cl, method, arg, &replies[i], c.rpcTimeout)
 		}(i, cl)
 	}
 	wg.Wait()
@@ -209,7 +291,7 @@ func (c *Cluster) advanceAll() error {
 		wg.Add(1)
 		go func(i int, cl *rpc.Client) {
 			defer wg.Done()
-			errs[i] = cl.Call("Worker.Advance", struct{}{}, &struct{}{})
+			errs[i] = callTimeout(cl, "Worker.Advance", struct{}{}, &struct{}{}, c.rpcTimeout)
 		}(i, cl)
 	}
 	wg.Wait()
@@ -221,19 +303,15 @@ func (c *Cluster) advanceAll() error {
 	return nil
 }
 
-// runJob drives the BSP loop: seed, then compute/exchange/advance rounds
-// until no messages were sent.
-func (c *Cluster) runJob(spec JobSpec) error {
-	c.rounds = 0
-	c.msgs = 0
-	// Phase 1: every worker resets and installs the program (no traffic).
+// startJobAll resets every worker and installs the program (no traffic).
+func (c *Cluster) startJobAll(spec JobSpec) error {
 	var wg sync.WaitGroup
 	errs := make([]error, c.k)
 	for i, cl := range c.clients {
 		wg.Add(1)
 		go func(i int, cl *rpc.Client) {
 			defer wg.Done()
-			errs[i] = cl.Call("Worker.StartJob", StartJobArgs{Spec: spec}, &struct{}{})
+			errs[i] = callTimeout(cl, "Worker.StartJob", StartJobArgs{Spec: spec}, &struct{}{}, c.rpcTimeout)
 		}(i, cl)
 	}
 	wg.Wait()
@@ -242,8 +320,43 @@ func (c *Cluster) runJob(spec JobSpec) error {
 			return errs[i]
 		}
 	}
+	return nil
+}
+
+// ckptMeta is the master's record of the last checkpoint cut: the barrier
+// round, the message total through that round, and the in-flight count in
+// the checkpointed inboxes (what the next compute will report consuming).
+type ckptMeta struct {
+	round int
+	msgs  int64
+	total int64
+}
+
+// checkpointAll has every worker snapshot its barrier state; returns the
+// bytes written across workers.
+func (c *Cluster) checkpointAll(round int) (int64, error) {
+	return c.broadcast("Worker.Checkpoint", CkptArgs{Dir: c.ckptDir, Round: round})
+}
+
+// runJob drives the BSP loop: seed, then compute/exchange/advance rounds
+// until no messages were sent. With checkpointing enabled the master cuts a
+// cluster-wide snapshot at the barrier after Advance; when a compute round
+// fails it restarts dead workers, rolls every worker back to the latest
+// checkpoint, and silently replays forward — the determinism contract
+// (sorted inboxes, checkpointed RNG streams) makes the recovered run
+// bit-for-bit identical to an unfaulted one.
+func (c *Cluster) runJob(spec JobSpec) error {
+	c.rounds = 0
+	c.msgs = 0
+	c.recoveries = 0
+	c.roundsLost = 0
+	if err := c.startJobAll(spec); err != nil {
+		return err
+	}
 	// Per-round telemetry (rpcrt is real execution, so wall clock is fair
-	// game here, unlike the simulator's deterministic reports).
+	// game here, unlike the simulator's deterministic reports). Replayed
+	// rounds are not re-observed: their statistics are already recorded,
+	// and the recovery cost has its own counters.
 	var roundMsgs, roundWall *obs.Histogram
 	if c.reg != nil {
 		roundMsgs = c.reg.Histogram("rpcrt_round_msgs")
@@ -256,7 +369,7 @@ func (c *Cluster) runJob(spec JobSpec) error {
 		timer.Stop()
 		roundMsgs.Observe(float64(msgs))
 	}
-	// Phase 2: seed superstep.
+	// Seed superstep.
 	timer := obs.StartTimer(roundWall)
 	total, err := c.broadcast("Worker.Seed", struct{}{})
 	if err != nil {
@@ -265,19 +378,52 @@ func (c *Cluster) runJob(spec JobSpec) error {
 	observeRound(timer, total)
 	c.rounds = 1
 	c.msgs = total
+	last := ckptMeta{round: -1}
+	replayTo := 0        // rounds <= replayTo are replays: skip telemetry
+	skipAdvance := false // just restored: the inbox is already loaded
 	for total > 0 {
-		if err := c.advanceAll(); err != nil {
-			return err
+		if !skipAdvance {
+			if err := c.advanceAll(); err != nil {
+				return err
+			}
+			if c.ckptDir != "" && c.rounds != last.round &&
+				(c.rounds == 1 || c.rounds%c.ckptInterval == 0) {
+				bytes, err := c.checkpointAll(c.rounds)
+				if err != nil {
+					return fmt.Errorf("rpcrt: checkpoint at round %d: %w", c.rounds, err)
+				}
+				last = ckptMeta{round: c.rounds, msgs: c.msgs, total: total}
+				if c.reg != nil {
+					c.reg.Counter("rpcrt_ckpt_writes_total").Add(int64(c.k))
+					c.reg.Counter("rpcrt_ckpt_bytes_total").Add(bytes)
+				}
+			}
 		}
+		skipAdvance = false
 		timer = obs.StartTimer(roundWall)
-		var err error
-		total, err = c.broadcast("Worker.ComputeRound", struct{}{})
+		next, err := c.broadcast("Worker.ComputeRound", ComputeRoundArgs{Round: c.rounds + 1})
 		if err != nil {
-			return err
+			if c.ckptDir == "" || last.round < 0 {
+				return err
+			}
+			if rerr := c.recoverJob(spec, last); rerr != nil {
+				return fmt.Errorf("rpcrt: recovery after %v failed: %w", err, rerr)
+			}
+			if c.rounds > replayTo {
+				replayTo = c.rounds
+			}
+			c.rounds = last.round
+			c.msgs = last.msgs
+			total = last.total
+			skipAdvance = true
+			continue
 		}
-		observeRound(timer, total)
 		c.rounds++
-		c.msgs += total
+		c.msgs += next
+		total = next
+		if c.rounds > replayTo {
+			observeRound(timer, next)
+		}
 		if c.rounds > 100000 {
 			return fmt.Errorf("rpcrt: job did not converge")
 		}
@@ -285,12 +431,112 @@ func (c *Cluster) runJob(spec JobSpec) error {
 	return c.recordJobMetrics()
 }
 
+// pingTimeout bounds the liveness probes during recovery; a dead worker's
+// open connections answer quickly (dead-flag check), and a fully gone one
+// should not stall the restart of its peers.
+const pingTimeout = 2 * time.Second
+
+// recoverJob restarts every dead worker, reinstalls the program on all
+// workers, and rolls the cluster back to the latest checkpoint.
+func (c *Cluster) recoverJob(spec JobSpec, last ckptMeta) error {
+	// Liveness sweep: restart what does not answer.
+	for i, cl := range c.clients {
+		var id int
+		if err := callTimeout(cl, "Worker.Ping", struct{}{}, &id, pingTimeout); err == nil && id == i {
+			continue
+		}
+		if err := c.restartWorker(i); err != nil {
+			return err
+		}
+		if c.reg != nil {
+			c.reg.Counter("rpcrt_worker_restarts_total").Inc()
+		}
+	}
+	// Reinstall the program everywhere, then restore from the checkpoint:
+	// restarted and surviving workers go through the same reset + reload
+	// path, so no stale per-round state survives.
+	if err := c.startJobAll(spec); err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, c.k)
+	for i, cl := range c.clients {
+		wg.Add(1)
+		go func(i int, cl *rpc.Client) {
+			defer wg.Done()
+			errs[i] = callTimeout(cl, "Worker.Restore", RestoreArgs{Dir: c.ckptDir}, &struct{}{}, c.rpcTimeout)
+		}(i, cl)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			return fmt.Errorf("restore on worker %d: %w", i, errs[i])
+		}
+	}
+	lost := c.rounds - last.round
+	c.recoveries++
+	c.roundsLost += lost
+	if c.reg != nil {
+		c.reg.Counter("rpcrt_recoveries_total").Inc()
+		c.reg.Counter("rpcrt_recovery_rounds_lost_total").Add(int64(lost))
+	}
+	return nil
+}
+
+// restartWorker replaces a dead worker with a fresh instance on a new
+// listener: the master re-dials it, the new worker dials every peer, and
+// every surviving peer re-dials the new address.
+func (c *Cluster) restartWorker(i int) error {
+	old := c.workers[i]
+	w := newWorker(i, c.k, c.g)
+	w.procs = old.procs
+	w.fplan = c.fplan
+	w.rpcTimeout = c.rpcTimeout
+	if err := serveWorker(w); err != nil {
+		return err
+	}
+	c.addrs[i] = w.listener.Addr().String()
+	// Release the dead instance's client connections.
+	for _, p := range old.peers {
+		if p != nil {
+			p.Close()
+		}
+	}
+	if c.clients[i] != nil {
+		c.clients[i].Close()
+	}
+	cl, err := rpc.Dial("tcp", c.addrs[i])
+	if err != nil {
+		return fmt.Errorf("rpcrt: redial restarted worker %d: %w", i, err)
+	}
+	c.clients[i] = cl
+	w.peers = make([]*rpc.Client, c.k)
+	for j := 0; j < c.k; j++ {
+		p, err := rpc.Dial("tcp", c.addrs[j])
+		if err != nil {
+			return fmt.Errorf("rpcrt: restarted worker %d dial peer %d: %w", i, j, err)
+		}
+		w.peers[j] = p
+	}
+	c.workers[i] = w
+	for j := 0; j < c.k; j++ {
+		if j == i {
+			continue
+		}
+		args := ReconnectArgs{Peer: i, Addr: c.addrs[i]}
+		if err := callTimeout(c.clients[j], "Worker.Reconnect", args, &struct{}{}, c.rpcTimeout); err != nil {
+			return fmt.Errorf("rpcrt: worker %d reconnect to restarted %d: %w", j, i, err)
+		}
+	}
+	return nil
+}
+
 // collectAll gathers result entries from every worker.
 func (c *Cluster) collectAll() ([]ResultEntry, error) {
 	var out []ResultEntry
 	for i, cl := range c.clients {
 		var part []ResultEntry
-		if err := cl.Call("Worker.Collect", struct{}{}, &part); err != nil {
+		if err := callTimeout(cl, "Worker.Collect", struct{}{}, &part, c.rpcTimeout); err != nil {
 			return nil, fmt.Errorf("rpcrt: collect from worker %d: %w", i, err)
 		}
 		out = append(out, part...)

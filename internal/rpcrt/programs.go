@@ -1,7 +1,10 @@
 package rpcrt
 
 import (
+	"encoding/binary"
+	"fmt"
 	"math"
+	"sort"
 
 	"vcmt/internal/graph"
 	"vcmt/internal/randx"
@@ -73,6 +76,15 @@ func (p *msspProgram) relax(sc *sendCtx, v graph.VertexID, i int) {
 	}
 }
 
+// saveState snapshots the distance tables (checkpoint contract).
+func (p *msspProgram) saveState() ([]byte, error) {
+	return saveFloat32Rows(p.dist), nil
+}
+
+func (p *msspProgram) loadState(data []byte) error {
+	return loadFloat32Rows(data, p.dist)
+}
+
 func (p *msspProgram) collect(w *Worker) []ResultEntry {
 	var out []ResultEntry
 	for i, s := range p.sources {
@@ -84,6 +96,40 @@ func (p *msspProgram) collect(w *Worker) []ResultEntry {
 		}
 	}
 	return out
+}
+
+// saveFloat32Rows / loadFloat32Rows serialize a rectangular float32 table
+// (shared by the distance-style programs).
+func saveFloat32Rows(rows [][]float32) []byte {
+	var n int
+	if len(rows) > 0 {
+		n = len(rows[0])
+	}
+	buf := make([]byte, 0, 8+len(rows)*n*4)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rows)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	for _, row := range rows {
+		for _, v := range row {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+		}
+	}
+	return buf
+}
+
+func loadFloat32Rows(data []byte, rows [][]float32) error {
+	nRows := int(binary.LittleEndian.Uint32(data))
+	n := int(binary.LittleEndian.Uint32(data[4:]))
+	if nRows != len(rows) || (nRows > 0 && n != len(rows[0])) {
+		return fmt.Errorf("rpcrt: snapshot shape %dx%d mismatch", nRows, n)
+	}
+	data = data[8:]
+	for _, row := range rows {
+		for v := range row {
+			row[v] = math.Float32frombits(binary.LittleEndian.Uint32(data))
+			data = data[4:]
+		}
+	}
+	return nil
 }
 
 // bkhsProgram runs k-bounded multi-source BFS on one worker: the
@@ -150,6 +196,35 @@ func (p *bkhsProgram) forward(sc *sendCtx, v graph.VertexID, i int, hop uint8) {
 	for _, u := range sc.g.Neighbors(v) {
 		sc.send(Message{Dst: u, Src: p.sources[i], Val: float32(hop)})
 	}
+}
+
+// saveState snapshots the hop tables (checkpoint contract).
+func (p *bkhsProgram) saveState() ([]byte, error) {
+	var n int
+	if len(p.hops) > 0 {
+		n = len(p.hops[0])
+	}
+	buf := make([]byte, 0, 8+len(p.hops)*n)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.hops)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	for _, row := range p.hops {
+		buf = append(buf, row...)
+	}
+	return buf, nil
+}
+
+func (p *bkhsProgram) loadState(data []byte) error {
+	nSrc := int(binary.LittleEndian.Uint32(data))
+	n := int(binary.LittleEndian.Uint32(data[4:]))
+	if nSrc != len(p.hops) || (nSrc > 0 && n != len(p.hops[0])) {
+		return fmt.Errorf("rpcrt: bkhs snapshot shape %dx%d mismatch", nSrc, n)
+	}
+	data = data[8:]
+	for _, row := range p.hops {
+		copy(row, data[:n])
+		data = data[n:]
+	}
+	return nil
 }
 
 func (p *bkhsProgram) collect(w *Worker) []ResultEntry {
@@ -238,6 +313,38 @@ func (p *bpprProgram) step(sc *sendCtx, v, src graph.VertexID, count int64) {
 			sc.send(Message{Dst: ns[i], Src: src, Val: float32(c)})
 		}
 	}
+}
+
+// saveState snapshots the RNG stream position and the endpoint table with
+// sorted keys (checkpoint contract: deterministic bytes, bit-identical
+// replay).
+func (p *bpprProgram) saveState() ([]byte, error) {
+	buf := make([]byte, 0, 16+len(p.endpoints)*16)
+	buf = binary.LittleEndian.AppendUint64(buf, p.rng.State())
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(p.endpoints)))
+	keys := make([]uint64, 0, len(p.endpoints))
+	for k := range p.endpoints {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	for _, k := range keys {
+		buf = binary.LittleEndian.AppendUint64(buf, k)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(p.endpoints[k]))
+	}
+	return buf, nil
+}
+
+func (p *bpprProgram) loadState(data []byte) error {
+	p.rng.SetState(binary.LittleEndian.Uint64(data))
+	count := int(binary.LittleEndian.Uint64(data[8:]))
+	data = data[16:]
+	p.endpoints = make(map[uint64]int64, count)
+	for i := 0; i < count; i++ {
+		k := binary.LittleEndian.Uint64(data)
+		p.endpoints[k] = int64(binary.LittleEndian.Uint64(data[8:]))
+		data = data[16:]
+	}
+	return nil
 }
 
 func (p *bpprProgram) collect(w *Worker) []ResultEntry {

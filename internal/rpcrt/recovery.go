@@ -1,0 +1,225 @@
+package rpcrt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net/rpc"
+	"time"
+
+	"vcmt/internal/ckpt"
+	"vcmt/internal/graph"
+)
+
+// defaultRPCTimeout bounds every master->worker and worker->worker call:
+// net/rpc's Client.Call blocks forever, so a hung or dead peer would
+// otherwise wedge the whole cluster.
+const defaultRPCTimeout = 30 * time.Second
+
+// callTimeout is Client.Call with a deadline. d <= 0 disables the bound.
+func callTimeout(cl *rpc.Client, method string, args, reply any, d time.Duration) error {
+	if d <= 0 {
+		return cl.Call(method, args, reply)
+	}
+	call := cl.Go(method, args, reply, make(chan *rpc.Call, 1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case c := <-call.Done:
+		return c.Error
+	case <-t.C:
+		return fmt.Errorf("rpcrt: %s timed out after %v", method, d)
+	}
+}
+
+// Section names inside a worker snapshot.
+const (
+	wsecMeta     = "meta"
+	wsecInbox    = "inbox"
+	wsecCounters = "counters"
+	wsecProg     = "prog"
+)
+
+// ckptManager builds the worker's checkpoint manager: all workers share one
+// directory, isolated by per-worker file prefixes.
+func ckptManager(dir string, id int) *ckpt.Manager {
+	return &ckpt.Manager{Dir: dir, Prefix: fmt.Sprintf("w%d-", id), Keep: 1}
+}
+
+// CkptArgs asks a worker to checkpoint its barrier state into Dir.
+type CkptArgs struct {
+	Dir   string
+	Round int
+}
+
+// Checkpoint snapshots the worker's superstep state — the sorted current
+// inbox (the messages the next compute will consume), the conservation
+// counters, and the program state including RNG streams — into a
+// checksummed file. It replies with the bytes written. The master calls it
+// at the barrier after Advance, so pending and outbox are empty by
+// construction.
+func (w *Worker) Checkpoint(args CkptArgs, reply *int64) error {
+	if w.dead.Load() {
+		return w.down()
+	}
+	if w.prog == nil {
+		return fmt.Errorf("rpcrt: no job on worker %d", w.id)
+	}
+	snap := &ckpt.Snapshot{Step: args.Round}
+
+	var meta []byte
+	meta = binary.LittleEndian.AppendUint64(meta, uint64(args.Round))
+	snap.Add(wsecMeta, meta)
+
+	// The inbox is flattened in group order; groups are rebuilt on restore
+	// by splitting on destination change (Advance groups by destination).
+	var total int
+	for _, msgs := range w.cur {
+		total += len(msgs)
+	}
+	inbox := make([]byte, 0, 4+total*wireMessageBytes)
+	inbox = binary.LittleEndian.AppendUint32(inbox, uint32(total))
+	for _, msgs := range w.cur {
+		for _, m := range msgs {
+			inbox = binary.LittleEndian.AppendUint32(inbox, m.Dst)
+			inbox = binary.LittleEndian.AppendUint32(inbox, m.Src)
+			inbox = binary.LittleEndian.AppendUint32(inbox, math.Float32bits(m.Val))
+		}
+	}
+	snap.Add(wsecInbox, inbox)
+
+	w.statsMu.Lock()
+	ctr := make([]byte, 0, 4+len(w.sentByPeer)*16+8)
+	ctr = binary.LittleEndian.AppendUint32(ctr, uint32(w.nPeer))
+	for _, n := range w.sentByPeer {
+		ctr = binary.LittleEndian.AppendUint64(ctr, uint64(n))
+	}
+	for _, n := range w.recvByPeer {
+		ctr = binary.LittleEndian.AppendUint64(ctr, uint64(n))
+	}
+	ctr = binary.LittleEndian.AppendUint64(ctr, uint64(w.retries))
+	w.statsMu.Unlock()
+	snap.Add(wsecCounters, ctr)
+
+	prog, err := w.prog.saveState()
+	if err != nil {
+		return fmt.Errorf("rpcrt: worker %d saveState: %w", w.id, err)
+	}
+	snap.Add(wsecProg, prog)
+
+	bytes, err := ckptManager(args.Dir, w.id).Save(snap)
+	if err != nil {
+		return fmt.Errorf("rpcrt: worker %d checkpoint: %w", w.id, err)
+	}
+	*reply = bytes
+	return nil
+}
+
+// RestoreArgs asks a worker to reload its latest checkpoint from Dir.
+type RestoreArgs struct {
+	Dir string
+}
+
+// Restore rolls the worker back to its latest checkpoint: pending and
+// outboxes are discarded (they belong to the crashed superstep), the
+// current inbox, counters and program state are reloaded. The master
+// re-broadcasts StartJob first, so restarted and surviving workers restore
+// through the same code path.
+func (w *Worker) Restore(args RestoreArgs, _ *struct{}) error {
+	if w.dead.Load() {
+		return w.down()
+	}
+	if w.prog == nil {
+		return fmt.Errorf("rpcrt: no job on worker %d", w.id)
+	}
+	snap, _, err := ckptManager(args.Dir, w.id).Latest()
+	if err != nil {
+		return fmt.Errorf("rpcrt: worker %d restore: %w", w.id, err)
+	}
+	if snap == nil {
+		return fmt.Errorf("rpcrt: worker %d restore: no checkpoint in %s", w.id, args.Dir)
+	}
+
+	meta := snap.Get(wsecMeta)
+	if len(meta) < 8 {
+		return fmt.Errorf("rpcrt: worker %d restore: truncated meta", w.id)
+	}
+	w.round = int(binary.LittleEndian.Uint64(meta))
+
+	w.mu.Lock()
+	w.pending = make(map[graph.VertexID][]Message)
+	w.mu.Unlock()
+	for p := range w.outbox {
+		w.outbox[p] = w.outbox[p][:0]
+	}
+	w.sent = 0
+
+	inbox := snap.Get(wsecInbox)
+	total := int(binary.LittleEndian.Uint32(inbox))
+	inbox = inbox[4:]
+	w.cur = w.cur[:0]
+	var group []Message
+	for i := 0; i < total; i++ {
+		m := Message{
+			Dst: binary.LittleEndian.Uint32(inbox),
+			Src: binary.LittleEndian.Uint32(inbox[4:]),
+			Val: math.Float32frombits(binary.LittleEndian.Uint32(inbox[8:])),
+		}
+		inbox = inbox[12:]
+		if len(group) > 0 && group[len(group)-1].Dst != m.Dst {
+			w.cur = append(w.cur, group)
+			group = nil
+		}
+		group = append(group, m)
+	}
+	if len(group) > 0 {
+		w.cur = append(w.cur, group)
+	}
+
+	ctr := snap.Get(wsecCounters)
+	if got := int(binary.LittleEndian.Uint32(ctr)); got != w.nPeer {
+		return fmt.Errorf("rpcrt: worker %d restore: snapshot has %d peers, cluster has %d", w.id, got, w.nPeer)
+	}
+	ctr = ctr[4:]
+	w.statsMu.Lock()
+	for p := range w.sentByPeer {
+		w.sentByPeer[p] = int64(binary.LittleEndian.Uint64(ctr))
+		ctr = ctr[8:]
+	}
+	for p := range w.recvByPeer {
+		w.recvByPeer[p] = int64(binary.LittleEndian.Uint64(ctr))
+		ctr = ctr[8:]
+	}
+	w.retries = int64(binary.LittleEndian.Uint64(ctr))
+	w.statsMu.Unlock()
+
+	if err := w.prog.loadState(snap.Get(wsecProg)); err != nil {
+		return fmt.Errorf("rpcrt: worker %d loadState: %w", w.id, err)
+	}
+	return nil
+}
+
+// ReconnectArgs tells a worker that peer Peer now listens at Addr.
+type ReconnectArgs struct {
+	Peer int
+	Addr string
+}
+
+// Reconnect re-dials a restarted peer.
+func (w *Worker) Reconnect(args ReconnectArgs, _ *struct{}) error {
+	if w.dead.Load() {
+		return w.down()
+	}
+	if args.Peer < 0 || args.Peer >= len(w.peers) {
+		return fmt.Errorf("rpcrt: reconnect to unknown peer %d", args.Peer)
+	}
+	if old := w.peers[args.Peer]; old != nil {
+		old.Close()
+	}
+	cl, err := rpc.Dial("tcp", args.Addr)
+	if err != nil {
+		return fmt.Errorf("rpcrt: worker %d redial peer %d: %w", w.id, args.Peer, err)
+	}
+	w.peers[args.Peer] = cl
+	return nil
+}

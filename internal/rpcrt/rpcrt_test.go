@@ -16,7 +16,7 @@ func startTestCluster(t *testing.T, g *graph.Graph, k int) *Cluster {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(c.Close)
+	t.Cleanup(func() { c.Close() })
 	return c
 }
 

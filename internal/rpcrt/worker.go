@@ -16,7 +16,10 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"vcmt/internal/fault"
 	"vcmt/internal/graph"
 )
 
@@ -57,12 +60,17 @@ type ResultEntry struct {
 // and compute receive a sendCtx — a buffered send channel that lets
 // ComputeRound shard the inbox across goroutines; parallelOK reports
 // whether compute touches only per-destination-vertex state (no shared
-// scratch or RNG), i.e. whether shards may run concurrently.
+// scratch or RNG), i.e. whether shards may run concurrently. saveState and
+// loadState are the checkpoint contract: deterministic bytes capturing all
+// cross-round program state (including RNG streams), so a restored worker
+// replays bit-for-bit.
 type workerProgram interface {
 	seed(sc *sendCtx)
 	compute(sc *sendCtx, v graph.VertexID, msgs []Message)
 	collect(w *Worker) []ResultEntry
 	parallelOK() bool
+	saveState() ([]byte, error)
+	loadState(data []byte) error
 }
 
 // wireMessageBytes is the serialized payload size of one Message (Dst +
@@ -85,6 +93,7 @@ type WorkerStats struct {
 	RecvBytes  int64
 	SentByPeer []int64 // SentByPeer[j]: messages this worker sent to worker j
 	RecvByPeer []int64 // RecvByPeer[j]: messages this worker received from worker j
+	Retries    int64   // delivery RPCs retried after drops or transport errors
 }
 
 // Worker is the RPC service owning one partition.
@@ -104,14 +113,44 @@ type Worker struct {
 	statsMu    sync.Mutex
 	sentByPeer []int64
 	recvByPeer []int64
+	retries    int64
 
 	// procs bounds ComputeRound's shard count (default GOMAXPROCS); the
 	// master sets it via Cluster.SetComputeParallelism.
 	procs int
 
+	// round is the superstep currently executing (1 = seed); the master
+	// passes it to ComputeRound so fault-plan steps line up with the
+	// engine's superstep numbering.
+	round int
+	// fplan injects deterministic faults (nil = none).
+	fplan *fault.Plan
+	// dead marks a crashed worker: its listener is closed, but already-open
+	// gob connections keep serving, so every RPC method checks the flag.
+	dead atomic.Bool
+	// rpcTimeout bounds this worker's peer Deliver calls.
+	rpcTimeout time.Duration
+
 	peers    []*rpc.Client
 	listener net.Listener
 	server   *rpc.Server
+}
+
+// errDown is the error every RPC on a crashed worker returns. net/rpc
+// flattens errors to strings, so callers match on the text.
+const workerDownMsg = "worker is down"
+
+func (w *Worker) down() error {
+	return fmt.Errorf("rpcrt: worker %d: %s", w.id, workerDownMsg)
+}
+
+// die marks the worker crashed and closes its listener. Existing
+// connections drain through the dead-flag checks.
+func (w *Worker) die() {
+	w.dead.Store(true)
+	if w.listener != nil {
+		w.listener.Close()
+	}
 }
 
 // sendCtx buffers the sends of one compute shard: per-peer outboxes, local
@@ -189,6 +228,7 @@ func newWorker(id, k int, g *graph.Graph) *Worker {
 		sentByPeer: make([]int64, k),
 		recvByPeer: make([]int64, k),
 		procs:      runtime.GOMAXPROCS(0),
+		rpcTimeout: defaultRPCTimeout,
 	}
 	for v := 0; v < g.NumVertices(); v++ {
 		if owner(graph.VertexID(v), k) == id {
@@ -207,6 +247,9 @@ type StartJobArgs struct {
 // in a separate Seed phase so that no worker can deliver messages into a
 // peer that has not reset yet.
 func (w *Worker) StartJob(args StartJobArgs, _ *struct{}) error {
+	if w.dead.Load() {
+		return w.down()
+	}
 	w.mu.Lock()
 	w.pending = make(map[graph.VertexID][]Message)
 	w.mu.Unlock()
@@ -215,6 +258,7 @@ func (w *Worker) StartJob(args StartJobArgs, _ *struct{}) error {
 	w.statsMu.Lock()
 	w.sentByPeer = make([]int64, w.nPeer)
 	w.recvByPeer = make([]int64, w.nPeer)
+	w.retries = 0
 	w.statsMu.Unlock()
 	switch args.Spec.Program {
 	case "mssp":
@@ -232,9 +276,13 @@ func (w *Worker) StartJob(args StartJobArgs, _ *struct{}) error {
 // Seed runs the program's seed phase (superstep 1) and exchanges the
 // initial messages; it replies with the number of messages sent.
 func (w *Worker) Seed(_ struct{}, reply *int64) error {
+	if w.dead.Load() {
+		return w.down()
+	}
 	if w.prog == nil {
 		return fmt.Errorf("rpcrt: no job started on worker %d", w.id)
 	}
+	w.round = 1
 	w.sent = 0
 	sc := w.newSendCtx()
 	w.prog.seed(sc)
@@ -254,6 +302,9 @@ func (w *Worker) Seed(_ struct{}, reply *int64) error {
 // randomized programs would diverge run-to-run and rounds would not be
 // diffable against the deterministic engine.
 func (w *Worker) Advance(_ struct{}, _ *struct{}) error {
+	if w.dead.Load() {
+		return w.down()
+	}
 	w.mu.Lock()
 	pending := w.pending
 	w.pending = make(map[graph.VertexID][]Message)
@@ -272,6 +323,12 @@ func (w *Worker) Advance(_ struct{}, _ *struct{}) error {
 	return nil
 }
 
+// ComputeRoundArgs carries the superstep number being computed, aligning
+// injected faults with the engine's superstep numbering (seed = 1).
+type ComputeRoundArgs struct {
+	Round int
+}
+
 // ComputeRound runs the vertex program over every vertex with messages and
 // exchanges the generated messages with peers. It replies with the number
 // of messages this worker sent.
@@ -282,10 +339,26 @@ func (w *Worker) Advance(_ struct{}, _ *struct{}) error {
 // shard order reproduces the sequential send stream exactly, so parallel
 // rounds keep the same conservation invariants and bit-deterministic
 // replies.
-func (w *Worker) ComputeRound(_ struct{}, reply *int64) error {
+//
+// Fault injection happens here: a planned crash kills the worker before any
+// compute, a delay sleeps before computing, and a slowdown stretches the
+// round's wall time by the planned factor.
+func (w *Worker) ComputeRound(args ComputeRoundArgs, reply *int64) error {
+	if w.dead.Load() {
+		return w.down()
+	}
 	if w.prog == nil {
 		return fmt.Errorf("rpcrt: no job started on worker %d", w.id)
 	}
+	w.round = args.Round
+	if w.fplan.Crash(w.id, args.Round) {
+		w.die()
+		return fmt.Errorf("rpcrt: worker %d: injected crash at superstep %d", w.id, args.Round)
+	}
+	if d := w.fplan.Delay(w.id, args.Round); d > 0 {
+		time.Sleep(d)
+	}
+	start := time.Now()
 	w.sent = 0
 	shards := w.procs
 	if shards > len(w.cur) {
@@ -327,22 +400,59 @@ func (w *Worker) ComputeRound(_ struct{}, reply *int64) error {
 	if err := w.flushOutboxes(); err != nil {
 		return err
 	}
+	if f := w.fplan.SlowFactor(w.id, args.Round); f > 1 {
+		time.Sleep(time.Duration(float64(time.Since(start)) * (f - 1)))
+	}
 	*reply = w.sent
 	return nil
 }
+
+// deliverAttempts bounds the per-peer delivery retries; backoff doubles
+// from deliverBackoff between attempts.
+const (
+	deliverAttempts = 3
+	deliverBackoff  = 5 * time.Millisecond
+)
 
 func (w *Worker) flushOutboxes() error {
 	for p, box := range w.outbox {
 		if len(box) == 0 {
 			continue
 		}
-		args := DeliverArgs{From: w.id, Batch: box}
-		if err := w.peers[p].Call("Worker.Deliver", args, &struct{}{}); err != nil {
+		if err := w.deliverWithRetry(p, DeliverArgs{From: w.id, Batch: box}); err != nil {
 			return fmt.Errorf("rpcrt: worker %d -> %d deliver: %w", w.id, p, err)
 		}
 		w.outbox[p] = w.outbox[p][:0]
 	}
 	return nil
+}
+
+// deliverWithRetry sends one batch to a peer with bounded retry and
+// exponential backoff. Planned drop faults consume one attempt without
+// touching the wire — the retry then re-sends the identical batch, so a
+// dropped-and-retried delivery is invisible in the message counters.
+func (w *Worker) deliverWithRetry(p int, args DeliverArgs) error {
+	backoff := deliverBackoff
+	var lastErr error
+	for attempt := 0; attempt < deliverAttempts; attempt++ {
+		if attempt > 0 {
+			w.statsMu.Lock()
+			w.retries++
+			w.statsMu.Unlock()
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		if w.fplan.DropDeliver(w.id, p, w.round) {
+			lastErr = fmt.Errorf("injected drop at superstep %d", w.round)
+			continue
+		}
+		if err := callTimeout(w.peers[p], "Worker.Deliver", args, &struct{}{}, w.rpcTimeout); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return lastErr
 }
 
 // DeliverArgs carries a message batch plus the sending worker's id, so the
@@ -354,6 +464,9 @@ type DeliverArgs struct {
 
 // Deliver receives a message batch from a peer into the pending inbox.
 func (w *Worker) Deliver(args DeliverArgs, _ *struct{}) error {
+	if w.dead.Load() {
+		return w.down()
+	}
 	w.mu.Lock()
 	for _, m := range args.Batch {
 		w.pending[m.Dst] = append(w.pending[m.Dst], m)
@@ -369,12 +482,16 @@ func (w *Worker) Deliver(args DeliverArgs, _ *struct{}) error {
 
 // Stats reports this worker's cumulative counters for the current job.
 func (w *Worker) Stats(_ struct{}, reply *WorkerStats) error {
+	if w.dead.Load() {
+		return w.down()
+	}
 	w.statsMu.Lock()
 	defer w.statsMu.Unlock()
 	st := WorkerStats{
 		ID:         w.id,
 		SentByPeer: append([]int64(nil), w.sentByPeer...),
 		RecvByPeer: append([]int64(nil), w.recvByPeer...),
+		Retries:    w.retries,
 	}
 	for p, n := range st.SentByPeer {
 		st.Sent += n
@@ -396,6 +513,9 @@ func (w *Worker) Stats(_ struct{}, reply *WorkerStats) error {
 
 // Collect returns the program's output entries for this worker's vertices.
 func (w *Worker) Collect(_ struct{}, reply *[]ResultEntry) error {
+	if w.dead.Load() {
+		return w.down()
+	}
 	if w.prog == nil {
 		return fmt.Errorf("rpcrt: no job on worker %d", w.id)
 	}
@@ -405,6 +525,9 @@ func (w *Worker) Collect(_ struct{}, reply *[]ResultEntry) error {
 
 // Ping lets the master verify liveness.
 func (w *Worker) Ping(_ struct{}, reply *int) error {
+	if w.dead.Load() {
+		return w.down()
+	}
 	*reply = w.id
 	return nil
 }

@@ -54,7 +54,44 @@ const (
 	// grows ~K^0.5 with the machine count (§4.8: fibers scale with
 	// machines and distributed locking overhead grows accordingly).
 	lockMachineExponent = 0.5
+
+	// ckptSyncSec is the fixed per-checkpoint commit overhead: quiescing
+	// the barrier, fsyncing the snapshot files, and the rename. Anchor:
+	// Pregel-lineage systems report sub-second checkpoint initiation on
+	// small clusters (Ammar & Özsu's experimental survey); the volume term
+	// below dominates for any non-trivial snapshot.
+	ckptSyncSec = 0.05
+
+	// ckptRestartSec is the fixed recovery overhead before any checkpoint
+	// bytes are reloaded: detecting the failure, restarting the worker
+	// process, re-establishing the k^2 peer connections, and re-issuing
+	// the job spec.
+	ckptRestartSec = 5.0
 )
+
+// checkpointSeconds prices writing `bytes` replica-scale checkpoint bytes:
+// each machine streams its share to local disk in parallel, so the volume
+// term divides by the cluster's machine count.
+func (r *Run) checkpointSeconds(bytes int64) float64 {
+	sec := ckptSyncSec
+	cl := r.cfg.Cluster
+	if cl.DiskBytesPerSec > 0 && cl.Machines > 0 {
+		sec += float64(bytes) * r.cfg.StatScale / (cl.DiskBytesPerSec * float64(cl.Machines))
+	}
+	return sec
+}
+
+// recoverySeconds prices one recovery: the fixed restart overhead, the
+// parallel reload of the last checkpoint, and the re-execution of the
+// supersteps lost since it was cut (lostSeconds, already at paper scale).
+func (r *Run) recoverySeconds(reloadBytes int64, lostSeconds float64) float64 {
+	sec := ckptRestartSec + lostSeconds
+	cl := r.cfg.Cluster
+	if cl.DiskBytesPerSec > 0 && cl.Machines > 0 {
+		sec += float64(reloadBytes) * r.cfg.StatScale / (cl.DiskBytesPerSec * float64(cl.Machines))
+	}
+	return sec
+}
 
 // roundCost prices one superstep. residualBytes is the per-machine
 // paper-scale residual memory carried in from earlier batches.

@@ -37,6 +37,20 @@ type Observer interface {
 	OnRound(o RoundObservation)
 }
 
+// RecoveryObserver is an optional extension of Observer (checked by type
+// assertion, so existing observers are unaffected): it receives the
+// fault-tolerance callbacks fired by ObserveCheckpoint and ObserveRecovery.
+type RecoveryObserver interface {
+	// OnCheckpoint fires after a checkpoint write is priced. round is the
+	// superstep the checkpoint was cut at, bytes the replica-scale snapshot
+	// size, seconds the simulated write cost, simSeconds the cumulative
+	// simulated time including it.
+	OnCheckpoint(round int, bytes int64, seconds, simSeconds float64)
+	// OnRecovery fires after a recovery is priced. round is the superstep
+	// recovered to, roundsLost the supersteps that must be re-executed.
+	OnRecovery(round, roundsLost int, reloadBytes int64, seconds, simSeconds float64)
+}
+
 // RoundObservation bundles everything known about one priced superstep.
 type RoundObservation struct {
 	Round      int // 1-based, over the whole job
@@ -71,6 +85,12 @@ type Run struct {
 	maxSkew        float64
 	spilledBytes   int64
 	spilledRecords int64
+	ckptWritten    int
+	ckptBytes      int64
+	ckptSec        float64
+	recoveries     int
+	roundsLost     int
+	recoverySec    float64
 	overflow       bool
 	residualByMach []int64
 	residualTotal  int64
@@ -187,6 +207,39 @@ func (r *Run) ObserveRound(rs RoundStats) RoundResult {
 // the final aggregation phase of whole-graph access mode (Fig. 10).
 func (r *Run) AddSeconds(s float64) { r.seconds += s }
 
+// ObserveCheckpoint charges the simulated cost of writing one checkpoint
+// of `bytes` replica-scale bytes at the given superstep and returns that
+// cost. Engines call it at the barrier, right after the checkpoint hits
+// disk.
+func (r *Run) ObserveCheckpoint(round int, bytes int64) float64 {
+	sec := r.checkpointSeconds(bytes)
+	r.seconds += sec
+	r.ckptWritten++
+	r.ckptBytes += bytes
+	r.ckptSec += sec
+	if ro, ok := r.obs.(RecoveryObserver); ok {
+		ro.OnCheckpoint(round, bytes, sec, r.seconds)
+	}
+	return sec
+}
+
+// ObserveRecovery charges the simulated cost of one recovery: restart
+// overhead, reloading the last checkpoint (reloadBytes, replica scale),
+// and re-executing the roundsLost supersteps since it was cut
+// (lostSeconds, the simulated time those supersteps originally took).
+// round is the superstep recovered to.
+func (r *Run) ObserveRecovery(round, roundsLost int, reloadBytes int64, lostSeconds float64) float64 {
+	sec := r.recoverySeconds(reloadBytes, lostSeconds)
+	r.seconds += sec
+	r.recoveries++
+	r.roundsLost += roundsLost
+	r.recoverySec += sec
+	if ro, ok := r.obs.(RecoveryObserver); ok {
+		ro.OnRecovery(round, roundsLost, reloadBytes, sec, r.seconds)
+	}
+	return sec
+}
+
 // Seconds returns the simulated time accumulated so far.
 func (r *Run) Seconds() float64 { return r.seconds }
 
@@ -220,6 +273,13 @@ func (r *Run) Result() JobResult {
 		MaxSkewRatio:     r.maxSkew,
 		SpilledBytes:     r.spilledBytes,
 		SpilledRecords:   r.spilledRecords,
+
+		CheckpointsWritten: r.ckptWritten,
+		CheckpointBytes:    r.ckptBytes,
+		CheckpointSeconds:  r.ckptSec,
+		Recoveries:         r.recoveries,
+		RoundsLost:         r.roundsLost,
+		RecoverySeconds:    r.recoverySec,
 	}
 	if r.rounds > 0 {
 		res.AvgMsgsPerRound = r.totalLogical / float64(r.rounds)

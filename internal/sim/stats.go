@@ -128,6 +128,14 @@ type JobResult struct {
 	SpilledRecords    int64   // real engine spill record count (replica scale)
 	Credits           float64 // cloud monetary cost; 0 off-cloud
 	CreditsLowerBound bool    // true when Overload: cost is a lower bound (paper marks '>')
+
+	// Fault-tolerance accounting (zero for runs without checkpointing).
+	CheckpointsWritten int     // checkpoints cut at superstep barriers
+	CheckpointBytes    int64   // real snapshot bytes written (replica scale)
+	CheckpointSeconds  float64 // simulated time spent writing checkpoints
+	Recoveries         int     // injected failures recovered from
+	RoundsLost         int     // supersteps re-executed across all recoveries
+	RecoverySeconds    float64 // simulated restart + reload + re-execution time
 }
 
 // TaskMemModel carries per-task memory constants used by the cost model:

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"vcmt/internal/engine"
+	"vcmt/internal/fault"
 	"vcmt/internal/gas"
 	"vcmt/internal/graph"
 	"vcmt/internal/sim"
@@ -36,6 +37,10 @@ type BKHSConfig struct {
 	// results are identical for every value.
 	Workers            int
 	StopWhenOverloaded bool
+	// CheckpointDir/CheckpointInterval/Fault: see MSSPConfig.
+	CheckpointDir      string
+	CheckpointInterval int
+	Fault              *fault.Plan
 }
 
 // BKHSJob computes, for every source s in S, the set of vertices within K
@@ -131,6 +136,8 @@ func (j *BKHSJob) RunBatch(run *sim.Run, workload int, batchIdx int) ([]int64, e
 			Seed:               seed,
 			Workers:            j.cfg.Workers,
 			StopWhenOverloaded: j.cfg.StopWhenOverloaded,
+			Checkpoint:         checkpointOptions[HopMsg](HopMsgCodec{}, j.cfg.CheckpointDir, j.cfg.CheckpointInterval, batchIdx),
+			Fault:              j.cfg.Fault,
 		})
 		err = e.Run()
 	}
@@ -218,6 +225,58 @@ func (p *bkhsProg) forward(ctx vcapi.Context[HopMsg], v, src graph.VertexID, hop
 
 // StateEntries implements engine.StateReporter.
 func (p *bkhsProg) StateEntries(machine int) int64 { return p.entries[machine] }
+
+// SaveState implements vcapi.StateSnapshotter: hop tables, per-machine
+// first-reach counts, and entry counts.
+func (p *bkhsProg) SaveState() ([]byte, error) {
+	n := len(p.hops[0])
+	buf := make([]byte, 0, 8+len(p.hops)*n+len(p.counts)*len(p.hops)*8+len(p.entries)*8)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.hops)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	for _, row := range p.hops {
+		buf = append(buf, row...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.counts)))
+	for _, row := range p.counts {
+		for _, c := range row {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(c))
+		}
+	}
+	for _, e := range p.entries {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e))
+	}
+	return buf, nil
+}
+
+// LoadState implements vcapi.StateSnapshotter.
+func (p *bkhsProg) LoadState(data []byte) error {
+	nSrc := int(binary.LittleEndian.Uint32(data))
+	n := int(binary.LittleEndian.Uint32(data[4:]))
+	if nSrc != len(p.hops) || n != len(p.hops[0]) {
+		return fmt.Errorf("tasks: BKHS snapshot shape %dx%d, program has %dx%d", nSrc, n, len(p.hops), len(p.hops[0]))
+	}
+	data = data[8:]
+	for _, row := range p.hops {
+		copy(row, data[:n])
+		data = data[n:]
+	}
+	k := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	if k != len(p.counts) {
+		return fmt.Errorf("tasks: BKHS snapshot has %d machines, program has %d", k, len(p.counts))
+	}
+	for _, row := range p.counts {
+		for i := range row {
+			row[i] = int64(binary.LittleEndian.Uint64(data))
+			data = data[8:]
+		}
+	}
+	for m := range p.entries {
+		p.entries[m] = int64(binary.LittleEndian.Uint64(data))
+		data = data[8:]
+	}
+	return nil
+}
 
 // HopMsgCodec serializes HopMsg for out-of-core spilling.
 type HopMsgCodec struct{}

@@ -3,8 +3,11 @@ package tasks
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
+	"sort"
 
 	"vcmt/internal/engine"
+	"vcmt/internal/fault"
 	"vcmt/internal/gas"
 	"vcmt/internal/graph"
 	"vcmt/internal/sim"
@@ -64,6 +67,10 @@ type BPPRConfig struct {
 	Workers int
 	// StopWhenOverloaded abandons a batch past the 6000 s cutoff.
 	StopWhenOverloaded bool
+	// CheckpointDir/CheckpointInterval/Fault: see MSSPConfig.
+	CheckpointDir      string
+	CheckpointInterval int
+	Fault              *fault.Plan
 }
 
 func (c *BPPRConfig) defaults() {
@@ -181,6 +188,55 @@ func (j *BPPRJob) addEndpoint(machine int, src, v graph.VertexID, mass float64) 
 	j.endpoints[machine][pairKey(src, v)] += mass
 }
 
+// saveEndpoints serializes the per-machine endpoint tables with sorted keys
+// so the bytes are deterministic regardless of map iteration order. It is
+// the checkpointed program state of both BPPR variants (the baseline counts
+// are set at batch start and never change during a batch).
+func (j *BPPRJob) saveEndpoints() ([]byte, error) {
+	var size int
+	for _, m := range j.endpoints {
+		size += 8 + len(m)*16
+	}
+	buf := make([]byte, 0, 4+size)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(j.endpoints)))
+	keys := make([]uint64, 0)
+	for _, m := range j.endpoints {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(len(m)))
+		keys = keys[:0]
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		for _, k := range keys {
+			buf = binary.LittleEndian.AppendUint64(buf, k)
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m[k]))
+		}
+	}
+	return buf, nil
+}
+
+// loadEndpoints restores the endpoint tables from a saveEndpoints snapshot,
+// discarding any entries recorded after the checkpoint was cut.
+func (j *BPPRJob) loadEndpoints(data []byte) error {
+	k := int(binary.LittleEndian.Uint32(data))
+	if k != len(j.endpoints) {
+		return fmt.Errorf("tasks: BPPR snapshot has %d machines, job has %d", k, len(j.endpoints))
+	}
+	data = data[4:]
+	for m := range j.endpoints {
+		count := int(binary.LittleEndian.Uint64(data))
+		data = data[8:]
+		tbl := make(map[uint64]float64, count)
+		for i := 0; i < count; i++ {
+			key := binary.LittleEndian.Uint64(data)
+			tbl[key] = math.Float64frombits(binary.LittleEndian.Uint64(data[8:]))
+			data = data[16:]
+		}
+		j.endpoints[m] = tbl
+	}
+	return nil
+}
+
 // MCProgram returns the Pregel-based Monte-Carlo vertex program for one
 // batch of `workload` walks per vertex, for use with custom executors or
 // instrumentation (e.g. the BPPA condition checker); endpoints accumulate
@@ -218,6 +274,8 @@ func (j *BPPRJob) RunBatch(run *sim.Run, workload int, batchIdx int) ([]int64, e
 		Seed:               j.cfg.Seed ^ uint64(batchIdx+1)*0x9e3779b97f4a7c15,
 		Workers:            j.cfg.Workers,
 		StopWhenOverloaded: j.cfg.StopWhenOverloaded,
+		Checkpoint:         checkpointOptions[WalkMsg](WalkMsgCodec{}, j.cfg.CheckpointDir, j.cfg.CheckpointInterval, batchIdx),
+		Fault:              j.cfg.Fault,
 	}
 	var err error
 	perNode := workload
@@ -240,6 +298,8 @@ func (j *BPPRJob) RunBatch(run *sim.Run, workload int, batchIdx int) ([]int64, e
 			Seed:               opts.Seed,
 			Workers:            j.cfg.Workers,
 			StopWhenOverloaded: opts.StopWhenOverloaded,
+			Checkpoint:         checkpointOptions[MassMsg](MassMsgCodec{}, j.cfg.CheckpointDir, j.cfg.CheckpointInterval, batchIdx),
+			Fault:              j.cfg.Fault,
 		})
 		err = e.Run()
 	default:
@@ -335,6 +395,14 @@ func (p *bpprMC) StateEntries(machine int) int64 {
 	return int64(len(p.job.endpoints[machine])) - p.job.baseline[machine]
 }
 
+// SaveState implements vcapi.StateSnapshotter: the batch-accumulated
+// endpoint tables. The multinomial scratch buffers are pure per-Compute
+// scratch and need no snapshot.
+func (p *bpprMC) SaveState() ([]byte, error) { return p.job.saveEndpoints() }
+
+// LoadState implements vcapi.StateSnapshotter.
+func (p *bpprMC) LoadState(data []byte) error { return p.job.loadEndpoints(data) }
+
 // bpprPush is the mirror-mechanism-based program (§3, Pregel-Mirror
 // (BPPR)): walk mass is fractionalized over neighbors and disseminated via
 // the broadcast interface, so one common message serves all neighbors.
@@ -408,6 +476,14 @@ func (p *bpprPush) StateEntries(machine int) int64 {
 	return int64(len(p.job.endpoints[machine])) - p.job.baseline[machine]
 }
 
+// SaveState implements vcapi.StateSnapshotter: the batch-accumulated
+// endpoint tables. The acc/accKeys scratch is drained within every Compute
+// call and needs no snapshot.
+func (p *bpprPush) SaveState() ([]byte, error) { return p.job.saveEndpoints() }
+
+// LoadState implements vcapi.StateSnapshotter.
+func (p *bpprPush) LoadState(data []byte) error { return p.job.loadEndpoints(data) }
+
 // WalkMsgCodec serializes WalkMsg for out-of-core spilling.
 type WalkMsgCodec struct{}
 
@@ -424,5 +500,25 @@ func (WalkMsgCodec) Decode(data []byte) (WalkMsg, int) {
 	return WalkMsg{
 		Src:   binary.LittleEndian.Uint32(data[:4]),
 		Count: int32(binary.LittleEndian.Uint32(data[4:8])),
+	}, 8
+}
+
+// MassMsgCodec serializes MassMsg for checkpointing the mirror variant's
+// pending outboxes.
+type MassMsgCodec struct{}
+
+// Encode implements engine.Codec.
+func (MassMsgCodec) Encode(buf []byte, m MassMsg) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint32(b[:4], m.Src)
+	binary.LittleEndian.PutUint32(b[4:], math.Float32bits(m.Mass))
+	return append(buf, b[:]...)
+}
+
+// Decode implements engine.Codec.
+func (MassMsgCodec) Decode(data []byte) (MassMsg, int) {
+	return MassMsg{
+		Src:  binary.LittleEndian.Uint32(data[:4]),
+		Mass: math.Float32frombits(binary.LittleEndian.Uint32(data[4:8])),
 	}, 8
 }

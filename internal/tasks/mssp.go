@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"vcmt/internal/engine"
+	"vcmt/internal/fault"
 	"vcmt/internal/gas"
 	"vcmt/internal/graph"
 	"vcmt/internal/sim"
@@ -39,6 +40,14 @@ type MSSPConfig struct {
 	// results are identical for every value.
 	Workers            int
 	StopWhenOverloaded bool
+	// CheckpointDir, when non-empty, enables superstep checkpointing on the
+	// sync engine (each batch checkpoints into its own subdirectory).
+	// Ignored in Async mode: the GAS executor has no barrier to cut at.
+	CheckpointDir string
+	// CheckpointInterval is in supersteps (engine default when 0).
+	CheckpointInterval int
+	// Fault injects deterministic failures (see internal/fault).
+	Fault *fault.Plan
 }
 
 // MSSPJob computes single-source shortest path distances from every source
@@ -140,6 +149,8 @@ func (j *MSSPJob) RunBatch(run *sim.Run, workload int, batchIdx int) ([]int64, e
 			Seed:               seed,
 			Workers:            j.cfg.Workers,
 			StopWhenOverloaded: j.cfg.StopWhenOverloaded,
+			Checkpoint:         checkpointOptions[DistMsg](DistMsgCodec{}, j.cfg.CheckpointDir, j.cfg.CheckpointInterval, batchIdx),
+			Fault:              j.cfg.Fault,
 		})
 		err = e.Run()
 	}
@@ -231,6 +242,53 @@ func (p *msspProg) relax(ctx vcapi.Context[DistMsg], v graph.VertexID, i int) {
 
 // StateEntries implements engine.StateReporter.
 func (p *msspProg) StateEntries(machine int) int64 { return p.entries[machine] }
+
+// SaveState implements vcapi.StateSnapshotter: the distance tables and the
+// per-machine entry counts. The relaxation scratch (epoch marks and
+// improved lists) is reset at every Compute call and needs no snapshot:
+// epochs only grow, so stale marks never collide after a restore.
+func (p *msspProg) SaveState() ([]byte, error) {
+	n := len(p.dist[0])
+	buf := make([]byte, 0, 8+len(p.dist)*n*4+len(p.entries)*8)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.dist)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	for _, row := range p.dist {
+		for _, d := range row {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(d))
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.entries)))
+	for _, e := range p.entries {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e))
+	}
+	return buf, nil
+}
+
+// LoadState implements vcapi.StateSnapshotter.
+func (p *msspProg) LoadState(data []byte) error {
+	nSrc := int(binary.LittleEndian.Uint32(data))
+	n := int(binary.LittleEndian.Uint32(data[4:]))
+	if nSrc != len(p.dist) || n != len(p.dist[0]) {
+		return fmt.Errorf("tasks: MSSP snapshot shape %dx%d, program has %dx%d", nSrc, n, len(p.dist), len(p.dist[0]))
+	}
+	data = data[8:]
+	for _, row := range p.dist {
+		for v := range row {
+			row[v] = math.Float32frombits(binary.LittleEndian.Uint32(data))
+			data = data[4:]
+		}
+	}
+	k := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	if k != len(p.entries) {
+		return fmt.Errorf("tasks: MSSP snapshot has %d machines, program has %d", k, len(p.entries))
+	}
+	for m := range p.entries {
+		p.entries[m] = int64(binary.LittleEndian.Uint64(data))
+		data = data[8:]
+	}
+	return nil
+}
 
 // DistMsgCodec serializes DistMsg for out-of-core spilling.
 type DistMsgCodec struct{}

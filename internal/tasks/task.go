@@ -11,6 +11,10 @@
 package tasks
 
 import (
+	"fmt"
+	"path/filepath"
+
+	"vcmt/internal/engine"
 	"vcmt/internal/sim"
 )
 
@@ -32,3 +36,18 @@ type Job interface {
 
 // pairKey packs a (source, vertex) pair into a map key.
 func pairKey(src, v uint32) uint64 { return uint64(src)<<32 | uint64(v) }
+
+// checkpointOptions builds the engine checkpoint configuration shared by
+// all tasks: nil when dir is empty, otherwise a per-batch subdirectory
+// (engine rounds restart at 1 every batch, so sharing one directory would
+// let an older batch's high-numbered checkpoint shadow the current one).
+func checkpointOptions[M any](codec engine.Codec[M], dir string, interval, batchIdx int) *engine.CheckpointOptions[M] {
+	if dir == "" {
+		return nil
+	}
+	return &engine.CheckpointOptions[M]{
+		Codec:    codec,
+		Dir:      filepath.Join(dir, fmt.Sprintf("batch%03d", batchIdx)),
+		Interval: interval,
+	}
+}

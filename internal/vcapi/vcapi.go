@@ -56,3 +56,14 @@ type StateReporter interface {
 // WeightFunc reports the logical multiplicity of a message (e.g. the
 // number of walks a counted BPPR message carries). nil means 1.
 type WeightFunc[M any] func(M) int64
+
+// StateSnapshotter is an optional Program extension required for
+// checkpointing: SaveState serializes all program-owned mutable state at a
+// superstep barrier and LoadState restores it, such that a restored
+// program replays subsequent supersteps identically. Encodings must be
+// deterministic (iterate maps in sorted key order) so checkpoint bytes are
+// reproducible.
+type StateSnapshotter interface {
+	SaveState() ([]byte, error)
+	LoadState(data []byte) error
+}
