@@ -1,12 +1,21 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-json fault bench-ckpt ci
+.PHONY: build vet test race lint bench bench-json fault bench-ckpt bench-wire bench-wire-baseline ci
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Mirrors the CI lint job: gofmt must report nothing, vet must be clean,
+# and govulncheck scans the module (fetched with `go run`, so nothing is
+# added to go.mod; requires network access). The repo has no build-tagged
+# files, so plain `go vet ./...` covers every file.
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
 test:
 	$(GO) test ./...
@@ -33,5 +42,16 @@ fault:
 # fault-recovery job uploads this as BENCH_ckpt.json.
 bench-ckpt:
 	$(GO) run ./cmd/benchjson -bench 'BenchmarkCheckpointWrite|BenchmarkCheckpointRecover' 		-pkg ./internal/ckpt -benchtime 2x -out BENCH_ckpt.json
+
+# Wire-codec benchmark with the regression gate, mirroring the CI
+# bench-wire job: fails on >25% ns/op or B/op regression against the
+# committed BENCH_wire.json baseline.
+bench-wire:
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkDeliver' -pkg ./internal/wire 		-benchmem -benchtime 200x -out BENCH_wire_run.json 		-compare BENCH_wire.json -max-regress 0.25
+
+# Refresh the committed baseline after a deliberate codec change; commit
+# the resulting BENCH_wire.json alongside the change that justifies it.
+bench-wire-baseline:
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkDeliver' -pkg ./internal/wire 		-benchmem -benchtime 200x -out BENCH_wire.json
 
 ci: build vet test race

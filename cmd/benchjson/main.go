@@ -6,6 +6,13 @@
 //
 //	benchjson -bench 'BenchmarkEngineWorkers' -pkg ./internal/engine \
 //	    -benchtime 2x -out BENCH_engine.json
+//
+// With -compare, the fresh results are checked against a committed
+// baseline artifact and the command exits nonzero when ns/op or bytes/op
+// regress beyond -max-regress — the CI benchmark-regression gate:
+//
+//	benchjson -bench 'BenchmarkDeliver' -pkg ./internal/wire -benchmem \
+//	    -benchtime 100x -compare BENCH_wire.json -max-regress 0.25
 package main
 
 import (
@@ -22,7 +29,8 @@ import (
 )
 
 // Result is one benchmark line: the canonical ns/op plus any custom
-// metrics the benchmark reported (b.ReportMetric units).
+// metrics the benchmark reported (b.ReportMetric units, and B/op /
+// allocs/op under -benchmem).
 type Result struct {
 	Name       string             `json:"name"`
 	Iterations int64              `json:"iterations"`
@@ -42,15 +50,22 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	var (
-		bench     = flag.String("bench", ".", "benchmark regexp passed to go test -bench")
-		pkg       = flag.String("pkg", ".", "package to benchmark")
-		benchtime = flag.String("benchtime", "1x", "go test -benchtime value")
-		out       = flag.String("out", "", "output JSON path (default stdout)")
+		bench      = flag.String("bench", ".", "benchmark regexp passed to go test -bench")
+		pkg        = flag.String("pkg", ".", "package to benchmark")
+		benchtime  = flag.String("benchtime", "1x", "go test -benchtime value")
+		benchmem   = flag.Bool("benchmem", false, "pass -benchmem (records B/op and allocs/op)")
+		out        = flag.String("out", "", "output JSON path (default stdout)")
+		compare    = flag.String("compare", "", "baseline JSON artifact to compare against")
+		maxRegress = flag.Float64("max-regress", 0.25, "fail when ns/op or B/op regress by more than this fraction (with -compare)")
 	)
 	flag.Parse()
 
-	cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench,
-		"-benchtime", *benchtime, *pkg)
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime}
+	if *benchmem {
+		args = append(args, "-benchmem")
+	}
+	args = append(args, *pkg)
+	cmd := exec.Command("go", args...)
 	var buf bytes.Buffer
 	cmd.Stdout = &buf
 	cmd.Stderr = os.Stderr
@@ -73,12 +88,87 @@ func main() {
 	data = append(data, '\n')
 	if *out == "" {
 		os.Stdout.Write(data)
-		return
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d results to %s\n", len(o.Results), *out)
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		log.Fatal(err)
+
+	if *compare != "" {
+		base, err := readBaseline(*compare)
+		if err != nil {
+			log.Fatalf("read baseline: %v", err)
+		}
+		regressions := compareResults(base, o.Results, *maxRegress)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", r)
+		}
+		if len(regressions) > 0 {
+			log.Fatalf("%d benchmark regression(s) beyond %.0f%% against %s",
+				len(regressions), *maxRegress*100, *compare)
+		}
+		fmt.Printf("no regressions beyond %.0f%% against %s\n", *maxRegress*100, *compare)
 	}
-	fmt.Printf("wrote %d results to %s\n", len(o.Results), *out)
+}
+
+func readBaseline(path string) (Output, error) {
+	var o Output
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return o, err
+	}
+	if err := json.Unmarshal(data, &o); err != nil {
+		return o, fmt.Errorf("%s: %w", path, err)
+	}
+	return o, nil
+}
+
+// bytesSlack is the absolute B/op headroom below which the gate stays
+// quiet: pool-backed benchmarks report 0–2 B/op of scheduler noise, and a
+// relative threshold against a near-zero baseline would flag that as a
+// huge regression. Anything past the slack is held to the relative limit,
+// and a zero-B/op baseline still catches real allocation creep.
+const bytesSlack = 64
+
+// compareResults checks every baseline benchmark that also ran fresh:
+// ns/op and the B/op metric (when both sides have it) may not exceed the
+// baseline by more than maxRegress. Missing fresh results are regressions
+// too — a silently vanished benchmark must not pass the gate. Improvements
+// and new benchmarks are fine.
+func compareResults(base Output, fresh []Result, maxRegress float64) []string {
+	byName := make(map[string]Result, len(fresh))
+	for _, r := range fresh {
+		byName[r.Name] = r
+	}
+	var regressions []string
+	for _, b := range base.Results {
+		f, ok := byName[b.Name]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: present in baseline, missing from this run", b.Name))
+			continue
+		}
+		check := func(metric string, baseV, freshV, slack float64) {
+			if baseV <= 0 && slack <= 0 {
+				return
+			}
+			limit := baseV * (1 + maxRegress)
+			if limit < baseV+slack {
+				limit = baseV + slack
+			}
+			if freshV > limit {
+				regressions = append(regressions, fmt.Sprintf("%s %s: %.4g -> %.4g (limit %.4g)",
+					b.Name, metric, baseV, freshV, limit))
+			}
+		}
+		check("ns/op", b.NsPerOp, f.NsPerOp, 0)
+		if bv, ok := b.Metrics["B/op"]; ok {
+			if fv, ok := f.Metrics["B/op"]; ok {
+				check("B/op", bv, fv, bytesSlack)
+			}
+		}
+	}
+	return regressions
 }
 
 // parse extracts "BenchmarkX-N  iters  v1 unit1  v2 unit2 ..." lines from

@@ -53,6 +53,9 @@ func (c *Context[M]) Send(dst graph.VertexID, m M) {
 	if e.part.Owner(dst) != c.machine {
 		sc.remoteLogical += w
 		sc.remotePhysical++
+		if e.opts.WireSizer != nil {
+			sc.remoteWireBytes += int64(e.opts.WireSizer(dst, m))
+		}
 	}
 	e.emit(c.machine, envelope[M]{dst: dst, payload: m})
 }
@@ -78,12 +81,19 @@ func (c *Context[M]) Broadcast(src graph.VertexID, m M) {
 		sc.physical += span + 1 // the local copy plus one per mirror
 		sc.remoteLogical += w * span
 		sc.remotePhysical += span
+		if e.opts.WireSizer != nil {
+			// Each mirror machine receives one copy keyed by the source.
+			sc.remoteWireBytes += span * int64(e.opts.WireSizer(src, m))
+		}
 	} else {
 		sc.physical += int64(len(ns))
 		for _, u := range ns {
 			if e.part.Owner(u) != c.machine {
 				sc.remoteLogical += w
 				sc.remotePhysical++
+				if e.opts.WireSizer != nil {
+					sc.remoteWireBytes += int64(e.opts.WireSizer(u, m))
+				}
 			}
 		}
 	}

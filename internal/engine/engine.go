@@ -93,6 +93,14 @@ type Options[M any] struct {
 	// and silently replays forward); drop/delay/slow events are wall-clock
 	// faults that only the rpcrt runtime exercises.
 	Fault *fault.Plan
+	// WireSizer, when set, reports the exact encoded wire size in bytes of
+	// one remote message to dst (e.g. wire.EnvelopeSize on an envelope
+	// codec). The engine then accumulates measured per-machine remote wire
+	// bytes each round and the simulator's cost model uses them in place
+	// of the profile's per-message estimate (see
+	// sim.MachineRound.RemoteWireBytes). Nil keeps the estimate — the
+	// calibrated paper profiles are unaffected unless a task opts in.
+	WireSizer func(dst graph.VertexID, m M) int
 }
 
 // ErrMaxRounds is returned when the superstep bound is hit before the
@@ -184,6 +192,9 @@ type envelope[M any] struct {
 
 type machineCounters struct {
 	logical, physical, remoteLogical, remotePhysical int64
+	// remoteWireBytes is the exact encoded size of the remote physical
+	// messages, accumulated only when Options.WireSizer is set.
+	remoteWireBytes int64
 }
 
 // New constructs an engine. run may be nil when only the computation result
@@ -634,13 +645,14 @@ func (e *Engine[M]) observeRound() {
 		reporter, hasState := e.prog.(StateReporter)
 		for m := 0; m < k; m++ {
 			per[m] = sim.MachineRound{
-				SentLogical:    e.sent[m].logical,
-				SentPhysical:   e.sent[m].physical,
-				RecvLogical:    e.recv[m].logical,
-				RecvPhysical:   e.recv[m].physical,
-				RemoteLogical:  e.sent[m].remoteLogical,
-				RemotePhysical: e.sent[m].remotePhysical,
-				ActiveVertices: e.active[m],
+				SentLogical:     e.sent[m].logical,
+				SentPhysical:    e.sent[m].physical,
+				RecvLogical:     e.recv[m].logical,
+				RecvPhysical:    e.recv[m].physical,
+				RemoteLogical:   e.sent[m].remoteLogical,
+				RemotePhysical:  e.sent[m].remotePhysical,
+				RemoteWireBytes: e.sent[m].remoteWireBytes,
+				ActiveVertices:  e.active[m],
 			}
 			if hasState {
 				per[m].StateEntries = reporter.StateEntries(m)

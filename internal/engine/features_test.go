@@ -206,6 +206,42 @@ func TestForcedActivationCountsAsActive(t *testing.T) {
 	}
 }
 
+// TestWireSizerMeasuresExactBytes: with Options.WireSizer set, the run's
+// wire-byte total is the sizer summed over exactly the remote physical
+// messages — a measured quantity, not the profile's per-message estimate —
+// and scales linearly in the per-message size.
+func TestWireSizerMeasuresExactBytes(t *testing.T) {
+	g := graph.GenerateChungLu(120, 480, 2.5, 3)
+	part := graph.HashPartition(120, 4)
+	runAt := func(bytesPerMsg int) (float64, int) {
+		run := sim.NewRun(sim.JobConfig{Cluster: sim.Galaxy8.WithMachines(4), System: sim.PregelPlus})
+		opts := Options[hopMsg]{}
+		if bytesPerMsg > 0 {
+			opts.WireSizer = func(dst graph.VertexID, m hopMsg) int { return bytesPerMsg }
+		}
+		e := New[hopMsg](g, part, newBFS(120, 0), run, opts)
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return run.Result().WireBytesTotal, e.Rounds()
+	}
+	est, estRounds := runAt(0)
+	ten, tenRounds := runAt(10)
+	twenty, _ := runAt(20)
+	if estRounds != tenRounds {
+		t.Fatalf("sizer changed execution: %d vs %d rounds", estRounds, tenRounds)
+	}
+	if ten <= 0 || twenty != 2*ten {
+		t.Fatalf("measured bytes must scale with message size: 10B=%v 20B=%v", ten, twenty)
+	}
+	// remote = ten/10 is the exact remote physical message count; the
+	// estimate prices the same traffic at the profile's rate.
+	remote := ten / 10
+	if want := remote * float64(sim.PregelPlus.WireBytesPerMsg); est != want {
+		t.Fatalf("estimate path: %v want %v (remote=%v)", est, want, remote)
+	}
+}
+
 func TestSuperstepSplittingPreservesResults(t *testing.T) {
 	g := graph.GenerateChungLu(400, 1600, 2.5, 5)
 	ref := runBFS(t, g, 4)

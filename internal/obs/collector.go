@@ -46,13 +46,14 @@ type batchRecord struct {
 }
 
 type machineAgg struct {
-	sentLogical    int64
-	recvLogical    int64
-	remoteLogical  int64
-	activeVertices int64
-	maxStateEntry  int64
-	phases         PhaseBreakdown
-	maxMemBytes    float64
+	sentLogical     int64
+	recvLogical     int64
+	remoteLogical   int64
+	remoteWireBytes int64
+	activeVertices  int64
+	maxStateEntry   int64
+	phases          PhaseBreakdown
+	maxMemBytes     float64
 }
 
 // CollectorOptions configures a Collector.
@@ -131,6 +132,7 @@ func (c *Collector) OnRound(o sim.RoundObservation) {
 		agg.sentLogical += mr.SentLogical
 		agg.recvLogical += mr.RecvLogical
 		agg.remoteLogical += mr.RemoteLogical
+		agg.remoteWireBytes += mr.RemoteWireBytes
 		agg.activeVertices += mr.ActiveVertices
 		if mr.StateEntries > agg.maxStateEntry {
 			agg.maxStateEntry = mr.StateEntries

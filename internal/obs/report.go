@@ -70,14 +70,18 @@ type BatchReport struct {
 // MachineReport aggregates one simulated machine over the whole run — the
 // per-worker view that exposes stragglers.
 type MachineReport struct {
-	Machine        int            `json:"machine"`
-	SentLogical    int64          `json:"sent_logical"`
-	RecvLogical    int64          `json:"recv_logical"`
-	RemoteLogical  int64          `json:"remote_logical"`
-	ActiveVertices int64          `json:"active_vertices"`
-	MaxStateEntry  int64          `json:"max_state_entries"`
-	Phases         PhaseBreakdown `json:"phases"`
-	MaxMemBytes    float64        `json:"max_mem_bytes"`
+	Machine       int   `json:"machine"`
+	SentLogical   int64 `json:"sent_logical"`
+	RecvLogical   int64 `json:"recv_logical"`
+	RemoteLogical int64 `json:"remote_logical"`
+	// RemoteWireBytes is the exact measured wire-byte total (replica
+	// scale); omitted when the executor did not measure encoded sizes, so
+	// estimate-based reports are unchanged.
+	RemoteWireBytes int64          `json:"remote_wire_bytes,omitempty"`
+	ActiveVertices  int64          `json:"active_vertices"`
+	MaxStateEntry   int64          `json:"max_state_entries"`
+	Phases          PhaseBreakdown `json:"phases"`
+	MaxMemBytes     float64        `json:"max_mem_bytes"`
 }
 
 // SuperstepReport is one superstep's row in the report time series.
@@ -199,14 +203,15 @@ func (c *Collector) Report(meta RunMeta, res sim.JobResult) *RunReport {
 	}
 	for m, agg := range c.machines {
 		rep.Machines = append(rep.Machines, MachineReport{
-			Machine:        m,
-			SentLogical:    agg.sentLogical,
-			RecvLogical:    agg.recvLogical,
-			RemoteLogical:  agg.remoteLogical,
-			ActiveVertices: agg.activeVertices,
-			MaxStateEntry:  agg.maxStateEntry,
-			Phases:         agg.phases,
-			MaxMemBytes:    agg.maxMemBytes,
+			Machine:         m,
+			SentLogical:     agg.sentLogical,
+			RecvLogical:     agg.recvLogical,
+			RemoteLogical:   agg.remoteLogical,
+			RemoteWireBytes: agg.remoteWireBytes,
+			ActiveVertices:  agg.activeVertices,
+			MaxStateEntry:   agg.maxStateEntry,
+			Phases:          agg.phases,
+			MaxMemBytes:     agg.maxMemBytes,
 		})
 	}
 	rep.Metrics = c.reg.Snapshot()

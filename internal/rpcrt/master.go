@@ -24,6 +24,7 @@ type Cluster struct {
 	addrs   []string
 	rounds  int
 	msgs    int64
+	wbytes  int64
 	reg     *obs.Registry
 
 	// rpcTimeout bounds every master->worker call (default 30 s).
@@ -249,6 +250,8 @@ func (c *Cluster) recordJobMetrics() error {
 		c.reg.Counter("rpcrt_recv_remote_total", lbl).Add(st.RecvRemote)
 		c.reg.Counter("rpcrt_sent_bytes_total", lbl).Add(st.SentBytes)
 		c.reg.Counter("rpcrt_recv_bytes_total", lbl).Add(st.RecvBytes)
+		c.reg.Counter("rpcrt_sent_frames_total", lbl).Add(st.SentFrames)
+		c.reg.Counter("rpcrt_recv_frames_total", lbl).Add(st.RecvFrames)
 		c.reg.Counter("rpcrt_deliver_retries_total", lbl).Add(st.Retries)
 	}
 	return nil
@@ -259,6 +262,10 @@ func (c *Cluster) Rounds() int { return c.rounds }
 
 // MessagesSent returns the total messages of the last job.
 func (c *Cluster) MessagesSent() int64 { return c.msgs }
+
+// WireBytesSent returns the exact encoded bytes of all delivery frames the
+// last job pushed between workers, as summed from the per-round replies.
+func (c *Cluster) WireBytesSent() int64 { return c.wbytes }
 
 // broadcast invokes the same method on every worker concurrently and
 // gathers the int64 replies.
@@ -280,6 +287,32 @@ func (c *Cluster) broadcast(method string, arg interface{}) (int64, error) {
 			return 0, fmt.Errorf("rpcrt: %s on worker %d: %w", method, i, errs[i])
 		}
 		total += replies[i]
+	}
+	return total, nil
+}
+
+// broadcastRound invokes a superstep method (Seed, ComputeRound) on every
+// worker concurrently and sums the RoundReply message and wire-byte
+// counts.
+func (c *Cluster) broadcastRound(method string, arg interface{}) (RoundReply, error) {
+	var wg sync.WaitGroup
+	replies := make([]RoundReply, c.k)
+	errs := make([]error, c.k)
+	for i, cl := range c.clients {
+		wg.Add(1)
+		go func(i int, cl *rpc.Client) {
+			defer wg.Done()
+			errs[i] = callTimeout(cl, method, arg, &replies[i], c.rpcTimeout)
+		}(i, cl)
+	}
+	wg.Wait()
+	var total RoundReply
+	for i := range replies {
+		if errs[i] != nil {
+			return RoundReply{}, fmt.Errorf("rpcrt: %s on worker %d: %w", method, i, errs[i])
+		}
+		total.Msgs += replies[i].Msgs
+		total.WireBytes += replies[i].WireBytes
 	}
 	return total, nil
 }
@@ -324,12 +357,14 @@ func (c *Cluster) startJobAll(spec JobSpec) error {
 }
 
 // ckptMeta is the master's record of the last checkpoint cut: the barrier
-// round, the message total through that round, and the in-flight count in
-// the checkpointed inboxes (what the next compute will report consuming).
+// round, the message and wire-byte totals through that round, and the
+// in-flight count in the checkpointed inboxes (what the next compute will
+// report consuming).
 type ckptMeta struct {
-	round int
-	msgs  int64
-	total int64
+	round  int
+	msgs   int64
+	wbytes int64
+	total  int64
 }
 
 // checkpointAll has every worker snapshot its barrier state; returns the
@@ -348,6 +383,7 @@ func (c *Cluster) checkpointAll(round int) (int64, error) {
 func (c *Cluster) runJob(spec JobSpec) error {
 	c.rounds = 0
 	c.msgs = 0
+	c.wbytes = 0
 	c.recoveries = 0
 	c.roundsLost = 0
 	if err := c.startJobAll(spec); err != nil {
@@ -357,27 +393,31 @@ func (c *Cluster) runJob(spec JobSpec) error {
 	// game here, unlike the simulator's deterministic reports). Replayed
 	// rounds are not re-observed: their statistics are already recorded,
 	// and the recovery cost has its own counters.
-	var roundMsgs, roundWall *obs.Histogram
+	var roundMsgs, roundBytes, roundWall *obs.Histogram
 	if c.reg != nil {
 		roundMsgs = c.reg.Histogram("rpcrt_round_msgs")
+		roundBytes = c.reg.Histogram("rpcrt_round_wire_bytes")
 		roundWall = c.reg.Histogram("rpcrt_round_wall_seconds")
 	}
-	observeRound := func(timer obs.Timer, msgs int64) {
+	observeRound := func(timer obs.Timer, r RoundReply) {
 		if c.reg == nil {
 			return
 		}
 		timer.Stop()
-		roundMsgs.Observe(float64(msgs))
+		roundMsgs.Observe(float64(r.Msgs))
+		roundBytes.Observe(float64(r.WireBytes))
 	}
 	// Seed superstep.
 	timer := obs.StartTimer(roundWall)
-	total, err := c.broadcast("Worker.Seed", struct{}{})
+	rr, err := c.broadcastRound("Worker.Seed", struct{}{})
 	if err != nil {
 		return err
 	}
-	observeRound(timer, total)
+	observeRound(timer, rr)
 	c.rounds = 1
-	c.msgs = total
+	c.msgs = rr.Msgs
+	c.wbytes = rr.WireBytes
+	total := rr.Msgs
 	last := ckptMeta{round: -1}
 	replayTo := 0        // rounds <= replayTo are replays: skip telemetry
 	skipAdvance := false // just restored: the inbox is already loaded
@@ -392,7 +432,7 @@ func (c *Cluster) runJob(spec JobSpec) error {
 				if err != nil {
 					return fmt.Errorf("rpcrt: checkpoint at round %d: %w", c.rounds, err)
 				}
-				last = ckptMeta{round: c.rounds, msgs: c.msgs, total: total}
+				last = ckptMeta{round: c.rounds, msgs: c.msgs, wbytes: c.wbytes, total: total}
 				if c.reg != nil {
 					c.reg.Counter("rpcrt_ckpt_writes_total").Add(int64(c.k))
 					c.reg.Counter("rpcrt_ckpt_bytes_total").Add(bytes)
@@ -401,7 +441,7 @@ func (c *Cluster) runJob(spec JobSpec) error {
 		}
 		skipAdvance = false
 		timer = obs.StartTimer(roundWall)
-		next, err := c.broadcast("Worker.ComputeRound", ComputeRoundArgs{Round: c.rounds + 1})
+		next, err := c.broadcastRound("Worker.ComputeRound", ComputeRoundArgs{Round: c.rounds + 1})
 		if err != nil {
 			if c.ckptDir == "" || last.round < 0 {
 				return err
@@ -414,13 +454,15 @@ func (c *Cluster) runJob(spec JobSpec) error {
 			}
 			c.rounds = last.round
 			c.msgs = last.msgs
+			c.wbytes = last.wbytes
 			total = last.total
 			skipAdvance = true
 			continue
 		}
 		c.rounds++
-		c.msgs += next
-		total = next
+		c.msgs += next.Msgs
+		c.wbytes += next.WireBytes
+		total = next.Msgs
 		if c.rounds > replayTo {
 			observeRound(timer, next)
 		}

@@ -3,12 +3,12 @@ package rpcrt
 import (
 	"encoding/binary"
 	"fmt"
-	"math"
 	"net/rpc"
 	"time"
 
 	"vcmt/internal/ckpt"
 	"vcmt/internal/graph"
+	"vcmt/internal/wire"
 )
 
 // defaultRPCTimeout bounds every master->worker and worker->worker call:
@@ -67,29 +67,22 @@ func (w *Worker) Checkpoint(args CkptArgs, reply *int64) error {
 	}
 	snap := &ckpt.Snapshot{Step: args.Round}
 
-	var meta []byte
-	meta = binary.LittleEndian.AppendUint64(meta, uint64(args.Round))
-	snap.Add(wsecMeta, meta)
+	// Checkpoint sections reuse the runtime's wire codec: meta is a
+	// Control frame (kind = checkpoint, round = barrier superstep) and the
+	// inbox is an Envelopes frame, so snapshots share the delivery path's
+	// framing, versioning and corruption detection.
+	snap.Add(wsecMeta, wire.EncodeControl(nil, wire.ControlCheckpoint, args.Round))
 
 	// The inbox is flattened in group order; groups are rebuilt on restore
 	// by splitting on destination change (Advance groups by destination).
-	var total int
+	var flat []Message
 	for _, msgs := range w.cur {
-		total += len(msgs)
+		flat = append(flat, msgs...)
 	}
-	inbox := make([]byte, 0, 4+total*wireMessageBytes)
-	inbox = binary.LittleEndian.AppendUint32(inbox, uint32(total))
-	for _, msgs := range w.cur {
-		for _, m := range msgs {
-			inbox = binary.LittleEndian.AppendUint32(inbox, m.Dst)
-			inbox = binary.LittleEndian.AppendUint32(inbox, m.Src)
-			inbox = binary.LittleEndian.AppendUint32(inbox, math.Float32bits(m.Val))
-		}
-	}
-	snap.Add(wsecInbox, inbox)
+	snap.Add(wsecInbox, wire.EncodeEnvelopes(nil, flat))
 
 	w.statsMu.Lock()
-	ctr := make([]byte, 0, 4+len(w.sentByPeer)*16+8)
+	ctr := make([]byte, 0, 4+len(w.sentByPeer)*16+8+32)
 	ctr = binary.LittleEndian.AppendUint32(ctr, uint32(w.nPeer))
 	for _, n := range w.sentByPeer {
 		ctr = binary.LittleEndian.AppendUint64(ctr, uint64(n))
@@ -98,6 +91,14 @@ func (w *Worker) Checkpoint(args CkptArgs, reply *int64) error {
 		ctr = binary.LittleEndian.AppendUint64(ctr, uint64(n))
 	}
 	ctr = binary.LittleEndian.AppendUint64(ctr, uint64(w.retries))
+	// Byte/frame counters are checkpointed alongside the message counters
+	// so a recovered run re-accumulates them during silent replay exactly
+	// as a fault-free run would — the recovery determinism contract covers
+	// exact wire bytes too.
+	ctr = binary.LittleEndian.AppendUint64(ctr, uint64(w.sentBytes))
+	ctr = binary.LittleEndian.AppendUint64(ctr, uint64(w.recvBytes))
+	ctr = binary.LittleEndian.AppendUint64(ctr, uint64(w.sentFrames))
+	ctr = binary.LittleEndian.AppendUint64(ctr, uint64(w.recvFrames))
 	w.statsMu.Unlock()
 	snap.Add(wsecCounters, ctr)
 
@@ -140,11 +141,14 @@ func (w *Worker) Restore(args RestoreArgs, _ *struct{}) error {
 		return fmt.Errorf("rpcrt: worker %d restore: no checkpoint in %s", w.id, args.Dir)
 	}
 
-	meta := snap.Get(wsecMeta)
-	if len(meta) < 8 {
-		return fmt.Errorf("rpcrt: worker %d restore: truncated meta", w.id)
+	kind, round, err := wire.DecodeControl(snap.Get(wsecMeta))
+	if err != nil {
+		return fmt.Errorf("rpcrt: worker %d restore meta: %w", w.id, err)
 	}
-	w.round = int(binary.LittleEndian.Uint64(meta))
+	if kind != wire.ControlCheckpoint {
+		return fmt.Errorf("rpcrt: worker %d restore: meta control kind %d", w.id, kind)
+	}
+	w.round = round
 
 	w.mu.Lock()
 	w.pending = make(map[graph.VertexID][]Message)
@@ -154,18 +158,13 @@ func (w *Worker) Restore(args RestoreArgs, _ *struct{}) error {
 	}
 	w.sent = 0
 
-	inbox := snap.Get(wsecInbox)
-	total := int(binary.LittleEndian.Uint32(inbox))
-	inbox = inbox[4:]
+	flat, err := wire.DecodeEnvelopes(snap.Get(wsecInbox), nil)
+	if err != nil {
+		return fmt.Errorf("rpcrt: worker %d restore inbox: %w", w.id, err)
+	}
 	w.cur = w.cur[:0]
 	var group []Message
-	for i := 0; i < total; i++ {
-		m := Message{
-			Dst: binary.LittleEndian.Uint32(inbox),
-			Src: binary.LittleEndian.Uint32(inbox[4:]),
-			Val: math.Float32frombits(binary.LittleEndian.Uint32(inbox[8:])),
-		}
-		inbox = inbox[12:]
+	for _, m := range flat {
 		if len(group) > 0 && group[len(group)-1].Dst != m.Dst {
 			w.cur = append(w.cur, group)
 			group = nil
@@ -177,6 +176,9 @@ func (w *Worker) Restore(args RestoreArgs, _ *struct{}) error {
 	}
 
 	ctr := snap.Get(wsecCounters)
+	if want := 4 + w.nPeer*16 + 8 + 32; len(ctr) != want {
+		return fmt.Errorf("rpcrt: worker %d restore: counters section is %d bytes, want %d", w.id, len(ctr), want)
+	}
 	if got := int(binary.LittleEndian.Uint32(ctr)); got != w.nPeer {
 		return fmt.Errorf("rpcrt: worker %d restore: snapshot has %d peers, cluster has %d", w.id, got, w.nPeer)
 	}
@@ -191,6 +193,10 @@ func (w *Worker) Restore(args RestoreArgs, _ *struct{}) error {
 		ctr = ctr[8:]
 	}
 	w.retries = int64(binary.LittleEndian.Uint64(ctr))
+	w.sentBytes = int64(binary.LittleEndian.Uint64(ctr[8:]))
+	w.recvBytes = int64(binary.LittleEndian.Uint64(ctr[16:]))
+	w.sentFrames = int64(binary.LittleEndian.Uint64(ctr[24:]))
+	w.recvFrames = int64(binary.LittleEndian.Uint64(ctr[32:]))
 	w.statsMu.Unlock()
 
 	if err := w.prog.loadState(snap.Get(wsecProg)); err != nil {

@@ -76,6 +76,12 @@ func TestMSSPCrashRecoveryMatchesFaultFree(t *testing.T) {
 			if a.Sent != b.Sent || a.Recv != b.Recv || a.Retries != b.Retries {
 				t.Fatalf("k=%d worker %d counters diverge: fault-free %+v recovered %+v", k, i, a, b)
 			}
+			// Exact wire-byte counters are checkpointed and re-accumulated
+			// during silent replay, so they match a fault-free run too.
+			if a.SentBytes != b.SentBytes || a.RecvBytes != b.RecvBytes ||
+				a.SentFrames != b.SentFrames || a.RecvFrames != b.RecvFrames {
+				t.Fatalf("k=%d worker %d byte counters diverge: fault-free %+v recovered %+v", k, i, a, b)
+			}
 			for p := range a.SentByPeer {
 				if a.SentByPeer[p] != b.SentByPeer[p] || a.RecvByPeer[p] != b.RecvByPeer[p] {
 					t.Fatalf("k=%d worker %d per-peer counters diverge at %d", k, i, p)

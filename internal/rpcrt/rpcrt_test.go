@@ -1,6 +1,7 @@
 package rpcrt
 
 import (
+	"errors"
 	"math"
 	"strconv"
 	"testing"
@@ -8,6 +9,7 @@ import (
 	"vcmt/internal/graph"
 	"vcmt/internal/obs"
 	"vcmt/internal/ref"
+	"vcmt/internal/wire"
 )
 
 func startTestCluster(t *testing.T, g *graph.Graph, k int) *Cluster {
@@ -213,6 +215,7 @@ func TestWorkerStatsConservation(t *testing.T) {
 		t.Fatalf("stats for %d workers, want %d", len(stats), k)
 	}
 	var sent, recv, sentRemote, recvRemote int64
+	var sentBytes, recvBytes, sentFrames, recvFrames int64
 	for i, st := range stats {
 		if st.ID != i {
 			t.Fatalf("stats[%d].ID=%d", i, st.ID)
@@ -221,10 +224,31 @@ func TestWorkerStatsConservation(t *testing.T) {
 		recv += st.Recv
 		sentRemote += st.SentRemote
 		recvRemote += st.RecvRemote
-		if st.SentBytes != st.SentRemote*wireMessageBytes ||
-			st.RecvBytes != st.RecvRemote*wireMessageBytes {
-			t.Fatalf("worker %d: byte counters inconsistent: %+v", i, st)
+		sentBytes += st.SentBytes
+		recvBytes += st.RecvBytes
+		sentFrames += st.SentFrames
+		recvFrames += st.RecvFrames
+		// Byte counters are exact encoded frame sizes, present exactly when
+		// remote traffic is: every remote message costs at least its minimal
+		// envelope encoding plus a share of one frame header.
+		if (st.SentBytes > 0) != (st.SentRemote > 0) {
+			t.Fatalf("worker %d: byte counters inconsistent with remote traffic: %+v", i, st)
 		}
+		if st.SentBytes > 0 && st.SentBytes < st.SentRemote*6 {
+			t.Fatalf("worker %d: SentBytes %d below minimal encoding for %d remote msgs", i, st.SentBytes, st.SentRemote)
+		}
+	}
+	// Exact wire-byte conservation: the sender counts each frame at encode
+	// time, the receiver counts the same frame at decode time, and both
+	// agree with the master's per-round accounting.
+	if sentBytes != recvBytes {
+		t.Fatalf("wire bytes sent %d != received %d", sentBytes, recvBytes)
+	}
+	if sentFrames != recvFrames || sentFrames <= 0 {
+		t.Fatalf("frames sent %d, received %d", sentFrames, recvFrames)
+	}
+	if sentBytes != c.WireBytesSent() {
+		t.Fatalf("worker byte counters %d != master wire bytes %d", sentBytes, c.WireBytesSent())
 	}
 	// Conservation: every message sent is received exactly once, and the
 	// counters agree with the master's own count.
@@ -304,6 +328,13 @@ func TestClusterFeedsRegistry(t *testing.T) {
 	if int(wall.Count) != c.Rounds() || wall.Sum <= 0 {
 		t.Fatalf("wall-clock histogram: %+v for %d rounds", wall, c.Rounds())
 	}
+	wb := reg.Histogram("rpcrt_round_wire_bytes").Stats()
+	if int(wb.Count) != c.Rounds() {
+		t.Fatalf("wire-byte histogram count %d != rounds %d", wb.Count, c.Rounds())
+	}
+	if int64(wb.Sum) != c.WireBytesSent() {
+		t.Fatalf("wire-byte histogram sum %v != wire bytes %d", wb.Sum, c.WireBytesSent())
+	}
 }
 
 func TestBPPROverRPCMassConservation(t *testing.T) {
@@ -339,7 +370,7 @@ func TestAdvanceSortsInbox(t *testing.T) {
 		{Dst: 5, Src: 1, Val: 7},
 		{Dst: 1, Src: 4, Val: 0},
 	}
-	if err := w.Deliver(DeliverArgs{From: 0, Batch: batch}, &struct{}{}); err != nil {
+	if err := w.Deliver(DeliverArgs{Frame: wire.EncodeDeliver(nil, 0, 2, batch)}, &struct{}{}); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.Advance(struct{}{}, &struct{}{}); err != nil {
@@ -359,6 +390,55 @@ func TestAdvanceSortsInbox(t *testing.T) {
 				t.Fatalf("group %d not sorted: %+v before %+v", i, a, b)
 			}
 		}
+	}
+}
+
+// TestDeliverExactByteAccounting hand-encodes a delivery frame and checks
+// that the receiver counts exactly the frame's encoded size — the wire
+// codec's size functions, the encoder, and the counters must all agree.
+func TestDeliverExactByteAccounting(t *testing.T) {
+	w := newWorker(1, 2, graph.GenerateRing(8))
+	batch := []Message{
+		{Dst: 3, Src: 0, Val: 1.5},
+		{Dst: 5, Src: 300, Val: -2},
+		{Dst: 70000, Src: 5, Val: 0},
+	}
+	frame := wire.EncodeDeliver(nil, 0, 4, batch)
+	if got, want := len(frame), wire.DeliverSize(0, 4, batch); got != want {
+		t.Fatalf("encoded frame is %d bytes, DeliverSize says %d", got, want)
+	}
+	if err := w.Deliver(DeliverArgs{Frame: frame}, &struct{}{}); err != nil {
+		t.Fatal(err)
+	}
+	if w.recvBytes != int64(len(frame)) || w.recvFrames != 1 {
+		t.Fatalf("recvBytes=%d recvFrames=%d, want %d and 1", w.recvBytes, w.recvFrames, len(frame))
+	}
+	if got := w.recvByPeer[0]; got != int64(len(batch)) {
+		t.Fatalf("recvByPeer[0]=%d want %d", got, len(batch))
+	}
+}
+
+// TestDeliverRejectsCorruptFrame truncates and tampers with a valid frame
+// and requires Deliver to reject it with wire.ErrCorrupt, leaving the
+// inbox and every counter untouched.
+func TestDeliverRejectsCorruptFrame(t *testing.T) {
+	w := newWorker(1, 2, graph.GenerateRing(8))
+	frame := wire.EncodeDeliver(nil, 0, 2, []Message{{Dst: 3, Src: 1, Val: 9}})
+	bad := [][]byte{
+		frame[:len(frame)-1],              // truncated payload
+		frame[:4],                         // truncated header
+		append([]byte{'X'}, frame[1:]...), // bad magic
+		nil,                               // empty
+	}
+	for i, f := range bad {
+		err := w.Deliver(DeliverArgs{Frame: f}, &struct{}{})
+		if !errors.Is(err, wire.ErrCorrupt) {
+			t.Fatalf("case %d: got %v, want wire.ErrCorrupt", i, err)
+		}
+	}
+	if w.recvBytes != 0 || w.recvFrames != 0 || len(w.pending) != 0 {
+		t.Fatalf("corrupt frames mutated state: bytes=%d frames=%d pending=%d",
+			w.recvBytes, w.recvFrames, len(w.pending))
 	}
 }
 

@@ -21,16 +21,15 @@ import (
 
 	"vcmt/internal/fault"
 	"vcmt/internal/graph"
+	"vcmt/internal/wire"
 )
 
 // Message is the wire message: a (source, value) pair addressed to a
 // vertex, sufficient for the paper's benchmark tasks (distances, hop
-// counts, walk counts).
-type Message struct {
-	Dst graph.VertexID
-	Src graph.VertexID
-	Val float32
-}
+// counts, walk counts). It aliases wire.Envelope so the delivery path
+// encodes program messages directly into binary frames with no
+// conversion or copy.
+type Message = wire.Envelope
 
 // JobSpec selects and parameterizes a program on the workers.
 type JobSpec struct {
@@ -73,10 +72,15 @@ type workerProgram interface {
 	loadState(data []byte) error
 }
 
-// wireMessageBytes is the serialized payload size of one Message (Dst +
-// Src + Val); the byte counters price traffic at this fixed rate rather
-// than gob's per-connection framing, so counts are stable and comparable.
-const wireMessageBytes = 12
+// Byte counters measure the exact encoded size of the internal/wire
+// delivery frames: senders count each frame once at encode time, receivers
+// count each successfully decoded frame, so sent and received bytes are
+// conserved across the cluster. (The delivery payload used to ride inside
+// gob, whose per-connection type framing made observed sizes unstable —
+// the first value on a connection encodes larger than every later one —
+// which forced a fixed-rate estimate; the binary codec's sizes are pure
+// functions of the message values, so the counters are now exact and
+// deterministic.)
 
 // WorkerStats are one worker's cumulative message and byte counters for the
 // current job — the per-worker view of the telemetry registry. SentByPeer
@@ -85,12 +89,14 @@ const wireMessageBytes = 12
 // pairwise across workers.
 type WorkerStats struct {
 	ID         int
-	Sent       int64 // messages sent, local + remote
-	Recv       int64 // messages received, local + remote
-	SentRemote int64 // messages whose destination lives on another worker
-	RecvRemote int64 // messages that arrived from another worker
-	SentBytes  int64 // SentRemote * wire size (local delivery is free)
-	RecvBytes  int64
+	Sent       int64   // messages sent, local + remote
+	Recv       int64   // messages received, local + remote
+	SentRemote int64   // messages whose destination lives on another worker
+	RecvRemote int64   // messages that arrived from another worker
+	SentBytes  int64   // exact encoded bytes of delivery frames sent (local delivery is free)
+	RecvBytes  int64   // exact encoded bytes of delivery frames received
+	SentFrames int64   // delivery frames encoded and sent
+	RecvFrames int64   // delivery frames received and decoded
 	SentByPeer []int64 // SentByPeer[j]: messages this worker sent to worker j
 	RecvByPeer []int64 // RecvByPeer[j]: messages this worker received from worker j
 	Retries    int64   // delivery RPCs retried after drops or transport errors
@@ -114,6 +120,14 @@ type Worker struct {
 	sentByPeer []int64
 	recvByPeer []int64
 	retries    int64
+	sentBytes  int64 // exact wire bytes of delivery frames encoded
+	recvBytes  int64 // exact wire bytes of delivery frames decoded
+	sentFrames int64
+	recvFrames int64
+
+	// roundBytes accumulates the wire bytes of the frames encoded during
+	// the current Seed/ComputeRound call (handler goroutine only).
+	roundBytes int64
 
 	// procs bounds ComputeRound's shard count (default GOMAXPROCS); the
 	// master sets it via Cluster.SetComputeParallelism.
@@ -259,7 +273,12 @@ func (w *Worker) StartJob(args StartJobArgs, _ *struct{}) error {
 	w.sentByPeer = make([]int64, w.nPeer)
 	w.recvByPeer = make([]int64, w.nPeer)
 	w.retries = 0
+	w.sentBytes = 0
+	w.recvBytes = 0
+	w.sentFrames = 0
+	w.recvFrames = 0
 	w.statsMu.Unlock()
+	w.roundBytes = 0
 	switch args.Spec.Program {
 	case "mssp":
 		w.prog = newMSSPProgram(w, args.Spec)
@@ -273,9 +292,18 @@ func (w *Worker) StartJob(args StartJobArgs, _ *struct{}) error {
 	return nil
 }
 
+// RoundReply is a worker's reply to Seed and ComputeRound: the messages it
+// sent this superstep and the exact encoded bytes of the delivery frames
+// it pushed to remote peers (0 when every destination was local).
+type RoundReply struct {
+	Msgs      int64
+	WireBytes int64
+}
+
 // Seed runs the program's seed phase (superstep 1) and exchanges the
-// initial messages; it replies with the number of messages sent.
-func (w *Worker) Seed(_ struct{}, reply *int64) error {
+// initial messages; it replies with the superstep's message and wire-byte
+// counts.
+func (w *Worker) Seed(_ struct{}, reply *RoundReply) error {
 	if w.dead.Load() {
 		return w.down()
 	}
@@ -284,13 +312,14 @@ func (w *Worker) Seed(_ struct{}, reply *int64) error {
 	}
 	w.round = 1
 	w.sent = 0
+	w.roundBytes = 0
 	sc := w.newSendCtx()
 	w.prog.seed(sc)
 	w.merge(sc)
 	if err := w.flushOutboxes(); err != nil {
 		return err
 	}
-	*reply = w.sent
+	*reply = RoundReply{Msgs: w.sent, WireBytes: w.roundBytes}
 	return nil
 }
 
@@ -330,8 +359,8 @@ type ComputeRoundArgs struct {
 }
 
 // ComputeRound runs the vertex program over every vertex with messages and
-// exchanges the generated messages with peers. It replies with the number
-// of messages this worker sent.
+// exchanges the generated messages with peers. It replies with the
+// superstep's message and wire-byte counts.
 //
 // When the program's compute touches only per-vertex state (parallelOK),
 // the sorted inbox is split into contiguous shards computed concurrently,
@@ -343,7 +372,7 @@ type ComputeRoundArgs struct {
 // Fault injection happens here: a planned crash kills the worker before any
 // compute, a delay sleeps before computing, and a slowdown stretches the
 // round's wall time by the planned factor.
-func (w *Worker) ComputeRound(args ComputeRoundArgs, reply *int64) error {
+func (w *Worker) ComputeRound(args ComputeRoundArgs, reply *RoundReply) error {
 	if w.dead.Load() {
 		return w.down()
 	}
@@ -351,6 +380,7 @@ func (w *Worker) ComputeRound(args ComputeRoundArgs, reply *int64) error {
 		return fmt.Errorf("rpcrt: no job started on worker %d", w.id)
 	}
 	w.round = args.Round
+	w.roundBytes = 0
 	if w.fplan.Crash(w.id, args.Round) {
 		w.die()
 		return fmt.Errorf("rpcrt: worker %d: injected crash at superstep %d", w.id, args.Round)
@@ -403,7 +433,7 @@ func (w *Worker) ComputeRound(args ComputeRoundArgs, reply *int64) error {
 	if f := w.fplan.SlowFactor(w.id, args.Round); f > 1 {
 		time.Sleep(time.Duration(float64(time.Since(start)) * (f - 1)))
 	}
-	*reply = w.sent
+	*reply = RoundReply{Msgs: w.sent, WireBytes: w.roundBytes}
 	return nil
 }
 
@@ -414,23 +444,53 @@ const (
 	deliverBackoff  = 5 * time.Millisecond
 )
 
+// flushOutboxes coalesces each peer's outbox into packed binary Deliver
+// frames — at most wire.MaxDeliverEnvelopes per frame — encoded into
+// pooled buffers, and pushes them over the peer RPC connections. One RPC
+// carries a whole chunk of envelopes, not N gob-encoded structs. Each
+// frame's exact encoded size is counted once, at encode time, so a
+// dropped-and-retried delivery (which re-sends the identical frame) stays
+// invisible in the byte counters, mirroring the message counters.
+//
+// Buffer recycling is safe because callTimeout issues the RPC via
+// Client.Go, which gob-encodes the arguments synchronously before
+// returning: by the time deliverWithRetry comes back, net/rpc no longer
+// references the frame.
 func (w *Worker) flushOutboxes() error {
 	for p, box := range w.outbox {
 		if len(box) == 0 {
 			continue
 		}
-		if err := w.deliverWithRetry(p, DeliverArgs{From: w.id, Batch: box}); err != nil {
-			return fmt.Errorf("rpcrt: worker %d -> %d deliver: %w", w.id, p, err)
+		for lo := 0; lo < len(box); lo += wire.MaxDeliverEnvelopes {
+			hi := lo + wire.MaxDeliverEnvelopes
+			if hi > len(box) {
+				hi = len(box)
+			}
+			buf := wire.GetBuf()
+			frame := wire.EncodeDeliver((*buf)[:0], w.id, w.round, box[lo:hi])
+			n := int64(len(frame))
+			w.statsMu.Lock()
+			w.sentBytes += n
+			w.sentFrames++
+			w.statsMu.Unlock()
+			w.roundBytes += n
+			err := w.deliverWithRetry(p, DeliverArgs{Frame: frame})
+			*buf = frame
+			wire.PutBuf(buf)
+			if err != nil {
+				return fmt.Errorf("rpcrt: worker %d -> %d deliver: %w", w.id, p, err)
+			}
 		}
 		w.outbox[p] = w.outbox[p][:0]
 	}
 	return nil
 }
 
-// deliverWithRetry sends one batch to a peer with bounded retry and
-// exponential backoff. Planned drop faults consume one attempt without
-// touching the wire — the retry then re-sends the identical batch, so a
-// dropped-and-retried delivery is invisible in the message counters.
+// deliverWithRetry sends one encoded frame to a peer with bounded retry
+// and exponential backoff. Planned drop faults consume one attempt without
+// touching the wire — the retry then re-sends the identical frame, so a
+// dropped-and-retried delivery is invisible in the message and byte
+// counters alike.
 func (w *Worker) deliverWithRetry(p int, args DeliverArgs) error {
 	backoff := deliverBackoff
 	var lastErr error
@@ -455,26 +515,40 @@ func (w *Worker) deliverWithRetry(p int, args DeliverArgs) error {
 	return lastErr
 }
 
-// DeliverArgs carries a message batch plus the sending worker's id, so the
-// receiver can attribute the traffic in its RecvByPeer matrix row.
+// DeliverArgs carries one encoded wire.FrameDeliver frame: the routing
+// header inside the frame identifies the sending worker, so the receiver
+// can attribute the traffic in its RecvByPeer matrix row. net/rpc still
+// moves the bytes, but gob sees a single []byte — the per-message encoding
+// cost and size instability of reflecting over a struct slice are gone.
 type DeliverArgs struct {
-	From  int
-	Batch []Message
+	Frame []byte
 }
 
-// Deliver receives a message batch from a peer into the pending inbox.
+// Deliver decodes a delivery frame from a peer into the pending inbox. The
+// frame is decoded in full before any message is applied: a corrupt frame
+// is rejected wholesale with an error wrapping wire.ErrCorrupt and leaves
+// the inbox and counters untouched.
 func (w *Worker) Deliver(args DeliverArgs, _ *struct{}) error {
 	if w.dead.Load() {
 		return w.down()
 	}
+	sl := wire.GetEnvelopes()
+	h, batch, err := wire.DecodeDeliver(args.Frame, (*sl)[:0])
+	*sl = batch[:0] // keep the (possibly grown) backing array for the pool
+	defer wire.PutEnvelopes(sl)
+	if err != nil {
+		return fmt.Errorf("rpcrt: worker %d deliver: %w", w.id, err)
+	}
 	w.mu.Lock()
-	for _, m := range args.Batch {
+	for _, m := range batch {
 		w.pending[m.Dst] = append(w.pending[m.Dst], m)
 	}
 	w.mu.Unlock()
 	w.statsMu.Lock()
-	if args.From >= 0 && args.From < len(w.recvByPeer) {
-		w.recvByPeer[args.From] += int64(len(args.Batch))
+	w.recvBytes += int64(len(args.Frame))
+	w.recvFrames++
+	if h.From >= 0 && h.From < len(w.recvByPeer) {
+		w.recvByPeer[h.From] += int64(h.Count)
 	}
 	w.statsMu.Unlock()
 	return nil
@@ -492,6 +566,10 @@ func (w *Worker) Stats(_ struct{}, reply *WorkerStats) error {
 		SentByPeer: append([]int64(nil), w.sentByPeer...),
 		RecvByPeer: append([]int64(nil), w.recvByPeer...),
 		Retries:    w.retries,
+		SentBytes:  w.sentBytes,
+		RecvBytes:  w.recvBytes,
+		SentFrames: w.sentFrames,
+		RecvFrames: w.recvFrames,
 	}
 	for p, n := range st.SentByPeer {
 		st.Sent += n
@@ -505,8 +583,6 @@ func (w *Worker) Stats(_ struct{}, reply *WorkerStats) error {
 			st.RecvRemote += n
 		}
 	}
-	st.SentBytes = st.SentRemote * wireMessageBytes
-	st.RecvBytes = st.RecvRemote * wireMessageBytes
 	*reply = st
 	return nil
 }

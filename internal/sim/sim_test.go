@@ -119,6 +119,50 @@ func TestMoreMessagesCostMore(t *testing.T) {
 	}
 }
 
+// TestMeasuredWireBytesOverrideEstimate: a round that carries exact
+// encoded byte measurements (RemoteWireBytes) is priced on those bytes,
+// not on the profile's WireBytesPerMsg estimate; a round without them
+// keeps the estimate.
+func TestMeasuredWireBytesOverrideEstimate(t *testing.T) {
+	mk := func(wireBytes int64) RoundStats {
+		per := make([]MachineRound, 8)
+		for i := range per {
+			per[i] = MachineRound{
+				SentLogical: 1000, SentPhysical: 1000,
+				RecvLogical: 1000, RecvPhysical: 1000,
+				RemoteLogical: 875, RemotePhysical: 875,
+				RemoteWireBytes: wireBytes,
+			}
+		}
+		return RoundStats{PerMachine: per}
+	}
+	estimated := NewRun(basicConfig(Galaxy8, PregelPlus))
+	estimated.ObserveRound(mk(0))
+	wantEst := float64(8*875) * float64(PregelPlus.WireBytesPerMsg)
+	if got := estimated.Result().WireBytesTotal; got != wantEst {
+		t.Fatalf("estimate path: wire bytes %g want %g", got, wantEst)
+	}
+	// Measured bytes (say a compact varint encoding: ~7 bytes/msg instead
+	// of the profile's estimate) replace the per-message pricing exactly.
+	const measuredPerMachine = 875 * 7
+	measured := NewRun(basicConfig(Galaxy8, PregelPlus))
+	measured.ObserveRound(mk(measuredPerMachine))
+	if got := measured.Result().WireBytesTotal; got != float64(8*measuredPerMachine) {
+		t.Fatalf("measured path: wire bytes %g want %d", got, 8*measuredPerMachine)
+	}
+	if measured.Seconds() >= estimated.Seconds() {
+		t.Fatal("fewer wire bytes must cost less network time")
+	}
+	// StatScale extrapolates measured bytes like every other counter.
+	cfg := basicConfig(Galaxy8, PregelPlus)
+	cfg.StatScale = 10
+	scaled := NewRun(cfg)
+	scaled.ObserveRound(mk(measuredPerMachine))
+	if got := scaled.Result().WireBytesTotal; got != float64(10*8*measuredPerMachine) {
+		t.Fatalf("scaled measured path: wire bytes %g want %d", got, 10*8*measuredPerMachine)
+	}
+}
+
 func TestStatScaleExtrapolates(t *testing.T) {
 	small := NewRun(basicConfig(Galaxy8, PregelPlus))
 	big := basicConfig(Galaxy8, PregelPlus)

@@ -16,9 +16,16 @@ type MachineRound struct {
 	RecvPhysical   int64
 	RemoteLogical  int64 // sent messages whose destination is another machine
 	RemotePhysical int64
-	ActiveVertices int64
-	StateEntries   int64 // live task-state entries resident on this machine
-	Activations    int64 // async engines: vertex activations in this epoch
+	// RemoteWireBytes is the exact encoded size (replica scale, bytes) of
+	// the remote physical messages, measured by an executor that runs a
+	// real wire codec (engine.Options.WireSizer, internal/rpcrt). When
+	// positive, the cost model charges the network these measured bytes
+	// instead of the profile's WireBytesPerMsg estimate; zero keeps the
+	// estimate.
+	RemoteWireBytes int64
+	ActiveVertices  int64
+	StateEntries    int64 // live task-state entries resident on this machine
+	Activations     int64 // async engines: vertex activations in this epoch
 }
 
 // RoundStats aggregates one superstep across all machines.

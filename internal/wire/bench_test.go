@@ -1,0 +1,117 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"testing"
+
+	"vcmt/internal/graph"
+)
+
+// benchBatch builds a delivery batch shaped like real rpcrt traffic: IDs
+// drawn from a million-vertex range (mostly 3-byte varints).
+func benchBatch(n int) []Envelope {
+	rng := rand.New(rand.NewSource(42))
+	batch := make([]Envelope, n)
+	for i := range batch {
+		batch[i] = Envelope{
+			Dst: graph.VertexID(rng.Intn(1 << 20)),
+			Src: graph.VertexID(rng.Intn(1 << 20)),
+			Val: rng.Float32() * 100,
+		}
+	}
+	return batch
+}
+
+const benchBatchSize = 4096
+
+// BenchmarkDeliverWireEncode measures encoding one coalesced Deliver frame
+// into a pooled buffer — the sender half of flushOutboxes.
+func BenchmarkDeliverWireEncode(b *testing.B) {
+	batch := benchBatch(benchBatchSize)
+	b.SetBytes(int64(DeliverSize(1, 3, batch)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := GetBuf()
+		frame := EncodeDeliver((*buf)[:0], 1, 3, batch)
+		*buf = frame
+		PutBuf(buf)
+	}
+}
+
+// BenchmarkDeliverWireDecode measures decoding one Deliver frame into a
+// pooled envelope slice — the receiver half of Worker.Deliver.
+func BenchmarkDeliverWireDecode(b *testing.B) {
+	batch := benchBatch(benchBatchSize)
+	frame := EncodeDeliver(nil, 1, 3, batch)
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sl := GetEnvelopes()
+		_, out, err := DecodeDeliver(frame, (*sl)[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		*sl = out[:0]
+		PutEnvelopes(sl)
+	}
+}
+
+// BenchmarkDeliverWire is the full payload round-trip of one Deliver RPC
+// on the binary codec: encode the batch, decode it on the other side.
+func BenchmarkDeliverWire(b *testing.B) {
+	batch := benchBatch(benchBatchSize)
+	b.SetBytes(int64(DeliverSize(1, 3, batch)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := GetBuf()
+		frame := EncodeDeliver((*buf)[:0], 1, 3, batch)
+		sl := GetEnvelopes()
+		_, out, err := DecodeDeliver(frame, (*sl)[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		*sl = out[:0]
+		PutEnvelopes(sl)
+		*buf = frame
+		PutBuf(buf)
+	}
+}
+
+// gobBatch mirrors the DeliverArgs shape the runtime used before the
+// binary codec: a struct with the sender id and a message slice, pushed
+// through gob.
+type gobBatch struct {
+	From  int
+	Batch []Envelope
+}
+
+// BenchmarkDeliverGob is the gob baseline for the same round-trip, using a
+// persistent encoder/decoder pair over one buffer — gob's steady state on
+// a long-lived net/rpc connection (type descriptors already exchanged).
+func BenchmarkDeliverGob(b *testing.B) {
+	batch := benchBatch(benchBatchSize)
+	var network bytes.Buffer
+	enc := gob.NewEncoder(&network)
+	dec := gob.NewDecoder(&network)
+	// Prime the connection so type descriptors are not re-sent per op.
+	if err := enc.Encode(gobBatch{From: 1, Batch: batch[:1]}); err != nil {
+		b.Fatal(err)
+	}
+	var sink gobBatch
+	if err := dec.Decode(&sink); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(DeliverSize(1, 3, batch)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := enc.Encode(gobBatch{From: 1, Batch: batch}); err != nil {
+			b.Fatal(err)
+		}
+		var out gobBatch
+		if err := dec.Decode(&out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

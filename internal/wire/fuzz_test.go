@@ -1,0 +1,55 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzWireDecode drives all three decoders over arbitrary bytes: they must
+// never panic, and anything they reject must carry the typed ErrCorrupt
+// sentinel (possibly via ErrVersion). The seed corpus covers the
+// interesting boundaries — valid frames of each type, truncations at every
+// structural edge, an oversized declared count, and a hostile length
+// prefix.
+func FuzzWireDecode(f *testing.F) {
+	valid := EncodeDeliver(nil, 2, 7, []Envelope{
+		{Dst: 1, Src: 2, Val: 3.5},
+		{Dst: 300, Src: 70000, Val: -1},
+	})
+	f.Add(valid)
+	f.Add(EncodeControl(nil, ControlCheckpoint, 9))
+	f.Add(EncodeEnvelopes(nil, []Envelope{{Dst: 5, Src: 6, Val: 7}}))
+	f.Add([]byte{})
+	f.Add(valid[:3])                                                       // truncated header
+	f.Add(valid[:headerLen])                                               // header only, payload missing
+	f.Add(valid[:len(valid)-1])                                            // truncated final envelope
+	f.Add([]byte{'V', 'W', 9, FrameDeliver, 0, 0, 0, 0})                   // bad version
+	f.Add([]byte{'V', 'W', Version, 0x7f, 0, 0, 0, 0})                     // unknown type
+	f.Add([]byte{'V', 'W', Version, FrameDeliver, 0xff, 0xff, 0xff, 0xff}) // hostile length
+	// Oversized declared count with a tiny payload.
+	f.Add([]byte{'V', 'W', Version, FrameDeliver, 5, 0, 0, 0, 0, 1, 0xff, 0xff, 0x7f})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, envs, err := DecodeDeliver(data, nil)
+		if err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("DecodeDeliver: untyped error %v", err)
+		}
+		if err == nil && h.Count != len(envs) {
+			t.Fatalf("DecodeDeliver: header count %d, decoded %d", h.Count, len(envs))
+		}
+		if err == nil {
+			// A frame we accept must re-encode to the identical bytes —
+			// the codec is canonical.
+			re := EncodeDeliver(nil, h.From, h.Round, envs)
+			if string(re) != string(data) {
+				t.Fatalf("accepted frame is not canonical:\n in %x\nout %x", data, re)
+			}
+		}
+		if _, _, err := DecodeControl(data); err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("DecodeControl: untyped error %v", err)
+		}
+		if _, err := DecodeEnvelopes(data, nil); err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("DecodeEnvelopes: untyped error %v", err)
+		}
+	})
+}

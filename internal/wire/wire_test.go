@@ -1,0 +1,195 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"vcmt/internal/graph"
+)
+
+func randEnvelopes(rng *rand.Rand, n int) []Envelope {
+	out := make([]Envelope, n)
+	for i := range out {
+		// Bias toward small IDs (short varints) but cover the full range.
+		var d, s uint32
+		switch rng.Intn(3) {
+		case 0:
+			d, s = rng.Uint32()%128, rng.Uint32()%128
+		case 1:
+			d, s = rng.Uint32()%100000, rng.Uint32()%100000
+		default:
+			d, s = rng.Uint32(), rng.Uint32()
+		}
+		out[i] = Envelope{
+			Dst: graph.VertexID(d),
+			Src: graph.VertexID(s),
+			Val: math.Float32frombits(rng.Uint32()),
+		}
+	}
+	return out
+}
+
+// envEqual compares by bit pattern: NaN payloads must round-trip too.
+func envEqual(a, b Envelope) bool {
+	return a.Dst == b.Dst && a.Src == b.Src &&
+		math.Float32bits(a.Val) == math.Float32bits(b.Val)
+}
+
+func TestDeliverRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		batch := randEnvelopes(rng, rng.Intn(300))
+		from, round := rng.Intn(1000), rng.Intn(100000)
+		frame := EncodeDeliver(nil, from, round, batch)
+		if len(frame) != DeliverSize(from, round, batch) {
+			t.Fatalf("trial %d: frame %d bytes, DeliverSize %d", trial, len(frame), DeliverSize(from, round, batch))
+		}
+		h, got, err := DecodeDeliver(frame, nil)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if h.From != from || h.Round != round || h.Count != len(batch) {
+			t.Fatalf("trial %d: header %+v, want from=%d round=%d count=%d", trial, h, from, round, len(batch))
+		}
+		if len(got) != len(batch) {
+			t.Fatalf("trial %d: %d envelopes, want %d", trial, len(got), len(batch))
+		}
+		for i := range batch {
+			if !envEqual(got[i], batch[i]) {
+				t.Fatalf("trial %d: envelope %d: got %+v want %+v", trial, i, got[i], batch[i])
+			}
+		}
+	}
+}
+
+func TestEnvelopesRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		batch := randEnvelopes(rng, rng.Intn(500))
+		frame := EncodeEnvelopes(nil, batch)
+		got, err := DecodeEnvelopes(frame, nil)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if len(got) != len(batch) {
+			t.Fatalf("trial %d: %d envelopes, want %d", trial, len(got), len(batch))
+		}
+		for i := range batch {
+			if !envEqual(got[i], batch[i]) {
+				t.Fatalf("trial %d: envelope %d mismatch", trial, i)
+			}
+		}
+	}
+}
+
+func TestControlRoundTrip(t *testing.T) {
+	for _, kind := range []int{ControlRound, ControlCheckpoint, 77} {
+		for _, round := range []int{0, 1, 255, 1 << 20} {
+			frame := EncodeControl(nil, kind, round)
+			k, r, err := DecodeControl(frame)
+			if err != nil {
+				t.Fatalf("kind=%d round=%d: %v", kind, round, err)
+			}
+			if k != kind || r != round {
+				t.Fatalf("got (%d,%d) want (%d,%d)", k, r, kind, round)
+			}
+		}
+	}
+}
+
+func TestDecodeAppendsToDst(t *testing.T) {
+	a := []Envelope{{Dst: 1, Src: 2, Val: 3}}
+	frame := EncodeDeliver(nil, 0, 1, []Envelope{{Dst: 9, Src: 8, Val: 7}})
+	_, got, err := DecodeDeliver(frame, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Dst != 1 || got[1].Dst != 9 {
+		t.Fatalf("append semantics broken: %+v", got)
+	}
+}
+
+func TestDecodeRejectsCorruptInput(t *testing.T) {
+	batch := []Envelope{{Dst: 5, Src: 2, Val: 1.5}, {Dst: 300, Src: 70000, Val: -4}}
+	frame := EncodeDeliver(nil, 3, 7, batch)
+	cases := map[string][]byte{
+		"empty":             nil,
+		"truncated header":  frame[:5],
+		"truncated payload": frame[:len(frame)-2],
+		"bad magic":         append([]byte{'x', 'y'}, frame[2:]...),
+		"wrong frame type":  EncodeControl(nil, 1, 2), // Deliver decoder on a Control frame
+		"trailing bytes":    append(append([]byte(nil), frame...), 0xff),
+	}
+	// Oversized declared count: a frame claiming 2^20 envelopes with a
+	// near-empty payload must be rejected before any allocation.
+	huge := EncodeDeliver(nil, 0, 1, nil)
+	huge = huge[:len(huge)-1] // drop count=0
+	huge = append(huge, 0x80, 0x80, 0x40)
+	huge[4] = byte(len(huge) - headerLen) // fix payload length
+	cases["oversized count"] = huge
+	// Corrupt length prefix larger than MaxFrameBytes.
+	big := append([]byte(nil), frame...)
+	big[4], big[5], big[6], big[7] = 0xff, 0xff, 0xff, 0xff
+	cases["huge length prefix"] = big
+	for name, f := range cases {
+		if _, _, err := DecodeDeliver(f, nil); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: got %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestDecodeRejectsUnknownVersion(t *testing.T) {
+	frame := EncodeControl(nil, 1, 2)
+	frame[2] = 9
+	_, _, err := DecodeControl(frame)
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("got %v, want ErrVersion", err)
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("version errors must also satisfy ErrCorrupt, got %v", err)
+	}
+}
+
+func TestDecodeErrorLeavesDstUnchanged(t *testing.T) {
+	frame := EncodeDeliver(nil, 0, 1, []Envelope{{Dst: 1, Src: 2, Val: 3}, {Dst: 4, Src: 5, Val: 6}})
+	frame = frame[:len(frame)-2] // truncate mid-envelope
+	frame[4] = byte(len(frame) - headerLen)
+	dst := []Envelope{{Dst: 42}}
+	_, got, err := DecodeDeliver(frame, dst)
+	if err == nil {
+		t.Fatal("want error for truncated envelope")
+	}
+	if len(got) != 1 || got[0].Dst != 42 {
+		t.Fatalf("dst mutated on error: %+v", got)
+	}
+}
+
+func TestEnvelopeSizeMatchesEncoding(t *testing.T) {
+	for _, e := range []Envelope{
+		{},
+		{Dst: 127, Src: 127, Val: 1},
+		{Dst: 128, Src: 16384, Val: -1},
+		{Dst: math.MaxUint32, Src: math.MaxUint32, Val: float32(math.Inf(1))},
+	} {
+		if got, want := len(appendEnvelope(nil, e)), EnvelopeSize(e); got != want {
+			t.Fatalf("envelope %+v: encoded %d bytes, EnvelopeSize %d", e, got, want)
+		}
+	}
+}
+
+func TestBufPoolRoundTrip(t *testing.T) {
+	b := GetBuf()
+	if len(*b) != 0 {
+		t.Fatalf("pooled buffer has length %d", len(*b))
+	}
+	*b = EncodeControl(*b, 1, 5)
+	PutBuf(b)
+	s := GetEnvelopes()
+	if len(*s) != 0 {
+		t.Fatalf("pooled slice has length %d", len(*s))
+	}
+	*s = append(*s, Envelope{Dst: 1})
+	PutEnvelopes(s)
+}
