@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race lint bench bench-json fault bench-ckpt bench-wire bench-wire-baseline ci
+.PHONY: build vet test race lint bench bench-json fault bench-ckpt bench-wire bench-wire-baseline smoke-adaptive ci
 
 build:
 	$(GO) build ./...
@@ -53,5 +53,12 @@ bench-wire:
 # the resulting BENCH_wire.json alongside the change that justifies it.
 bench-wire-baseline:
 	$(GO) run ./cmd/benchjson -bench 'BenchmarkDeliver' -pkg ./internal/wire 		-benchmem -benchtime 200x -out BENCH_wire.json
+
+# Closed-loop tuner smoke (DESIGN.md section 10), mirroring the CI step: the
+# static-vs-adaptive mispriced-training figure plus the vctune -adaptive
+# end-to-end run that writes the adaptive report section.
+smoke-adaptive:
+	$(GO) test -count=1 -run 'TestFigureAdaptiveShapes' ./internal/experiments/
+	$(GO) test -count=1 -run 'TestRunAdaptive' ./cmd/vctune/ ./internal/core/
 
 ci: build vet test race

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
@@ -48,6 +49,10 @@ func main() {
 	fmt.Println("\n=== optimized schedules (Eq. 6) ===")
 	for _, total := range []int{48, 64, 80, 96} {
 		sched, err := model.Schedule(total)
+		if errors.Is(err, core.ErrDegraded) {
+			fmt.Printf("  W=%-4d -> %v (degraded: tail predicted to overload)\n", total, []int(sched))
+			continue
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -58,7 +63,7 @@ func main() {
 	fmt.Println("workload  Full-Parallelism  Optimized")
 	for _, total := range []int{48, 64, 80, 96} {
 		sched, err := model.Schedule(total)
-		if err != nil {
+		if err != nil && !errors.Is(err, core.ErrDegraded) {
 			log.Fatal(err)
 		}
 		opt, err := batch.Run(mk(), cfg, sched)

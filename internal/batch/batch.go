@@ -102,6 +102,91 @@ func Run(job tasks.Job, cfg sim.JobConfig, sched Schedule) (sim.JobResult, error
 	return run.Result(), nil
 }
 
+// BatchObservation carries what the runner measured for one executed
+// batch — the feedback signal of the closed-loop tuner (§5): measured
+// per-machine peak memory versus the model's prediction, and the residual
+// memory the finished batches have accumulated.
+type BatchObservation struct {
+	// Index is the 0-based position of the batch in the executed sequence
+	// (empty batches are skipped and not counted).
+	Index int
+	// Workload is the batch's workload.
+	Workload int
+	// Done is the total workload completed, including this batch.
+	Done int
+	// Remaining is the currently planned, not-yet-executed tail of the
+	// schedule (a copy; mutating it does not affect the runner).
+	Remaining Schedule
+	// PeakMemBytes is the worst per-machine memory demand during this
+	// batch (paper scale) — the measured M*.
+	PeakMemBytes float64
+	// ResidualBytes is the largest per-machine residual memory after this
+	// batch (paper scale) — the measured M_r* at Done completed units.
+	ResidualBytes float64
+	// CumSeconds is the simulated time accumulated so far.
+	CumSeconds float64
+	// Overloaded reports whether the run has blown the cutoff; the runner
+	// stops after this callback when true.
+	Overloaded bool
+}
+
+// Options extends Run with per-batch hooks.
+type Options struct {
+	// OnBatchDone fires after every executed batch with its measurements.
+	// Returning a non-nil schedule replaces the remaining (unexecuted)
+	// batches — the re-planning hook of the adaptive tuner; returning nil
+	// keeps the current plan.
+	OnBatchDone func(BatchObservation) Schedule
+}
+
+// RunWithOptions executes like Run and fires the per-batch hook after
+// every executed batch, allowing the caller to observe measured memory and
+// re-plan the remaining schedule mid-run. Unlike Run, the batch index
+// passed to the job counts executed batches only (a re-planned schedule
+// has no stable positions), so schedules with empty batches seed their
+// per-batch RNG differently than under Run; tuner-emitted schedules never
+// contain empty batches.
+func RunWithOptions(job tasks.Job, cfg sim.JobConfig, sched Schedule, opts Options) (sim.JobResult, error) {
+	cfg.Task = job.MemModel()
+	run := sim.NewRun(cfg)
+	queue := append(Schedule(nil), sched...)
+	idx, done := 0, 0
+	for len(queue) > 0 {
+		if run.Overloaded() {
+			break
+		}
+		w := queue[0]
+		queue = queue[1:]
+		if w <= 0 {
+			continue
+		}
+		run.BeginBatch()
+		resid, err := job.RunBatch(run, w, idx)
+		if err != nil {
+			return sim.JobResult{}, fmt.Errorf("batch %d: %w", idx, err)
+		}
+		run.AddResidual(resid)
+		done += w
+		if opts.OnBatchDone != nil {
+			o := BatchObservation{
+				Index:         idx,
+				Workload:      w,
+				Done:          done,
+				Remaining:     append(Schedule(nil), queue...),
+				PeakMemBytes:  run.BatchPeakMemBytes(),
+				ResidualBytes: run.MaxResidualBytes(),
+				CumSeconds:    run.Seconds(),
+				Overloaded:    run.Overloaded(),
+			}
+			if next := opts.OnBatchDone(o); next != nil {
+				queue = append(Schedule(nil), next...)
+			}
+		}
+		idx++
+	}
+	return run.Result(), nil
+}
+
 // WholeGraphOptions configures the whole-graph access mode of §4.9: the
 // graph is replicated to every machine, the workload (not the vertex set)
 // is split across machines, and machine-local results are aggregated at a
@@ -156,14 +241,19 @@ func RunWholeGraph(job tasks.Job, cfg sim.JobConfig, sched Schedule, opts WholeG
 	}
 	// Final aggregation: the K machines tree-reduce their partial results
 	// (log2(K) levels of pairwise merges over parallel links), the upper
-	// stacked bar of Fig. 10.
-	entries := float64(run.ResidualEntries()) * run.Config().StatScale
-	bytes := entries * job.MemModel().ResidualBytesPerEntry
-	levels := math.Ceil(math.Log2(float64(opts.Machines)))
-	if opts.Machines == 1 {
-		levels = 0
+	// stacked bar of Fig. 10. An overloaded run broke out of the batch loop
+	// early and never reaches aggregation, so pricing it would push Seconds
+	// past the cutoff semantics of Run — skip it and report 0.
+	var aggSec float64
+	if !run.Overloaded() {
+		entries := float64(run.ResidualEntries()) * run.Config().StatScale
+		bytes := entries * job.MemModel().ResidualBytesPerEntry
+		levels := math.Ceil(math.Log2(float64(opts.Machines)))
+		if opts.Machines == 1 {
+			levels = 0
+		}
+		aggSec = levels * (bytes/cfg.Cluster.NetBytesPerSec + entries*opts.MergeNsPerEntry/1e9)
+		run.AddSeconds(aggSec)
 	}
-	aggSec := levels * (bytes/cfg.Cluster.NetBytesPerSec + entries*opts.MergeNsPerEntry/1e9)
-	run.AddSeconds(aggSec)
 	return WholeGraphResult{JobResult: run.Result(), AggregationSeconds: aggSec}, nil
 }

@@ -199,3 +199,125 @@ func TestScheduleHelpers(t *testing.T) {
 		t.Fatal("empty schedule must be zero")
 	}
 }
+
+func TestRunWithOptionsFiresHookPerBatch(t *testing.T) {
+	g := graph.GenerateChungLu(60, 240, 2.5, 3)
+	part := graph.HashPartition(60, 4)
+	job := tasks.NewBPPR(g, part, tasks.BPPRConfig{WalksPerNode: 32, Seed: 1})
+	var obs []BatchObservation
+	res, err := RunWithOptions(job, testCfg(4), Equal(32, 4), Options{
+		OnBatchDone: func(o BatchObservation) Schedule {
+			obs = append(obs, o)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 4 || res.Batches != 4 {
+		t.Fatalf("hooks=%d batches=%d want 4", len(obs), res.Batches)
+	}
+	done := 0
+	for i, o := range obs {
+		done += o.Workload
+		if o.Index != i || o.Done != done {
+			t.Fatalf("hook %d: %+v", i, o)
+		}
+		if o.PeakMemBytes <= 0 {
+			t.Fatalf("hook %d: no batch peak memory measured", i)
+		}
+		if len(o.Remaining) != 3-i {
+			t.Fatalf("hook %d: remaining %v", i, o.Remaining)
+		}
+	}
+	// Residual memory accumulates monotonically across batches.
+	for i := 1; i < len(obs); i++ {
+		if obs[i].ResidualBytes < obs[i-1].ResidualBytes {
+			t.Fatalf("residual decreased: %v -> %v", obs[i-1].ResidualBytes, obs[i].ResidualBytes)
+		}
+	}
+	if obs[len(obs)-1].ResidualBytes <= 0 {
+		t.Fatal("no residual measured after final batch")
+	}
+}
+
+func TestRunWithOptionsReplanReplacesRemaining(t *testing.T) {
+	g := graph.GenerateChungLu(60, 240, 2.5, 3)
+	part := graph.HashPartition(60, 4)
+	job := tasks.NewBPPR(g, part, tasks.BPPRConfig{WalksPerNode: 32, Seed: 1})
+	var executed []int
+	res, err := RunWithOptions(job, testCfg(4), Schedule{16, 16}, Options{
+		OnBatchDone: func(o BatchObservation) Schedule {
+			executed = append(executed, o.Workload)
+			if o.Index == 0 {
+				// Re-plan the remaining 16 units as four batches of 4.
+				return Equal(16, 4)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{16, 4, 4, 4, 4}
+	if len(executed) != len(want) {
+		t.Fatalf("executed %v want %v", executed, want)
+	}
+	for i := range want {
+		if executed[i] != want[i] {
+			t.Fatalf("executed %v want %v", executed, want)
+		}
+	}
+	if res.Batches != 5 {
+		t.Fatalf("batches=%d want 5", res.Batches)
+	}
+	if job.WalksLaunched() != 32 {
+		t.Fatalf("launched=%d want 32", job.WalksLaunched())
+	}
+}
+
+func TestRunWithOptionsStopsWhenOverloaded(t *testing.T) {
+	g := graph.GenerateChungLu(60, 240, 2.5, 7)
+	part := graph.HashPartition(60, 4)
+	job := tasks.NewBPPR(g, part, tasks.BPPRConfig{WalksPerNode: 64, Seed: 1})
+	cfg := testCfg(4)
+	cfg.CutoffSeconds = 1e-9
+	hooks := 0
+	res, err := RunWithOptions(job, cfg, Equal(64, 8), Options{
+		OnBatchDone: func(o BatchObservation) Schedule {
+			hooks++
+			if !o.Overloaded {
+				t.Fatal("hook after the cutoff must report Overloaded")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Overload {
+		t.Fatal("run must be overloaded")
+	}
+	if hooks != 1 {
+		t.Fatalf("hooks=%d want 1 (runner must stop after overload)", hooks)
+	}
+}
+
+func TestRunWholeGraphSkipsAggregationWhenOverloaded(t *testing.T) {
+	g := graph.GenerateChungLu(60, 240, 2.5, 9)
+	part := graph.HashPartition(60, 1)
+	job := tasks.NewBPPR(g, part, tasks.BPPRConfig{WalksPerNode: 64, Seed: 1})
+	cfg := testCfg(8)
+	cfg.GraphBytesPerMachine = float64(g.MemoryBytes())
+	cfg.CutoffSeconds = 1e-9
+	res, err := RunWholeGraph(job, cfg, Equal(64, 2), WholeGraphOptions{Machines: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Overload {
+		t.Fatal("run must be overloaded")
+	}
+	if res.AggregationSeconds != 0 {
+		t.Fatalf("overloaded run must not price aggregation, got %v", res.AggregationSeconds)
+	}
+}

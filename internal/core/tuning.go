@@ -77,8 +77,10 @@ func Train(mk JobFactory, cfg sim.JobConfig, tc TrainConfig) (*Model, error) {
 	if tc.MaxExponent == 0 {
 		tc.MaxExponent = 5
 	}
-	if tc.MaxExponent < 2 {
-		return nil, errors.New("core: training needs at least workloads 2^1..2^3")
+	// lma.FitPower needs at least three points, so MaxExponent == 2 (two
+	// training runs) would only fail later with an unrelated ErrBadInput.
+	if tc.MaxExponent < 3 {
+		return nil, errors.New("core: training needs at least workloads 2^1..2^3 (MaxExponent >= 3)")
 	}
 	if tc.P == 0 {
 		tc.P = cfg.Cluster.UsableFrac
@@ -92,21 +94,9 @@ func Train(mk JobFactory, cfg sim.JobConfig, tc TrainConfig) (*Model, error) {
 		}
 		points = append(points, pt)
 	}
-	xs := make([]float64, len(points))
-	mem := make([]float64, len(points))
-	resid := make([]float64, len(points))
-	for i, p := range points {
-		xs[i] = p.Workload
-		mem[i] = p.MaxMemBytes
-		resid[i] = p.MaxResidualBytes
-	}
-	memFit, err := lma.FitPower(xs, mem, lma.Options{Seed: tc.Seed})
+	memFit, residFit, err := fitCurves(points, tc.Seed)
 	if err != nil {
-		return nil, fmt.Errorf("core: fitting M*: %w", err)
-	}
-	residFit, err := lma.FitPower(xs, resid, lma.Options{Seed: tc.Seed ^ 0x5eed})
-	if err != nil {
-		return nil, fmt.Errorf("core: fitting M_r*: %w", err)
+		return nil, err
 	}
 	return &Model{
 		Mem: memFit, Resid: residFit,
@@ -114,6 +104,27 @@ func Train(mk JobFactory, cfg sim.JobConfig, tc TrainConfig) (*Model, error) {
 		MachineMemBytes: float64(cfg.Cluster.MemBytes),
 		Points:          points,
 	}, nil
+}
+
+// fitCurves fits the M* and M_r* curves from training points.
+func fitCurves(points []TrainingPoint, seed uint64) (mem, resid lma.PowerFit, err error) {
+	xs := make([]float64, len(points))
+	memYs := make([]float64, len(points))
+	residYs := make([]float64, len(points))
+	for i, p := range points {
+		xs[i] = p.Workload
+		memYs[i] = p.MaxMemBytes
+		residYs[i] = p.MaxResidualBytes
+	}
+	mem, err = lma.FitPower(xs, memYs, lma.Options{Seed: seed})
+	if err != nil {
+		return mem, resid, fmt.Errorf("core: fitting M*: %w", err)
+	}
+	resid, err = lma.FitPower(xs, residYs, lma.Options{Seed: seed ^ 0x5eed})
+	if err != nil {
+		return mem, resid, fmt.Errorf("core: fitting M_r*: %w", err)
+	}
+	return mem, resid, nil
 }
 
 // MeasureBatch runs one standalone batch of the given workload and returns
@@ -145,16 +156,40 @@ func MeasureBatch(job tasks.Job, cfg sim.JobConfig, workload int) (TrainingPoint
 // overload a machine under the fitted model.
 var ErrInfeasible = errors.New("core: no feasible batch schedule under the memory budget")
 
+// ErrDegraded marks a schedule that contains minimum-granularity batches
+// the model itself predicts will overload: residual memory has eaten the
+// whole budget, so the remaining workload proceeds at w = 1 even though
+// PredictedMemory exceeds p·M. The schedule is still returned — callers
+// (vctune, experiments) should warn rather than report it as feasible.
+var ErrDegraded = errors.New("core: schedule degraded to minimum-granularity batches predicted to overload")
+
 // Schedule computes the optimized batch schedule S* for a total workload W
 // via Eq. 5–6: W1 solves M*(W1) = p·M, and each later batch solves
 // M*(W_{i+1}) = p·M − M_r*(Σ_{j≤i} W_j).
+//
+// When the model predicts that even minimum-granularity batches overload
+// after some prefix, the full schedule is returned together with an error
+// wrapping ErrDegraded.
 func (m *Model) Schedule(total int) (batch.Schedule, error) {
-	if total <= 0 {
+	return m.scheduleFrom(0, total)
+}
+
+// ScheduleRemaining plans the remaining workload after `done` units have
+// already completed, accounting for the residual memory they left behind —
+// the re-planning step of the closed-loop tuner. Like Schedule it may
+// return a schedule alongside an ErrDegraded-wrapped error.
+func (m *Model) ScheduleRemaining(done, remaining int) (batch.Schedule, error) {
+	return m.scheduleFrom(done, remaining)
+}
+
+func (m *Model) scheduleFrom(done, remaining int) (batch.Schedule, error) {
+	if remaining <= 0 {
 		return batch.Schedule{}, nil
 	}
 	budget := m.P * m.MachineMemBytes
+	total := done + remaining
 	var sched batch.Schedule
-	done := 0
+	degraded := false
 	for done < total {
 		residNow := 0.0
 		if done > 0 {
@@ -163,12 +198,14 @@ func (m *Model) Schedule(total int) (batch.Schedule, error) {
 		headroom := budget - residNow
 		w := int(math.Floor(m.Mem.Invert(headroom)))
 		if w < 1 {
-			if len(sched) == 0 {
+			if len(sched) == 0 && done == 0 {
 				return nil, ErrInfeasible
 			}
 			// Residual memory has eaten the entire budget; the remaining
-			// workload proceeds at the minimum granularity.
+			// workload proceeds at the minimum granularity, which the model
+			// predicts will overload — surface it instead of staying silent.
 			w = 1
+			degraded = true
 		}
 		if w > total-done {
 			w = total - done
@@ -178,6 +215,9 @@ func (m *Model) Schedule(total int) (batch.Schedule, error) {
 		if len(sched) > 10000 {
 			return nil, fmt.Errorf("core: schedule for workload %d did not converge", total)
 		}
+	}
+	if degraded {
+		return sched, fmt.Errorf("core: schedule %v: %w", []int(sched), ErrDegraded)
 	}
 	return sched, nil
 }

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFigureAdaptiveShapes is the acceptance demo for the closed-loop
+// tuner: under mispriced training the open-loop schedule degrades (its
+// tail is minimum-granularity batches predicted to overload), while
+// RunAdaptive — starting from the very same mispriced model — finishes
+// under the cutoff with at least one recorded re-plan and beats the
+// static run.
+func TestFigureAdaptiveShapes(t *testing.T) {
+	points, err := FigureAdaptive(fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(figureAdaptiveCases) {
+		t.Fatalf("points=%d want %d", len(points), len(figureAdaptiveCases))
+	}
+	sawDegradedStatic := false
+	for _, p := range points {
+		if p.StaticDegraded || p.Static.Overload {
+			sawDegradedStatic = true
+		}
+		if p.AdaptiveOverload {
+			t.Fatalf("adaptive run must stay under the cutoff: %+v", p)
+		}
+		if p.Replans == 0 && p.GovernorShrinks == 0 {
+			t.Fatalf("mispriced training must trigger the closed loop: %+v", p)
+		}
+		if p.MaxRelError <= 0 {
+			t.Fatalf("expected a nonzero prediction error: %+v", p)
+		}
+		if p.AdaptiveSec >= p.Static.Seconds {
+			t.Fatalf("adaptive (%.0fs) must beat the mispriced static plan (%.0fs)",
+				p.AdaptiveSec, p.Static.Seconds)
+		}
+		if p.OracleOverload {
+			t.Fatalf("oracle plan must be feasible, or the case is unrecoverable: %+v", p)
+		}
+	}
+	if !sawDegradedStatic {
+		t.Fatal("no case degraded or overloaded the static schedule")
+	}
+}
+
+func TestWriteFigureAdaptiveRenders(t *testing.T) {
+	var sb strings.Builder
+	WriteFigureAdaptive(&sb, []AdaptivePoint{{
+		PaperW: 4096, TrainBias: 0.8, Pressure: 3, Workload: 300,
+		StaticDegraded: true, AdaptiveSec: 4100, AdaptiveBatches: 90,
+		Replans: 1, MaxRelError: 0.24, OracleSec: 3000,
+	}})
+	out := sb.String()
+	for _, want := range []string{"static vs adaptive", "degraded", "4100s (90 batches)", "3000s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

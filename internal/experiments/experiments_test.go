@@ -263,7 +263,9 @@ func TestFigure8Shapes(t *testing.T) {
 }
 
 // TestFigure10Shapes checks whole-graph access mode: a visible aggregation
-// phase, no compute-phase network traffic, and batching still pays off.
+// phase on every feasible run (an overloaded run never reaches aggregation,
+// so it must not be priced), no compute-phase network traffic, and batching
+// still pays off.
 func TestFigure10Shapes(t *testing.T) {
 	fig, err := Figure10(fast())
 	if err != nil {
@@ -271,11 +273,17 @@ func TestFigure10Shapes(t *testing.T) {
 	}
 	for _, s := range fig.Series {
 		for _, r := range s.Rows {
-			if r.AggregationSeconds <= 0 {
-				t.Fatalf("%s: aggregation phase missing", s.Label)
-			}
 			if r.Result.WireBytesTotal != 0 {
 				t.Fatalf("%s: whole-graph mode must avoid network traffic", s.Label)
+			}
+			if r.Result.Overload {
+				if r.AggregationSeconds != 0 {
+					t.Fatalf("%s k=%d: overloaded run must not price aggregation", s.Label, r.Batches)
+				}
+				continue
+			}
+			if r.AggregationSeconds <= 0 {
+				t.Fatalf("%s: aggregation phase missing", s.Label)
 			}
 		}
 		if s.Best().Batches == 1 {

@@ -195,6 +195,46 @@ func WriteFigure12(w io.Writer, panels []Figure12Panel) {
 	fmt.Fprintln(w)
 }
 
+// WriteFigureAdaptive renders the closed-loop tuning study.
+func WriteFigureAdaptive(w io.Writer, points []AdaptivePoint) {
+	fmt.Fprintln(w, "== Figure A: static vs adaptive §5 tuning under mispriced training (BPPR, DBLP, 4 machines) ==")
+	rows := [][]string{{"bias", "pressure", "workload", "static", "adaptive", "oracle", "replans", "max-err", "schedule"}}
+	for _, p := range points {
+		static := fmt.Sprintf("%.0fs", p.Static.Seconds)
+		if p.Static.Overload {
+			static = "overload"
+		}
+		if p.StaticDegraded {
+			static += " (degraded)"
+		}
+		adaptive := fmt.Sprintf("%.0fs", p.AdaptiveSec)
+		if p.AdaptiveOverload {
+			adaptive = "overload"
+		}
+		oracle := fmt.Sprintf("%.0fs", p.OracleSec)
+		if p.OracleOverload {
+			oracle = "overload"
+		}
+		sched := fmt.Sprintf("%d batches", len(p.StaticSchedule))
+		if n := len(p.StaticSchedule); n > 0 && n <= 6 {
+			sched = fmt.Sprintf("%v", []int(p.StaticSchedule))
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2f", p.TrainBias),
+			fmt.Sprintf("%.1f", p.Pressure),
+			fmt.Sprintf("%d", p.Workload),
+			static,
+			fmt.Sprintf("%s (%d batches)", adaptive, p.AdaptiveBatches),
+			oracle,
+			fmt.Sprintf("%d", p.Replans),
+			fmt.Sprintf("%.2f", p.MaxRelError),
+			sched,
+		})
+	}
+	writeAligned(w, rows)
+	fmt.Fprintln(w)
+}
+
 func bytesHuman(b float64) string {
 	switch {
 	case b >= 1e9:

@@ -27,9 +27,11 @@ func (p PowerFit) Eval(x float64) float64 {
 
 // Invert solves f(w) = y for w, the step the tuning framework uses to turn
 // a memory budget into a batch workload (Eq. 6). It returns 0 when y is
-// below the fixed offset C (no feasible workload).
+// below the fixed offset C (no feasible workload), and 0 for non-physical
+// fits with B ≤ 0: a decreasing curve would map a smaller budget to a
+// *larger* workload, the exact inversion the scheduler must never act on.
 func (p PowerFit) Invert(y float64) float64 {
-	if p.A <= 0 || p.B == 0 {
+	if p.A <= 0 || p.B <= 0 {
 		return 0
 	}
 	base := (y - p.C) / p.A
@@ -41,6 +43,13 @@ func (p PowerFit) Invert(y float64) float64 {
 
 // ErrBadInput is returned for degenerate fitting inputs.
 var ErrBadInput = errors.New("lma: need at least three points with positive x")
+
+// ErrNonPhysical is returned when every converged candidate has exponent
+// B ≤ 0. Memory consumption grows with workload (§5's model assumes a, b
+// > 0), so a decreasing fit — possible from heuristicInit's log-log slope
+// on noisy data — must be rejected rather than handed to the scheduler,
+// where Invert would turn a tighter budget into a bigger batch.
+var ErrNonPhysical = errors.New("lma: fit is non-physical (exponent B ≤ 0)")
 
 // Options tunes the solver; zero values select defaults.
 type Options struct {
@@ -80,6 +89,7 @@ func FitPower(xs, ys []float64, opts Options) (PowerFit, error) {
 
 	best := PowerFit{}
 	bestSSE := math.Inf(1)
+	anyConverged := false
 	for r := 0; r < opts.Restarts; r++ {
 		var init PowerFit
 		if r == 0 {
@@ -97,12 +107,21 @@ func FitPower(xs, ys []float64, opts Options) (PowerFit, error) {
 			}
 		}
 		fit, sse := levenbergMarquardt(xs, ys, init, opts.MaxIter)
+		if !math.IsInf(sse, 1) && !math.IsNaN(sse) {
+			anyConverged = true
+		}
+		if fit.B <= 0 {
+			continue // non-physical candidate; see ErrNonPhysical
+		}
 		if sse < bestSSE {
 			bestSSE = sse
 			best = fit
 		}
 	}
 	if math.IsInf(bestSSE, 1) || math.IsNaN(bestSSE) {
+		if anyConverged {
+			return PowerFit{}, ErrNonPhysical
+		}
 		return PowerFit{}, errors.New("lma: fit did not converge")
 	}
 	return best, nil

@@ -1,6 +1,7 @@
 package lma
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -100,6 +101,53 @@ func TestInvertDegenerate(t *testing.T) {
 	}
 	if got := (PowerFit{A: 1, B: 0, C: 0}).Invert(10); got != 0 {
 		t.Fatalf("degenerate B: %v", got)
+	}
+}
+
+func TestInvertNonPhysicalFitIsZero(t *testing.T) {
+	// A decreasing fit (B < 0) must not invert: Pow(base, 1/B) would map a
+	// *smaller* memory budget to a *larger* workload, so the scheduler
+	// would emit batches predicted to overload.
+	fit := PowerFit{A: 100, B: -0.8, C: 5}
+	for _, y := range []float64{6, 20, 50, 104} {
+		if got := fit.Invert(y); got != 0 {
+			t.Fatalf("Invert(%v) on decreasing fit must be 0, got %v", y, got)
+		}
+	}
+}
+
+func TestFitPowerRejectsDecreasingData(t *testing.T) {
+	// Monotonically decreasing observations: the best unconstrained fit has
+	// B < 0, which FitPower must refuse rather than return.
+	xs := []float64{2, 4, 8, 16, 32}
+	ys := []float64{100, 60, 38, 27, 21}
+	fit, err := FitPower(xs, ys, Options{Seed: 4})
+	if err == nil {
+		// A physical fit of decreasing data is acceptable only if it is
+		// genuinely non-decreasing (e.g. a flat curve with tiny A); it must
+		// never hand Invert a decreasing curve.
+		if fit.B <= 0 {
+			t.Fatalf("FitPower returned non-physical fit %+v without error", fit)
+		}
+		return
+	}
+	if !errors.Is(err, ErrNonPhysical) {
+		t.Fatalf("want ErrNonPhysical, got %v", err)
+	}
+}
+
+func TestFitPowerNeverReturnsNonPositiveExponent(t *testing.T) {
+	// Across many seeds and noise levels, any successful fit must satisfy
+	// B > 0 so that schedules built on it stay feasible.
+	for seed := uint64(0); seed < 20; seed++ {
+		xs, ys := genCurve(2, 0.9, 30, 0.3, seed)
+		fit, err := FitPower(xs, ys, Options{Seed: seed})
+		if err != nil {
+			continue
+		}
+		if fit.B <= 0 {
+			t.Fatalf("seed %d: non-physical fit %+v", seed, fit)
+		}
 	}
 }
 

@@ -1,0 +1,78 @@
+package obs
+
+// Adaptive-tuner telemetry. Collector implements core.AdaptiveObserver
+// structurally (basic types only — no core import, so obs stays at the
+// bottom of the dependency graph): the closed-loop tuner calls back after
+// every executed batch with the predicted-versus-measured peak memory, on
+// every re-fit + re-plan, and on every governor shrink. The collector feeds
+// the metrics registry, the event log, and the adaptive section of the run
+// report.
+
+// AdaptivePrediction is one executed batch's predicted-versus-measured
+// per-machine peak memory in the run report.
+type AdaptivePrediction struct {
+	Batch          int     `json:"batch"`
+	Workload       int     `json:"workload"`
+	PredictedBytes float64 `json:"predicted_bytes"`
+	MeasuredBytes  float64 `json:"measured_bytes"`
+	RelError       float64 `json:"rel_error"`
+}
+
+// AdaptiveSection summarizes the closed-loop tuner's activity in the run
+// report. It is omitted entirely for non-adaptive runs, so pre-existing
+// reports stay byte-identical.
+type AdaptiveSection struct {
+	Replans         int                  `json:"replans"`
+	GovernorShrinks int                  `json:"governor_shrinks"`
+	MaxRelError     float64              `json:"max_rel_error"`
+	Predictions     []AdaptivePrediction `json:"predictions"`
+}
+
+// OnBatchPrediction implements core.AdaptiveObserver: it records one
+// executed batch's prediction error in the report section and the
+// tuner_prediction_rel_error histogram.
+func (c *Collector) OnBatchPrediction(batch, workload int, predicted, measured, relErr float64) {
+	if c.adaptive == nil {
+		c.adaptive = &AdaptiveSection{}
+	}
+	c.adaptive.Predictions = append(c.adaptive.Predictions, AdaptivePrediction{
+		Batch: batch, Workload: workload,
+		PredictedBytes: predicted, MeasuredBytes: measured, RelError: relErr,
+	})
+	if relErr > c.adaptive.MaxRelError {
+		c.adaptive.MaxRelError = relErr
+	}
+	c.reg.Histogram("tuner_prediction_rel_error").Observe(relErr)
+}
+
+// OnReplan implements core.AdaptiveObserver: the tuner re-fitted the curves
+// and replaced the remaining schedule after the given batch.
+func (c *Collector) OnReplan(batch int, relErr float64, remaining []int) {
+	if c.adaptive == nil {
+		c.adaptive = &AdaptiveSection{}
+	}
+	c.adaptive.Replans++
+	c.reg.Counter("tuner_replans_total").Inc()
+	c.events.Emit(Event{
+		Type:       EventReplan,
+		SimSeconds: c.lastSim,
+		Batch:      batch,
+		RelError:   relErr,
+	})
+}
+
+// OnGovernorShrink implements core.AdaptiveObserver: the safety governor
+// shrank the next batch from fromW to toW workload units.
+func (c *Collector) OnGovernorShrink(batch, fromW, toW int) {
+	if c.adaptive == nil {
+		c.adaptive = &AdaptiveSection{}
+	}
+	c.adaptive.GovernorShrinks++
+	c.reg.Counter("tuner_governor_shrinks_total").Inc()
+	c.events.Emit(Event{
+		Type:       EventGovernorShrink,
+		SimSeconds: c.lastSim,
+		Batch:      batch,
+		Workload:   toW,
+	})
+}

@@ -1,0 +1,112 @@
+package obs_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"vcmt/internal/core"
+	"vcmt/internal/graph"
+	"vcmt/internal/obs"
+	"vcmt/internal/sim"
+	"vcmt/internal/tasks"
+)
+
+// The collector must satisfy the tuner's observer contract structurally —
+// obs must not import core, so the signatures have to line up exactly.
+var _ core.AdaptiveObserver = (*obs.Collector)(nil)
+
+func TestCollectorRecordsAdaptiveRun(t *testing.T) {
+	g := graph.GenerateChungLu(500, 2000, 2.5, 3)
+	part := graph.HashPartition(500, 4)
+	mk := func() tasks.Job {
+		return tasks.NewBPPR(g, part, tasks.BPPRConfig{WalksPerNode: 1 << 20, Seed: 11})
+	}
+	var events bytes.Buffer
+	col := obs.NewCollector(obs.CollectorOptions{Events: &events})
+	cfg := sim.JobConfig{
+		Cluster:   sim.Galaxy8.WithMachines(4),
+		System:    sim.PregelPlus,
+		StatScale: 30000,
+		NodeScale: 1000,
+		Observer:  col,
+	}
+	model, err := core.Train(mk, cfg, core.TrainConfig{MaxExponent: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Underestimate the residual curve so the loop has to intervene.
+	model.Resid.A *= 0.2
+	res, err := model.RunAdaptive(mk(), cfg, 220, core.AdaptiveConfig{Seed: 1, Observer: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replans == 0 && res.GovernorShrinks == 0 {
+		t.Fatalf("fixture no longer triggers the loop: %+v", res)
+	}
+
+	rep := col.Report(obs.RunMeta{Task: "BPPR", System: "PregelPlus", Cluster: "Galaxy-8", Machines: 4}, res.Result)
+	if rep.Adaptive == nil {
+		t.Fatal("adaptive run must produce an adaptive report section")
+	}
+	if rep.Adaptive.Replans != res.Replans || rep.Adaptive.GovernorShrinks != res.GovernorShrinks {
+		t.Fatalf("report (%d,%d) vs result (%d,%d)",
+			rep.Adaptive.Replans, rep.Adaptive.GovernorShrinks, res.Replans, res.GovernorShrinks)
+	}
+	if len(rep.Adaptive.Predictions) != len(res.Predictions) {
+		t.Fatalf("report predictions=%d result=%d", len(rep.Adaptive.Predictions), len(res.Predictions))
+	}
+	if rep.Adaptive.MaxRelError != res.MaxRelError() {
+		t.Fatalf("max rel error %v vs %v", rep.Adaptive.MaxRelError, res.MaxRelError())
+	}
+
+	// The registry must carry the tuner metrics.
+	var replans, shrinks, errHist bool
+	for _, m := range rep.Metrics {
+		switch m.Name {
+		case "tuner_replans_total":
+			replans = m.Value == float64(res.Replans)
+		case "tuner_governor_shrinks_total":
+			shrinks = m.Value == float64(res.GovernorShrinks)
+		case "tuner_prediction_rel_error":
+			errHist = m.Count == int64(len(res.Predictions))
+		}
+	}
+	if !replans || !shrinks || !errHist {
+		t.Fatalf("tuner metrics missing or wrong (replans=%v shrinks=%v hist=%v)", replans, shrinks, errHist)
+	}
+
+	// The event log must contain the tuner interventions.
+	var sawLoopEvent bool
+	sc := bufio.NewScanner(&events)
+	for sc.Scan() {
+		var e obs.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		if e.Type == obs.EventReplan || e.Type == obs.EventGovernorShrink {
+			sawLoopEvent = true
+		}
+	}
+	if !sawLoopEvent {
+		t.Fatal("no replan/governor_shrink event logged")
+	}
+}
+
+func TestNonAdaptiveReportOmitsAdaptiveSection(t *testing.T) {
+	var events bytes.Buffer
+	col, res := collectorRun(t, &events)
+	rep := col.Report(obs.RunMeta{Task: "TEST"}, res)
+	if rep.Adaptive != nil {
+		t.Fatal("non-adaptive run must not have an adaptive section")
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"adaptive"`) {
+		t.Fatal("adaptive key must be omitted from non-adaptive reports")
+	}
+}

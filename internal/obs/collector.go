@@ -25,6 +25,8 @@ type Collector struct {
 	machines   []machineAgg
 	overloaded bool
 	overflowed bool
+	lastSim    float64
+	adaptive   *AdaptiveSection
 }
 
 type roundRecord struct {
@@ -157,6 +159,7 @@ func (c *Collector) OnRound(o sim.RoundObservation) {
 	c.reg.Histogram("sim_round_msgs").Observe(logical)
 	c.reg.Histogram("sim_round_skew_ratio").Observe(o.Result.SkewRatio)
 	c.reg.Gauge("sim_seconds").Set(o.CumSeconds)
+	c.lastSim = o.CumSeconds
 
 	c.events.Emit(Event{
 		Type:       EventSuperstep,

@@ -23,6 +23,8 @@ type Event struct {
 	SpillRecs  int64   `json:"spill_records,omitempty"`
 	CkptBytes  int64   `json:"ckpt_bytes,omitempty"`
 	RoundsLost int     `json:"rounds_lost,omitempty"`
+	RelError   float64 `json:"rel_error,omitempty"`
+	Workload   int     `json:"workload,omitempty"`
 }
 
 // Event types emitted by the Collector.
@@ -35,6 +37,10 @@ const (
 	EventOverflow   = "overflow"   // a machine's memory demand passed the overflow ratio
 	EventCheckpoint = "checkpoint" // a checkpoint was cut at a superstep barrier
 	EventRecovery   = "recovery"   // a crash was recovered from the last checkpoint
+
+	// Adaptive-tuner events (closed-loop §5 tuning).
+	EventReplan         = "replan"          // the tuner re-fitted the curves and re-planned the tail
+	EventGovernorShrink = "governor_shrink" // the safety governor shrank the next batch
 )
 
 // EventLog appends events to an io.Writer as JSON Lines. It is not

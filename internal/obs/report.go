@@ -120,6 +120,9 @@ type RunReport struct {
 	Machines   []MachineReport   `json:"machines"`
 	Supersteps []SuperstepReport `json:"supersteps"`
 	Metrics    []MetricSnapshot  `json:"metrics"`
+	// Adaptive is present only when the closed-loop tuner drove the run
+	// (trailing omitempty pointer, so non-adaptive reports are unchanged).
+	Adaptive *AdaptiveSection `json:"adaptive,omitempty"`
 }
 
 // Report assembles the run report from everything the collector observed
@@ -215,6 +218,7 @@ func (c *Collector) Report(meta RunMeta, res sim.JobResult) *RunReport {
 		})
 	}
 	rep.Metrics = c.reg.Snapshot()
+	rep.Adaptive = c.adaptive
 	return rep
 }
 

@@ -72,6 +72,7 @@ type Run struct {
 	totalLogical   float64
 	maxRoundMsgs   float64
 	peakMem        float64
+	batchPeakMem   float64
 	maxMemRatio    float64
 	computeSec     float64
 	barrierSec     float64
@@ -147,9 +148,28 @@ func (r *Run) SetObserver(o Observer) { r.obs = o }
 // BeginBatch marks the start of a batch (used for the Batches count).
 func (r *Run) BeginBatch() {
 	r.batches++
+	r.batchPeakMem = 0
 	if r.obs != nil {
 		r.obs.OnBatchStart(r.batches, r.seconds)
 	}
+}
+
+// BatchPeakMemBytes returns the worst per-machine memory demand (paper
+// scale) observed since the last BeginBatch — the measured M* the adaptive
+// tuner compares against Model.PredictedMemory after each batch.
+func (r *Run) BatchPeakMemBytes() float64 { return r.batchPeakMem }
+
+// MaxResidualBytes returns the largest per-machine residual memory
+// currently recorded (paper scale) — the measured M_r* counterpart of the
+// fitted residual curve.
+func (r *Run) MaxResidualBytes() float64 {
+	var max float64
+	for m := range r.residualByMach {
+		if b := r.residualBytes(m); b > max {
+			max = b
+		}
+	}
+	return max
 }
 
 // ObserveRound prices one superstep and accumulates it.
@@ -165,6 +185,9 @@ func (r *Run) ObserveRound(rs RoundStats) RoundResult {
 	}
 	if res.PeakMemBytes > r.peakMem {
 		r.peakMem = res.PeakMemBytes
+	}
+	if res.PeakMemBytes > r.batchPeakMem {
+		r.batchPeakMem = res.PeakMemBytes
 	}
 	if res.MemRatio > r.maxMemRatio {
 		r.maxMemRatio = res.MemRatio
