@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race lint bench bench-json fault bench-ckpt bench-wire bench-wire-baseline smoke-adaptive ci
+.PHONY: build vet test race lint bench bench-json fault bench-ckpt bench-ckpt-baseline bench-wire bench-wire-baseline smoke-adaptive ci
 
 build:
 	$(GO) build ./...
@@ -38,9 +38,16 @@ bench-json:
 fault:
 	$(GO) test -race -count=1 -timeout 20m 		-run 'Crash|Recover|Fault|Checkpoint|Close|Drop|Delay|Slow' 		./internal/ckpt/... ./internal/fault/... ./internal/engine/... 		./internal/rpcrt/... ./internal/difftest/... ./internal/tasks/...
 
-# Machine-readable checkpoint-overhead benchmark artifact; the CI
-# fault-recovery job uploads this as BENCH_ckpt.json.
+# Checkpoint-overhead benchmark with the regression gate, mirroring the
+# CI fault-recovery job: fails on >50% ns/op regression against the
+# committed BENCH_ckpt.json baseline. The threshold is looser than the
+# wire gate because checkpoint benchmarks go through the filesystem.
 bench-ckpt:
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkCheckpointWrite|BenchmarkCheckpointRecover' 		-pkg ./internal/ckpt -benchtime 2x -out BENCH_ckpt_run.json 		-compare BENCH_ckpt.json -max-regress 0.5
+
+# Refresh the committed checkpoint baseline after a deliberate change;
+# commit the resulting BENCH_ckpt.json alongside the change justifying it.
+bench-ckpt-baseline:
 	$(GO) run ./cmd/benchjson -bench 'BenchmarkCheckpointWrite|BenchmarkCheckpointRecover' 		-pkg ./internal/ckpt -benchtime 2x -out BENCH_ckpt.json
 
 # Wire-codec benchmark with the regression gate, mirroring the CI

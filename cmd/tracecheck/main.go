@@ -1,0 +1,41 @@
+// Command tracecheck runs the strict Chrome trace-event decoder over a
+// -trace-out file and exits non-zero if it violates the format contract
+// (unsorted timestamps, negative durations, dangling or escaped parents).
+// CI uses it to gate the smoke run's trace artifact; it is also handy
+// before loading a trace into Perfetto.
+//
+// Usage: tracecheck trace.json [more.json ...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"vcmt/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck trace.json [more.json ...]")
+		os.Exit(2)
+	}
+	bad := false
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+			bad = true
+			continue
+		}
+		n, err := obs.ValidateChromeTrace(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			bad = true
+			continue
+		}
+		fmt.Printf("%s: ok (%d spans)\n", path, n)
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

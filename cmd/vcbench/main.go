@@ -4,7 +4,7 @@
 // Usage:
 //
 //	vcbench [-fast] [-seed N] [-only fig2,fig4,table3,...] [-out dir] \
-//	        [-telemetry file.json]
+//	        [-telemetry file.json] [-trace-out trace.json]
 //
 // Experiment names: fig2 fig3 fig4 fig6 table2 table3 fig5 fig7 fig8 fig9
 // fig10 fig11 table4 fig12 recovery finer. Without -only, everything runs
@@ -14,6 +14,8 @@
 // output bytes per experiment, plus suite totals). Unlike vcrun's -report,
 // this is operational telemetry about the benchmark harness itself, so wall
 // clock is intentional and the file is not byte-stable across runs.
+// -trace-out writes the suite's wall-clock span timeline (one span per
+// experiment under a suite root) as Chrome trace-event JSON for Perfetto.
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"time"
 
 	"vcmt/internal/experiments"
+	"vcmt/internal/obs"
 )
 
 // stepTelemetry summarizes one experiment's execution for -telemetry.
@@ -65,6 +68,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated subset of experiments to run")
 	outDir := flag.String("out", "", "also write each experiment's table to <dir>/<name>.txt")
 	telemetry := flag.String("telemetry", "", "write a per-figure JSON telemetry summary to this file")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON span timeline of the suite to this file")
 	flag.Parse()
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -223,6 +227,34 @@ func main() {
 			return nil
 		}},
 	}
+	// The span tracer mirrors the telemetry timings as a Perfetto-loadable
+	// timeline: a suite root span with one child span per experiment.
+	var tracer *obs.Tracer
+	var suiteSpan obs.SpanID
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+		tracer.NameProc(0, "vcbench")
+		tracer.NameTrack(0, 0, "experiments")
+		suiteSpan = tracer.Begin(0, "suite", "bench", 0, 0)
+	}
+	writeTrace := func() {
+		if tracer == nil {
+			return
+		}
+		tracer.End(suiteSpan)
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vcbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tracer.WriteChromeTrace(f); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vcbench: trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	suite := suiteTelemetry{Schema: "vcmt/bench-telemetry/v1", Fast: *fast, Seed: *seed}
 	suiteStart := time.Now()
 	writeTelemetry := func() {
@@ -262,8 +294,14 @@ func main() {
 		}
 		counter := &countingWriter{w: out}
 		out = counter
+		span := tracer.Begin(suiteSpan, s.name, "experiment", 0, 0)
 		start := time.Now()
 		err := s.fn()
+		if err != nil {
+			tracer.End(span, obs.L("error", err.Error()))
+		} else {
+			tracer.End(span)
+		}
 		if f != nil {
 			f.Close()
 		}
@@ -276,6 +314,7 @@ func main() {
 			st.Error = err.Error()
 			suite.Steps = append(suite.Steps, st)
 			writeTelemetry()
+			writeTrace()
 			fmt.Fprintf(os.Stderr, "vcbench: %s: %v\n", s.name, err)
 			os.Exit(1)
 		}
@@ -283,4 +322,5 @@ func main() {
 		fmt.Printf("[%s done in %.1fs]\n\n", s.name, st.WallSeconds)
 	}
 	writeTelemetry()
+	writeTrace()
 }

@@ -12,10 +12,14 @@
 // costing; the default uses the dataset's node-scale factor.
 //
 // Telemetry flags: -report writes a machine-readable JSON run report,
-// -events a JSONL event log, -trace / -machine-trace per-round CSVs, and
-// -debug-addr serves /metrics, /debug/vars and /debug/pprof while the job
-// runs. Report, events and traces carry only simulated time, so identical
-// seeded invocations produce byte-identical files.
+// -events a JSONL event log, -trace / -machine-trace per-round CSVs,
+// -trace-out a Chrome trace-event JSON span file (load it in Perfetto:
+// run → batch → superstep → per-machine phase spans, with checkpoint,
+// crash and recovery spans when faults are injected), and -debug-addr
+// serves /metrics (Prometheus text), /metrics.json, /debug/trace,
+// /debug/vars and /debug/pprof while the job runs. Report, events and
+// traces carry only simulated time, so identical seeded invocations
+// produce byte-identical files.
 package main
 
 import (
@@ -50,6 +54,7 @@ func main() {
 		tracePath   = flag.String("trace", "", "write a per-round CSV trace to this file")
 		machTrace   = flag.String("machine-trace", "", "write a per-round, per-machine CSV trace to this file")
 		reportPath  = flag.String("report", "", "write a JSON run report to this file")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON span trace to this file (open in Perfetto)")
 		eventsPath  = flag.String("events", "", "write a JSONL event log to this file")
 		debugAddr   = flag.String("debug-addr", "", "serve /metrics, expvar and pprof on this address (e.g. :6060)")
 		ckptDir     = flag.String("checkpoint-dir", "", "enable superstep checkpointing into this directory")
@@ -136,9 +141,11 @@ func main() {
 		collector *obs.Collector
 		eventsF   *os.File
 		reportF   *os.File
+		traceF    *os.File
 		registry  *obs.Registry
+		tracer    *obs.Tracer
 	)
-	if *reportPath != "" || *eventsPath != "" || *debugAddr != "" {
+	if *reportPath != "" || *eventsPath != "" || *debugAddr != "" || *traceOut != "" {
 		registry = obs.NewRegistry()
 		copts := obs.CollectorOptions{Registry: registry}
 		if *eventsPath != "" {
@@ -149,8 +156,8 @@ func main() {
 			defer eventsF.Close()
 			copts.Events = eventsF
 		}
-		// Open the report file before the run so a bad path fails fast
-		// instead of after minutes of simulation.
+		// Open the report and trace files before the run so a bad path
+		// fails fast instead of after minutes of simulation.
 		if *reportPath != "" {
 			reportF, err = os.Create(*reportPath)
 			if err != nil {
@@ -158,16 +165,27 @@ func main() {
 			}
 			defer reportF.Close()
 		}
+		if *traceOut != "" {
+			traceF, err = os.Create(*traceOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer traceF.Close()
+			tracer = obs.NewTracer()
+			copts.Tracer = tracer
+		}
 		collector = obs.NewCollector(copts)
 		cfgTask.Observer = collector
 	}
 	if *debugAddr != "" {
-		srv, err := obs.StartDebugServer(*debugAddr, registry)
+		srv, err := obs.StartDebugServerWith(*debugAddr, obs.DebugOptions{
+			Registry: registry, Tracer: tracer,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer srv.Close()
-		log.Printf("debug server on http://%s (/metrics, /debug/vars, /debug/pprof)", srv.Addr())
+		log.Printf("debug server on http://%s (/metrics, /metrics.json, /debug/vars, /debug/pprof)", srv.Addr())
 	}
 
 	run := sim.NewRun(cfgTask)
@@ -268,6 +286,14 @@ func main() {
 		}
 		if *eventsPath != "" {
 			fmt.Fprintf(w, "events:    %s\n", *eventsPath)
+		}
+		// Report ran Finish above, so every span (including the run root)
+		// is closed by the time the trace is exported.
+		if traceF != nil {
+			if err := tracer.WriteChromeTrace(traceF); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(w, "spans:     %s (%d spans; open in Perfetto)\n", *traceOut, len(tracer.Spans()))
 		}
 	}
 }

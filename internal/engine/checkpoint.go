@@ -104,13 +104,15 @@ func (e *Engine[M]) maybeCheckpoint() error {
 
 // crashPending consults the fault plan for a crash injected at the
 // superstep about to execute (the loop is at the barrier after e.rounds
-// completed supersteps, so the next one is e.rounds+1).
-func (e *Engine[M]) crashPending() bool {
+// completed supersteps, so the next one is e.rounds+1). It returns the
+// crashed machine alongside the verdict: CrashAtStep consumes the one-shot
+// event, so this single call is the only chance to learn which machine the
+// plan named.
+func (e *Engine[M]) crashPending() (int, bool) {
 	if e.opts.Fault == nil {
-		return false
+		return 0, false
 	}
-	_, ok := e.opts.Fault.CrashAtStep(e.rounds + 1)
-	return ok
+	return e.opts.Fault.CrashAtStep(e.rounds + 1)
 }
 
 // recoverFromCheckpoint reloads the latest checkpoint, prices the recovery

@@ -350,7 +350,10 @@ func (e *Engine[M]) Run() error {
 			e.CleanupSpill()
 			return nil
 		}
-		if e.crashPending() {
+		if machine, ok := e.crashPending(); ok {
+			if e.run != nil {
+				e.run.ObserveCrash(e.rounds+1, machine)
+			}
 			if err := e.recoverFromCheckpoint(); err != nil {
 				e.CleanupSpill()
 				return err

@@ -2,10 +2,16 @@ package obs
 
 import (
 	"io"
+	"math"
 	"strconv"
 
 	"vcmt/internal/sim"
 )
+
+// usec converts simulated seconds to the microsecond axis span timestamps
+// live on. Rounding (not truncation) keeps adjacent phase spans from
+// drifting apart by a microsecond.
+func usec(s float64) int64 { return int64(math.Round(s * 1e6)) }
 
 // Collector implements sim.Observer: it listens to a sim.Run's batch and
 // round callbacks and accumulates everything the exporters need — per-phase
@@ -27,6 +33,15 @@ type Collector struct {
 	overflowed bool
 	lastSim    float64
 	adaptive   *AdaptiveSection
+
+	// tracer, when non-nil, receives the run's span hierarchy on the
+	// simulated-time axis: run → batch → superstep → per-machine phases.
+	// The collector is single-goroutine, so span IDs are deterministic.
+	tracer       *Tracer
+	runSpan      SpanID
+	batchSpan    SpanID
+	batchStartUS int64
+	namedTracks  int
 }
 
 type roundRecord struct {
@@ -64,6 +79,9 @@ type CollectorOptions struct {
 	Registry *Registry
 	// Events, when non-nil, receives the JSONL event log.
 	Events io.Writer
+	// Tracer, when non-nil, receives the run's span hierarchy (simulated
+	// microseconds; export with Tracer.WriteChromeTrace).
+	Tracer *Tracer
 }
 
 // NewCollector builds a Collector.
@@ -72,7 +90,22 @@ func NewCollector(opts CollectorOptions) *Collector {
 	if reg == nil {
 		reg = NewRegistry()
 	}
-	return &Collector{reg: reg, events: NewEventLog(opts.Events)}
+	c := &Collector{reg: reg, events: NewEventLog(opts.Events), tracer: opts.Tracer}
+	if c.tracer != nil {
+		c.tracer.NameProc(0, "simulated cluster")
+		c.tracer.NameTrack(0, 0, "supersteps")
+		c.runSpan = c.tracer.BeginAt(0, "run", "sim", 0, 0, 0)
+	}
+	return c
+}
+
+// simParent is the innermost open span — the batch if one is open, else
+// the run.
+func (c *Collector) simParent() SpanID {
+	if c.batchSpan != 0 {
+		return c.batchSpan
+	}
+	return c.runSpan
 }
 
 // Registry returns the metrics registry the collector feeds.
@@ -87,6 +120,12 @@ func (c *Collector) OnBatchStart(batch int, simSeconds float64) {
 	c.batches = append(c.batches, batchRecord{batch: batch, startSim: simSeconds})
 	c.reg.Counter("sim_batches_total").Inc()
 	c.events.Emit(Event{Type: EventBatchStart, SimSeconds: simSeconds, Batch: batch})
+	if simSeconds > c.lastSim {
+		c.lastSim = simSeconds
+	}
+	c.batchStartUS = usec(simSeconds)
+	c.batchSpan = c.tracer.BeginAt(c.runSpan, "batch", "sim", 0, 0, c.batchStartUS,
+		L("batch", strconv.Itoa(batch)))
 }
 
 func (c *Collector) closeBatch() {
@@ -102,6 +141,12 @@ func (c *Collector) closeBatch() {
 		Seconds:    b.seconds,
 		Msgs:       b.msgs,
 	})
+	// The batch ends at the latest simulated time seen, not at
+	// startSim+seconds: checkpoint and recovery charges land inside the
+	// batch's wall but are excluded from its priced seconds.
+	c.tracer.EndAt(c.batchSpan, usec(c.lastSim),
+		L("rounds", strconv.Itoa(b.rounds)))
+	c.batchSpan = 0
 }
 
 // OnRound implements sim.Observer.
@@ -161,6 +206,50 @@ func (c *Collector) OnRound(o sim.RoundObservation) {
 	c.reg.Gauge("sim_seconds").Set(o.CumSeconds)
 	c.lastSim = o.CumSeconds
 
+	if c.tracer != nil {
+		roundEnd := usec(o.CumSeconds)
+		roundStart := roundEnd - usec(o.Result.Seconds)
+		if roundStart < c.batchStartUS {
+			roundStart = c.batchStartUS
+		}
+		roundSpan := c.tracer.Add(c.simParent(), "superstep", "sim", 0, 0,
+			roundStart, roundEnd-roundStart,
+			L("round", strconv.Itoa(o.Round)),
+			L("msgs", strconv.FormatFloat(logical, 'g', -1, 64)))
+		// Per-machine phase spans: the cost model prices each machine's
+		// round as compute then net then disk, so the spans lay out
+		// sequentially from the round start on the machine's own track.
+		for m := range o.Result.PerMachine {
+			if m >= c.namedTracks {
+				c.tracer.NameTrack(0, 1+m, "machine "+strconv.Itoa(m))
+				c.namedTracks = m + 1
+			}
+			mc := o.Result.PerMachine[m]
+			cur := roundStart
+			for _, ph := range []struct {
+				name string
+				sec  float64
+			}{{"compute", mc.ComputeSeconds}, {"net", mc.NetSeconds}, {"disk", mc.DiskSeconds}} {
+				d := usec(ph.sec)
+				if cur+d > roundEnd {
+					d = roundEnd - cur
+				}
+				if d <= 0 {
+					continue
+				}
+				c.tracer.Add(roundSpan, ph.name, "phase", 0, 1+m, cur, d)
+				cur += d
+			}
+		}
+		if b := usec(o.Result.BarrierSeconds); b > 0 {
+			start := roundEnd - b
+			if start < roundStart {
+				start = roundStart
+			}
+			c.tracer.Add(roundSpan, "barrier", "phase", 0, 0, start, roundEnd-start)
+		}
+	}
+
 	c.events.Emit(Event{
 		Type:       EventSuperstep,
 		SimSeconds: o.CumSeconds,
@@ -210,6 +299,19 @@ func (c *Collector) OnCheckpoint(round int, bytes int64, seconds, simSeconds flo
 	c.reg.Counter("ckpt_writes_total").Inc()
 	c.reg.Counter("ckpt_bytes_total").Add(bytes)
 	c.reg.Histogram("ckpt_write_seconds").Observe(seconds)
+	if simSeconds > c.lastSim {
+		c.lastSim = simSeconds
+	}
+	if c.tracer != nil {
+		end := usec(simSeconds)
+		start := end - usec(seconds)
+		if start < c.batchStartUS {
+			start = c.batchStartUS
+		}
+		c.tracer.Add(c.simParent(), "checkpoint", "ckpt", 0, 0, start, end-start,
+			L("round", strconv.Itoa(round)),
+			L("bytes", strconv.FormatInt(bytes, 10)))
+	}
 	c.events.Emit(Event{
 		Type:       EventCheckpoint,
 		SimSeconds: simSeconds,
@@ -225,6 +327,20 @@ func (c *Collector) OnRecovery(round, roundsLost int, reloadBytes int64, seconds
 	c.reg.Counter("recoveries_total").Inc()
 	c.reg.Counter("recovery_rounds_lost_total").Add(int64(roundsLost))
 	c.reg.Histogram("recovery_seconds").Observe(seconds)
+	if simSeconds > c.lastSim {
+		c.lastSim = simSeconds
+	}
+	if c.tracer != nil {
+		end := usec(simSeconds)
+		start := end - usec(seconds)
+		if start < c.batchStartUS {
+			start = c.batchStartUS
+		}
+		c.tracer.Add(c.simParent(), "recovery", "recovery", 0, 0, start, end-start,
+			L("rollback_to", strconv.Itoa(round)),
+			L("rounds_lost", strconv.Itoa(roundsLost)),
+			L("reload_bytes", strconv.FormatInt(reloadBytes, 10)))
+	}
 	c.events.Emit(Event{
 		Type:       EventRecovery,
 		SimSeconds: simSeconds,
@@ -235,8 +351,34 @@ func (c *Collector) OnRecovery(round, roundsLost int, reloadBytes int64, seconds
 	})
 }
 
-// Finish closes the trailing batch_end event. Call once after the run; it
-// is idempotent only in the sense that further rounds must not follow.
+// OnCrash implements sim.CrashObserver: an injected crash is marked as a
+// zero-duration span on the crashed machine's track and a crash event —
+// the annotated start of the gap a recovery span later closes. No registry
+// counter: a recovered report must match the fault-free one under the
+// recover*-only stripping the differential tests apply.
+func (c *Collector) OnCrash(step, machine int, simSeconds float64) {
+	if c.tracer != nil {
+		track := 0
+		if machine >= 0 {
+			track = 1 + machine
+		}
+		c.tracer.Add(c.simParent(), "crash", "fault", 0, track, usec(simSeconds), 0,
+			L("step", strconv.Itoa(step)),
+			L("machine", strconv.Itoa(machine)))
+	}
+	c.events.Emit(Event{
+		Type:       EventCrash,
+		SimSeconds: simSeconds,
+		Round:      step,
+		Machine:    machine,
+	})
+}
+
+// Finish closes the trailing batch_end event and the run span. Call once
+// after the run; it is idempotent only in the sense that further rounds
+// must not follow.
 func (c *Collector) Finish() {
 	c.closeBatch()
+	c.tracer.EndAt(c.runSpan, usec(c.lastSim))
+	c.runSpan = 0
 }

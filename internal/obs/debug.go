@@ -12,9 +12,13 @@ import (
 
 // DebugServer serves live run telemetry over HTTP:
 //
-//	/metrics      — the registry snapshot as JSON
-//	/debug/vars   — expvar (includes the registry under "vcmt_metrics")
-//	/debug/pprof/ — the standard pprof handlers
+//	/metrics       — the registry in Prometheus text exposition format
+//	/metrics.json  — the registry snapshot as JSON
+//	/debug/trace   — completed spans as Chrome trace-event JSON (if a
+//	                 tracer is attached)
+//	/debug/flight  — the flight-recorder ring as JSON (if attached)
+//	/debug/vars    — expvar (includes the registry under "vcmt_metrics")
+//	/debug/pprof/  — the standard pprof handlers
 //
 // It exists for long or real (rpcrt) runs; short simulated runs finish
 // before anyone can connect, but the endpoint still comes up first so flags
@@ -24,20 +28,53 @@ type DebugServer struct {
 	srv *http.Server
 }
 
-// StartDebugServer binds addr (e.g. ":6060" or "127.0.0.1:0") and serves in
-// a background goroutine until Close.
+// DebugOptions selects what a debug server exposes. Registry is required;
+// Tracer and Flight are optional and their endpoints 404 when absent.
+type DebugOptions struct {
+	Registry *Registry
+	Tracer   *Tracer
+	Flight   *FlightRecorder
+}
+
+// StartDebugServer binds addr (e.g. ":6060" or "127.0.0.1:0") and serves
+// the registry in a background goroutine until Close.
 func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+	return StartDebugServerWith(addr, DebugOptions{Registry: reg})
+}
+
+// StartDebugServerWith is StartDebugServer plus optional trace and
+// flight-recorder endpoints.
+func StartDebugServerWith(addr string, opts DebugOptions) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug listen %s: %w", addr, err)
 	}
+	reg := opts.Registry
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, reg) //nolint:errcheck // best-effort over HTTP
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(reg.Snapshot()) //nolint:errcheck // best-effort over HTTP
 	})
+	if opts.Tracer != nil {
+		tr := opts.Tracer
+		mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			tr.WriteChromeTrace(w) //nolint:errcheck // best-effort over HTTP
+		})
+	}
+	if opts.Flight != nil {
+		fr := opts.Flight
+		mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			fr.Dump(w) //nolint:errcheck // best-effort over HTTP
+		})
+	}
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"strings"
 	"testing"
 )
 
@@ -12,7 +13,14 @@ func TestDebugServerServesMetricsAndPprof(t *testing.T) {
 	reg.Counter("test_total").Add(7)
 	reg.Histogram("test_seconds").Observe(0.5)
 
-	srv, err := StartDebugServer("127.0.0.1:0", reg)
+	tr := NewTracer()
+	tr.Add(0, "root", "test", 0, 0, 0, 100)
+	fr := NewFlightRecorder(4)
+	fr.RecordEvent("hello")
+
+	srv, err := StartDebugServerWith("127.0.0.1:0", DebugOptions{
+		Registry: reg, Tracer: tr, Flight: fr,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,9 +42,20 @@ func TestDebugServerServesMetricsAndPprof(t *testing.T) {
 		return b
 	}
 
+	prom := string(get("/metrics"))
+	if !strings.Contains(prom, "# TYPE test_total counter") {
+		t.Fatalf("/metrics missing TYPE line:\n%s", prom)
+	}
+	if !strings.Contains(prom, "test_total 7") {
+		t.Fatalf("/metrics missing counter sample:\n%s", prom)
+	}
+	if !strings.Contains(prom, `test_seconds{quantile="0.5"}`) {
+		t.Fatalf("/metrics missing summary quantile:\n%s", prom)
+	}
+
 	var snaps []MetricSnapshot
-	if err := json.Unmarshal(get("/metrics"), &snaps); err != nil {
-		t.Fatalf("/metrics is not JSON: %v", err)
+	if err := json.Unmarshal(get("/metrics.json"), &snaps); err != nil {
+		t.Fatalf("/metrics.json is not JSON: %v", err)
 	}
 	found := false
 	for _, s := range snaps {
@@ -45,8 +64,20 @@ func TestDebugServerServesMetricsAndPprof(t *testing.T) {
 		}
 	}
 	if !found {
-		t.Fatalf("counter missing from /metrics: %v", snaps)
+		t.Fatalf("counter missing from /metrics.json: %v", snaps)
 	}
+
+	if n, err := ValidateChromeTrace(get("/debug/trace")); err != nil || n != 1 {
+		t.Fatalf("/debug/trace invalid: n=%d err=%v", n, err)
+	}
+	var flight map[string]any
+	if err := json.Unmarshal(get("/debug/flight"), &flight); err != nil {
+		t.Fatalf("/debug/flight is not JSON: %v", err)
+	}
+	if flight["schema"] != "vcmt/flight-recorder/v1" {
+		t.Fatalf("/debug/flight schema = %v", flight["schema"])
+	}
+
 	var vars map[string]any
 	if err := json.Unmarshal(get("/debug/vars"), &vars); err != nil {
 		t.Fatalf("/debug/vars is not JSON: %v", err)

@@ -25,6 +25,7 @@ type Event struct {
 	RoundsLost int     `json:"rounds_lost,omitempty"`
 	RelError   float64 `json:"rel_error,omitempty"`
 	Workload   int     `json:"workload,omitempty"`
+	Machine    int     `json:"machine,omitempty"`
 }
 
 // Event types emitted by the Collector.
@@ -36,6 +37,7 @@ const (
 	EventOverload   = "overload"   // cumulative simulated time crossed the cutoff
 	EventOverflow   = "overflow"   // a machine's memory demand passed the overflow ratio
 	EventCheckpoint = "checkpoint" // a checkpoint was cut at a superstep barrier
+	EventCrash      = "crash"      // an injected crash fired on a machine
 	EventRecovery   = "recovery"   // a crash was recovered from the last checkpoint
 
 	// Adaptive-tuner events (closed-loop §5 tuning).

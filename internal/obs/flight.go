@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// DefaultFlightRounds is how many recent rounds a FlightRecorder retains
+// when constructed with keep <= 0.
+const DefaultFlightRounds = 8
+
+// FlightEvent is one annotated instant kept alongside the spans of a
+// flight-recorder round (crash detection, recovery milestones).
+type FlightEvent struct {
+	WallUS int64   `json:"wall_us"`
+	Name   string  `json:"name"`
+	Args   []Label `json:"args,omitempty"`
+}
+
+// flightRound is one superstep's recorded activity.
+type flightRound struct {
+	Round  int           `json:"round"`
+	Spans  []Span        `json:"spans"`
+	Events []FlightEvent `json:"events"`
+}
+
+// FlightRecorder is a bounded in-memory ring of the last N rounds of
+// spans and events. It costs O(spans per round × N) memory regardless of
+// job length, and is dumped to disk when rpcrt detects a crash, turning
+// every fault-injection failure into a readable postmortem artifact.
+// Attach it to a Tracer with tracer.SetSink(fr.RecordSpan). All methods
+// are safe for concurrent use and nil-receiver safe.
+type FlightRecorder struct {
+	mu     sync.Mutex
+	epoch  time.Time
+	keep   int
+	rounds []flightRound
+}
+
+// NewFlightRecorder returns a recorder retaining the last keep rounds
+// (DefaultFlightRounds when keep <= 0).
+func NewFlightRecorder(keep int) *FlightRecorder {
+	if keep <= 0 {
+		keep = DefaultFlightRounds
+	}
+	return &FlightRecorder{epoch: time.Now(), keep: keep}
+}
+
+// BeginRound rotates the ring: subsequent spans and events are recorded
+// under this round, and the oldest round is evicted once the ring is full.
+func (f *FlightRecorder) BeginRound(round int) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rounds = append(f.rounds, flightRound{Round: round, Spans: []Span{}, Events: []FlightEvent{}})
+	if len(f.rounds) > f.keep {
+		f.rounds = f.rounds[len(f.rounds)-f.keep:]
+	}
+}
+
+// current returns the ring's active bucket, creating a round-0 bucket for
+// activity recorded before the first BeginRound. Callers hold f.mu.
+func (f *FlightRecorder) current() *flightRound {
+	if len(f.rounds) == 0 {
+		f.rounds = append(f.rounds, flightRound{Spans: []Span{}, Events: []FlightEvent{}})
+	}
+	return &f.rounds[len(f.rounds)-1]
+}
+
+// RecordSpan adds a completed span to the current round; it is the
+// Tracer sink signature.
+func (f *FlightRecorder) RecordSpan(s Span) {
+	if f == nil {
+		return
+	}
+	// Copy Args: the tracer's sink contract does not let us retain them.
+	s.Args = append([]Label(nil), s.Args...)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	b := f.current()
+	b.Spans = append(b.Spans, s)
+}
+
+// RecordEvent adds an annotated instant (wall-clock) to the current round.
+func (f *FlightRecorder) RecordEvent(name string, args ...Label) {
+	if f == nil {
+		return
+	}
+	ev := FlightEvent{WallUS: time.Since(f.epoch).Microseconds(), Name: name, Args: args}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	b := f.current()
+	b.Events = append(b.Events, ev)
+}
+
+// flightDump is the serialized postmortem document.
+type flightDump struct {
+	Schema string        `json:"schema"`
+	Keep   int           `json:"keep_rounds"`
+	Rounds []flightRound `json:"rounds"`
+}
+
+// Dump writes the retained rounds as indented JSON.
+func (f *FlightRecorder) Dump(w io.Writer) error {
+	if f == nil {
+		return fmt.Errorf("obs: Dump on nil flight recorder")
+	}
+	f.mu.Lock()
+	doc := flightDump{Schema: "vcmt/flight-recorder/v1", Keep: f.keep}
+	doc.Rounds = make([]flightRound, len(f.rounds))
+	for i, r := range f.rounds {
+		spans := make([]Span, len(r.Spans))
+		copy(spans, r.Spans)
+		events := make([]FlightEvent, len(r.Events))
+		copy(events, r.Events)
+		doc.Rounds[i] = flightRound{Round: r.Round, Spans: spans, Events: events}
+	}
+	f.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// DumpToFile writes the dump to path (0644, truncating).
+func (f *FlightRecorder) DumpToFile(path string) error {
+	if f == nil {
+		return fmt.Errorf("obs: DumpToFile on nil flight recorder")
+	}
+	file, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: flight dump: %w", err)
+	}
+	if err := f.Dump(file); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exposition format byte-for-byte:
+// metric names, label rendering, HELP/TYPE lines, summary quantiles.
+// Scrapers and dashboards key on these exact strings, so any change here
+// is a breaking change and must be deliberate.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("jobs_total", L("task", "mssp")).Add(3)
+	reg.Counter("jobs_total", L("task", "bppr")).Add(1)
+	reg.Gauge("sim_seconds").Set(12.5)
+	reg.Histogram("round_seconds", L("cluster", "g8")).Observe(2.5)
+	reg.SetHelp("jobs_total", "Jobs run.")
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg); err != nil {
+		t.Fatal(err)
+	}
+	golden := `# HELP jobs_total Jobs run.
+# TYPE jobs_total counter
+jobs_total{task="bppr"} 1
+jobs_total{task="mssp"} 3
+# TYPE round_seconds summary
+round_seconds{cluster="g8",quantile="0.5"} 2.5
+round_seconds{cluster="g8",quantile="0.95"} 2.5
+round_seconds{cluster="g8",quantile="0.99"} 2.5
+round_seconds_sum{cluster="g8"} 2.5
+round_seconds_count{cluster="g8"} 1
+# HELP sim_seconds Cumulative simulated seconds of the current run.
+# TYPE sim_seconds gauge
+sim_seconds 12.5
+`
+	if b.String() != golden {
+		t.Fatalf("exposition diverges from golden:\n--- got ---\n%s\n--- want ---\n%s", b.String(), golden)
+	}
+}
+
+// TestWritePrometheusGroupsInterleavedFamilies guards the snapshot-order
+// hazard: '_' sorts before '{', so Snapshot emits "foo_bar" between the
+// unlabeled and labeled series of "foo". The exposition must still emit
+// each family contiguously under a single TYPE line.
+func TestWritePrometheusGroupsInterleavedFamilies(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("foo").Add(1)
+	reg.Counter("foo", L("k", "v")).Add(2)
+	reg.Counter("foo_bar").Add(3)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "# TYPE foo counter\n") != 1 ||
+		strings.Count(out, "# TYPE foo_bar counter\n") != 1 {
+		t.Fatalf("expected one TYPE line per family:\n%s", out)
+	}
+	fooBlock := "# TYPE foo counter\nfoo 1\nfoo{k=\"v\"} 2\n"
+	if !strings.Contains(out, fooBlock) {
+		t.Fatalf("foo family not contiguous:\n%s", out)
+	}
+}
+
+// TestWritePrometheusEscapesLabels: backslashes and newlines in label
+// values must be escaped per the text format.
+func TestWritePrometheusEscapesLabels(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c", L("path", `a\b`+"\n")).Inc()
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `c{path="a\\b\n"} 1`) {
+		t.Fatalf("label not escaped:\n%s", b.String())
+	}
+}
+
+func TestWritePrometheusNilRegistry(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, nil); err != nil || b.Len() != 0 {
+		t.Fatalf("nil registry: err=%v out=%q", err, b.String())
+	}
+}

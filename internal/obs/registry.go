@@ -89,6 +89,7 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 type Registry struct {
 	mu      sync.Mutex
 	entries map[string]*entry
+	help    map[string]string
 }
 
 type entry struct {
@@ -149,6 +150,29 @@ func (r *Registry) lookup(name string, labels []Label, kind Kind) *entry {
 	}
 	r.entries[key] = e
 	return e
+}
+
+// SetHelp attaches HELP text to a metric family for the Prometheus
+// exposition, overriding the package's built-in default for that name.
+func (r *Registry) SetHelp(name, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.help == nil {
+		r.help = make(map[string]string)
+	}
+	r.help[name] = help
+}
+
+// helpFor resolves HELP text: per-registry overrides first, then the
+// package defaults.
+func (r *Registry) helpFor(name string) string {
+	r.mu.Lock()
+	h, ok := r.help[name]
+	r.mu.Unlock()
+	if ok {
+		return h
+	}
+	return helpDefaults[name]
 }
 
 // Counter returns (creating if needed) the counter with this name+labels.

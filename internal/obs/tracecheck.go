@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// ValidateChromeTrace is the strict decoder for Tracer.WriteChromeTrace
+// output, used by tests and CI to keep -trace-out files loadable. It
+// enforces the structural contract Perfetto relies on plus this package's
+// own invariants:
+//
+//   - the document has exactly the traceEvents/displayTimeUnit shape
+//     (unknown fields are errors);
+//   - every "X" event has a name, non-negative ts and dur, and a unique
+//     span_id >= 1 in its args;
+//   - "X" events are sorted by ts;
+//   - every non-zero parent_id refers to a span present in the trace, and
+//     the child's [ts, ts+dur] interval lies inside its parent's.
+//
+// It returns the number of "X" spans checked.
+func ValidateChromeTrace(data []byte) (int, error) {
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   *int64         `json:"ts"`
+			Dur  *int64         `json:"dur"`
+			Pid  *int           `json:"pid"`
+			Tid  *int           `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return 0, fmt.Errorf("trace: decode: %w", err)
+	}
+
+	type interval struct{ start, end int64 }
+	spans := make(map[uint64]interval)
+	type edge struct {
+		child, parent uint64
+		name          string
+		iv            interval
+	}
+	var edges []edge
+	lastTS := int64(-1 << 62)
+	n := 0
+	for i, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name != "process_name" && ev.Name != "thread_name" {
+				return 0, fmt.Errorf("trace: event %d: unknown metadata %q", i, ev.Name)
+			}
+			continue
+		case "X":
+		default:
+			return 0, fmt.Errorf("trace: event %d: unsupported phase %q", i, ev.Ph)
+		}
+		if ev.Name == "" {
+			return 0, fmt.Errorf("trace: event %d: empty name", i)
+		}
+		if ev.Ts == nil || ev.Dur == nil || ev.Pid == nil || ev.Tid == nil {
+			return 0, fmt.Errorf("trace: event %d (%s): missing ts/dur/pid/tid", i, ev.Name)
+		}
+		if *ev.Ts < 0 {
+			return 0, fmt.Errorf("trace: event %d (%s): negative ts %d", i, ev.Name, *ev.Ts)
+		}
+		if *ev.Dur < 0 {
+			return 0, fmt.Errorf("trace: event %d (%s): negative dur %d", i, ev.Name, *ev.Dur)
+		}
+		if *ev.Ts < lastTS {
+			return 0, fmt.Errorf("trace: event %d (%s): ts %d before previous %d — not sorted", i, ev.Name, *ev.Ts, lastTS)
+		}
+		lastTS = *ev.Ts
+		id, err := argID(ev.Args, "span_id")
+		if err != nil {
+			return 0, fmt.Errorf("trace: event %d (%s): %w", i, ev.Name, err)
+		}
+		parent, err := argID(ev.Args, "parent_id")
+		if err != nil {
+			return 0, fmt.Errorf("trace: event %d (%s): %w", i, ev.Name, err)
+		}
+		if id == 0 {
+			return 0, fmt.Errorf("trace: event %d (%s): span_id 0", i, ev.Name)
+		}
+		if _, dup := spans[id]; dup {
+			return 0, fmt.Errorf("trace: event %d (%s): duplicate span_id %d", i, ev.Name, id)
+		}
+		iv := interval{start: *ev.Ts, end: *ev.Ts + *ev.Dur}
+		spans[id] = iv
+		edges = append(edges, edge{child: id, parent: parent, name: ev.Name, iv: iv})
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("trace: no spans")
+	}
+	for _, e := range edges {
+		if e.parent == 0 {
+			continue
+		}
+		piv, ok := spans[e.parent]
+		if !ok {
+			return 0, fmt.Errorf("trace: span %d (%s): parent %d not in trace", e.child, e.name, e.parent)
+		}
+		if e.iv.start < piv.start || e.iv.end > piv.end {
+			return 0, fmt.Errorf("trace: span %d (%s) [%d,%d] escapes parent %d [%d,%d]",
+				e.child, e.name, e.iv.start, e.iv.end, e.parent, piv.start, piv.end)
+		}
+	}
+	return n, nil
+}
+
+// argID extracts a span-id arg, which json decodes as float64.
+func argID(args map[string]any, key string) (uint64, error) {
+	v, ok := args[key]
+	if !ok {
+		return 0, fmt.Errorf("missing %s arg", key)
+	}
+	f, ok := v.(float64)
+	if !ok || f < 0 || f != float64(uint64(f)) {
+		return 0, fmt.Errorf("%s is not a span id: %v", key, v)
+	}
+	return uint64(f), nil
+}

@@ -1,0 +1,190 @@
+package obs_test
+
+import (
+	"bytes"
+	"testing"
+
+	"vcmt/internal/fault"
+	"vcmt/internal/graph"
+	"vcmt/internal/obs"
+	"vcmt/internal/sim"
+	"vcmt/internal/tasks"
+)
+
+// msspTrace runs MSSP through the simulator with a tracer attached and
+// returns the exported Chrome trace plus the tracer's span list. A nil
+// plan is the fault-free run; with a plan the job crashes and recovers
+// from its checkpoint.
+func msspTrace(t *testing.T, workers int, plan *fault.Plan) ([]byte, []obs.Span) {
+	t.Helper()
+	const (
+		nVertices = 200
+		nEdges    = 800
+		nMachines = 4
+	)
+	seed := uint64(9)
+	g := graph.WithUniformWeights(
+		graph.GenerateChungLu(nVertices, nEdges, 2.5, seed), 1, 4, seed+100)
+	part := graph.HashPartition(nVertices, nMachines)
+	sources := []graph.VertexID{0, 17, 101}
+
+	cfg := tasks.MSSPConfig{Sources: sources, Seed: seed, Workers: workers}
+	if plan != nil {
+		cfg.CheckpointDir = t.TempDir()
+		cfg.CheckpointInterval = 2
+		cfg.Fault = plan
+	}
+	job, err := tasks.NewMSSP(g, part, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tracer := obs.NewTracer()
+	col := obs.NewCollector(obs.CollectorOptions{Tracer: tracer})
+	r := sim.NewRun(sim.JobConfig{
+		Cluster: sim.Galaxy8.WithMachines(nMachines), System: sim.PregelPlus, Observer: col,
+	})
+	r.BeginBatch()
+	if _, err := job.RunBatch(r, len(sources), 0); err != nil {
+		t.Fatal(err)
+	}
+	col.Finish()
+
+	var buf bytes.Buffer
+	if err := tracer.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), tracer.Spans()
+}
+
+func spanNames(spans []obs.Span) map[string]int {
+	names := make(map[string]int)
+	for _, s := range spans {
+		names[s.Name]++
+	}
+	return names
+}
+
+// TestTraceOutMSSPRun: satellite 4, fault-free half. The -trace-out
+// pipeline (collector → tracer → Chrome JSON) must satisfy the strict
+// decoder over a real MSSP run, carry the expected span hierarchy, and be
+// byte-identical across runs and worker counts.
+func TestTraceOutMSSPRun(t *testing.T) {
+	data, spans := msspTrace(t, 1, nil)
+	n, err := obs.ValidateChromeTrace(data)
+	if err != nil {
+		t.Fatalf("MSSP trace rejected: %v", err)
+	}
+	if n != len(spans) {
+		t.Fatalf("validator saw %d spans, tracer recorded %d", n, len(spans))
+	}
+
+	names := spanNames(spans)
+	for _, want := range []string{"run", "batch", "superstep", "compute", "net", "barrier"} {
+		if names[want] == 0 {
+			t.Fatalf("no %q span in MSSP trace; got %v", want, names)
+		}
+	}
+	if names["crash"] != 0 || names["recovery"] != 0 {
+		t.Fatalf("fault-free run has fault spans: %v", names)
+	}
+	// One superstep span per round, all parented under the batch span.
+	var batchID obs.SpanID
+	for _, s := range spans {
+		if s.Name == "batch" {
+			batchID = s.ID
+		}
+	}
+	if batchID == 0 {
+		t.Fatal("no batch span")
+	}
+	for _, s := range spans {
+		if s.Name == "superstep" && s.Parent != batchID {
+			t.Fatalf("superstep span %d parented under %d, want batch %d", s.ID, s.Parent, batchID)
+		}
+	}
+
+	// Span IDs and the serialized trace are deterministic: identical
+	// bytes run-to-run and across engine worker counts.
+	again, _ := msspTrace(t, 1, nil)
+	if !bytes.Equal(data, again) {
+		t.Fatal("trace differs between identical runs")
+	}
+	wide, _ := msspTrace(t, 4, nil)
+	if !bytes.Equal(data, wide) {
+		t.Fatal("trace differs across engine worker counts")
+	}
+}
+
+// TestTraceOutFaultInjectedRun: satellite 4, recovery half. A crash plus
+// checkpoint restore must still yield a validator-clean trace, with the
+// crash marker on the crashed machine's track and a recovery span
+// annotating the rolled-back gap.
+func TestTraceOutFaultInjectedRun(t *testing.T) {
+	plan, err := fault.Parse("crash:worker=0,step=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, spans := msspTrace(t, 1, plan)
+	if plan.Remaining() != 0 {
+		t.Fatal("crash never fired")
+	}
+	if _, err := obs.ValidateChromeTrace(data); err != nil {
+		t.Fatalf("recovery trace rejected: %v", err)
+	}
+
+	names := spanNames(spans)
+	for _, want := range []string{"checkpoint", "crash", "recovery"} {
+		if names[want] == 0 {
+			t.Fatalf("no %q span in recovery trace; got %v", want, names)
+		}
+	}
+	for _, s := range spans {
+		switch s.Name {
+		case "crash":
+			if s.DurUS != 0 {
+				t.Fatalf("crash marker has duration %d", s.DurUS)
+			}
+			if s.Track != 1 { // crashed machine 0 renders on track 1+0
+				t.Fatalf("crash marker on track %d, want 1", s.Track)
+			}
+		case "recovery":
+			if !hasArg(s, "rollback_to") || !hasArg(s, "rounds_lost") {
+				t.Fatalf("recovery span missing rollback args: %+v", s.Args)
+			}
+		}
+	}
+
+	// The recovery trace is deterministic too.
+	plan2, err := fault.Parse("crash:worker=0,step=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, _ := msspTrace(t, 1, plan2)
+	if !bytes.Equal(data, again) {
+		t.Fatal("recovery trace differs between identical runs")
+	}
+}
+
+func hasArg(s obs.Span, key string) bool {
+	for _, a := range s.Args {
+		if a.Key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// TestTraceRegistryUntouchedByCrashMarker: the crash marker must not add
+// registry counters — difftest's byte-identical report contract strips
+// only recover*-prefixed metrics, so any new counter would leak into the
+// fault-free comparison.
+func TestTraceRegistryUntouchedByCrashMarker(t *testing.T) {
+	reg := obs.NewRegistry()
+	before := len(reg.Snapshot())
+	col := obs.NewCollector(obs.CollectorOptions{Registry: reg, Tracer: obs.NewTracer()})
+	col.OnCrash(4, 0, 1.5)
+	if after := len(reg.Snapshot()); after != before {
+		t.Fatalf("OnCrash changed the registry: %d -> %d series", before, after)
+	}
+}

@@ -38,6 +38,16 @@ type Cluster struct {
 	recoveries int
 	roundsLost int
 
+	// tracer records master-side spans (SetTracer; nil = off). jobSpan is
+	// the span of the job currently driven by runJob.
+	tracer  *obs.Tracer
+	jobSpan obs.SpanID
+	// flight is the crash flight recorder (SetFlightRecorder; nil = off);
+	// flightDir is where crash dumps land, flightSeq numbers them.
+	flight    *obs.FlightRecorder
+	flightDir string
+	flightSeq int
+
 	closeMu sync.Mutex
 	closed  bool
 }
@@ -213,6 +223,61 @@ func (c *Cluster) Recoveries() int { return c.recoveries }
 // re-execute after crashes.
 func (c *Cluster) RoundsLost() int { return c.roundsLost }
 
+// SetTracer attaches a span tracer to the master and every worker;
+// subsequent jobs record a job → superstep → per-RPC → per-worker span
+// hierarchy on the tracer's wall clock. Nil detaches. Perfetto rows are
+// named here once: the master is process 0, worker i is process 1+i.
+func (c *Cluster) SetTracer(t *obs.Tracer) {
+	c.tracer = t
+	for _, w := range c.workers {
+		w.tracer = t
+	}
+	if t == nil {
+		return
+	}
+	if c.flight != nil {
+		t.SetSink(c.flight.RecordSpan)
+	}
+	t.NameProc(0, "master")
+	t.NameTrack(0, 0, "supersteps")
+	for i := 0; i < c.k; i++ {
+		t.NameTrack(0, 1+i, fmt.Sprintf("rpc to worker %d", i))
+		t.NameProc(workerProc(i), fmt.Sprintf("worker %d", i))
+		t.NameTrack(workerProc(i), workerComputeTrack, "compute")
+		for j := 0; j < c.k; j++ {
+			if j != i {
+				t.NameTrack(workerProc(i), workerRecvTrack(j), fmt.Sprintf("recv from worker %d", j))
+			}
+		}
+	}
+}
+
+// SetFlightRecorder attaches a crash flight recorder: the master rotates
+// its ring each superstep, and when a compute round fails it dumps the
+// ring to dir as flight-crash-<n>.json before attempting recovery (empty
+// dir = keep in memory only, e.g. for the /debug/flight endpoint). If a
+// tracer is attached (either order), completed spans feed the ring.
+func (c *Cluster) SetFlightRecorder(fr *obs.FlightRecorder, dir string) {
+	c.flight = fr
+	c.flightDir = dir
+	if fr != nil && c.tracer != nil {
+		c.tracer.SetSink(fr.RecordSpan)
+	}
+}
+
+// dumpFlight writes the flight-recorder ring to the configured directory,
+// best-effort: a failed dump must not mask the crash being handled.
+func (c *Cluster) dumpFlight() {
+	if c.flight == nil || c.flightDir == "" {
+		return
+	}
+	c.flightSeq++
+	path := fmt.Sprintf("%s/flight-crash-%d.json", c.flightDir, c.flightSeq)
+	if err := c.flight.DumpToFile(path); err != nil {
+		c.flight.RecordEvent("flight dump failed", obs.L("error", err.Error()))
+	}
+}
+
 // SetRegistry attaches a telemetry registry; subsequent jobs record
 // per-round histograms (message volume, wall-clock superstep latency) and,
 // at job end, per-worker message/byte counters labelled worker=<id>. Nil
@@ -293,8 +358,11 @@ func (c *Cluster) broadcast(method string, arg interface{}) (int64, error) {
 
 // broadcastRound invokes a superstep method (Seed, ComputeRound) on every
 // worker concurrently and sums the RoundReply message and wire-byte
-// counts.
-func (c *Cluster) broadcastRound(method string, arg interface{}) (RoundReply, error) {
+// counts. Each call gets its own master-side RPC span under parent, and
+// makeArg receives that span's id so it can ride to the worker as the
+// wire trace context — the worker's compute span then parents under the
+// RPC span that carried it.
+func (c *Cluster) broadcastRound(method string, parent obs.SpanID, makeArg func(rpcSpan obs.SpanID) any) (RoundReply, error) {
 	var wg sync.WaitGroup
 	replies := make([]RoundReply, c.k)
 	errs := make([]error, c.k)
@@ -302,7 +370,14 @@ func (c *Cluster) broadcastRound(method string, arg interface{}) (RoundReply, er
 		wg.Add(1)
 		go func(i int, cl *rpc.Client) {
 			defer wg.Done()
-			errs[i] = callTimeout(cl, method, arg, &replies[i], c.rpcTimeout)
+			span := c.tracer.Begin(parent, method, "rpc", 0, 1+i,
+				obs.L("worker", strconv.Itoa(i)))
+			errs[i] = callTimeout(cl, method, makeArg(span), &replies[i], c.rpcTimeout)
+			if errs[i] != nil {
+				c.tracer.End(span, obs.L("error", errs[i].Error()))
+			} else {
+				c.tracer.End(span)
+			}
 		}(i, cl)
 	}
 	wg.Wait()
@@ -368,9 +443,19 @@ type ckptMeta struct {
 }
 
 // checkpointAll has every worker snapshot its barrier state; returns the
-// bytes written across workers.
+// bytes written across workers. The cluster-wide cut gets one master-side
+// span under the job span; the per-worker write spans parent under it.
 func (c *Cluster) checkpointAll(round int) (int64, error) {
-	return c.broadcast("Worker.Checkpoint", CkptArgs{Dir: c.ckptDir, Round: round})
+	span := c.tracer.Begin(c.jobSpan, "checkpoint", "ckpt", 0, 0,
+		obs.L("round", strconv.Itoa(round)))
+	bytes, err := c.broadcast("Worker.Checkpoint",
+		CkptArgs{Dir: c.ckptDir, Round: round, Trace: uint64(span)})
+	if err != nil {
+		c.tracer.End(span, obs.L("error", err.Error()))
+		return bytes, err
+	}
+	c.tracer.End(span, obs.L("bytes", strconv.FormatInt(bytes, 10)))
+	return bytes, nil
 }
 
 // runJob drives the BSP loop: seed, then compute/exchange/advance rounds
@@ -381,6 +466,20 @@ func (c *Cluster) checkpointAll(round int) (int64, error) {
 // (sorted inboxes, checkpointed RNG streams) makes the recovered run
 // bit-for-bit identical to an unfaulted one.
 func (c *Cluster) runJob(spec JobSpec) error {
+	c.jobSpan = c.tracer.Begin(0, "job", "rpcrt", 0, 0, obs.L("program", spec.Program))
+	err := c.runJobSteps(spec)
+	if err != nil {
+		c.tracer.End(c.jobSpan, obs.L("error", err.Error()))
+	} else {
+		c.tracer.End(c.jobSpan, obs.L("rounds", strconv.Itoa(c.rounds)))
+	}
+	c.jobSpan = 0
+	return err
+}
+
+// runJobSteps is runJob's body; the split keeps the job span balanced
+// across the many error returns.
+func (c *Cluster) runJobSteps(spec JobSpec) error {
 	c.rounds = 0
 	c.msgs = 0
 	c.wbytes = 0
@@ -408,11 +507,17 @@ func (c *Cluster) runJob(spec JobSpec) error {
 		roundBytes.Observe(float64(r.WireBytes))
 	}
 	// Seed superstep.
+	c.flight.BeginRound(1)
+	roundSpan := c.tracer.Begin(c.jobSpan, "superstep", "rpcrt", 0, 0, obs.L("round", "1"))
 	timer := obs.StartTimer(roundWall)
-	rr, err := c.broadcastRound("Worker.Seed", struct{}{})
+	rr, err := c.broadcastRound("Worker.Seed", roundSpan, func(rpcSpan obs.SpanID) any {
+		return SeedArgs{Trace: uint64(rpcSpan)}
+	})
 	if err != nil {
+		c.tracer.End(roundSpan, obs.L("error", err.Error()))
 		return err
 	}
+	c.tracer.End(roundSpan)
 	observeRound(timer, rr)
 	c.rounds = 1
 	c.msgs = rr.Msgs
@@ -440,9 +545,21 @@ func (c *Cluster) runJob(spec JobSpec) error {
 			}
 		}
 		skipAdvance = false
+		round := c.rounds + 1
+		c.flight.BeginRound(round)
+		roundSpan = c.tracer.Begin(c.jobSpan, "superstep", "rpcrt", 0, 0,
+			obs.L("round", strconv.Itoa(round)))
 		timer = obs.StartTimer(roundWall)
-		next, err := c.broadcastRound("Worker.ComputeRound", ComputeRoundArgs{Round: c.rounds + 1})
+		next, err := c.broadcastRound("Worker.ComputeRound", roundSpan, func(rpcSpan obs.SpanID) any {
+			return ComputeRoundArgs{Round: round, Trace: uint64(rpcSpan)}
+		})
 		if err != nil {
+			c.tracer.End(roundSpan, obs.L("error", err.Error()))
+			// Dump the flight ring before anything mutates worker state:
+			// the postmortem should show the rounds as the crash saw them.
+			c.flight.RecordEvent("crash detected",
+				obs.L("round", strconv.Itoa(round)), obs.L("error", err.Error()))
+			c.dumpFlight()
 			if c.ckptDir == "" || last.round < 0 {
 				return err
 			}
@@ -459,6 +576,7 @@ func (c *Cluster) runJob(spec JobSpec) error {
 			skipAdvance = true
 			continue
 		}
+		c.tracer.End(roundSpan)
 		c.rounds++
 		c.msgs += next.Msgs
 		c.wbytes += next.WireBytes
@@ -479,17 +597,32 @@ func (c *Cluster) runJob(spec JobSpec) error {
 const pingTimeout = 2 * time.Second
 
 // recoverJob restarts every dead worker, reinstalls the program on all
-// workers, and rolls the cluster back to the latest checkpoint.
-func (c *Cluster) recoverJob(spec JobSpec, last ckptMeta) error {
+// workers, and rolls the cluster back to the latest checkpoint. The whole
+// sequence is one recovery span under the job span, so the crash shows up
+// in the trace as an annotated gap between the failed superstep and the
+// replay — the per-worker restore spans nest inside it.
+func (c *Cluster) recoverJob(spec JobSpec, last ckptMeta) (err error) {
+	span := c.tracer.Begin(c.jobSpan, "recovery", "rpcrt", 0, 0,
+		obs.L("rollback_to", strconv.Itoa(last.round)))
+	defer func() {
+		if err != nil {
+			c.tracer.End(span, obs.L("error", err.Error()))
+			return
+		}
+		c.tracer.End(span, obs.L("rounds_lost", strconv.Itoa(c.rounds-last.round)))
+		c.flight.RecordEvent("recovery complete",
+			obs.L("rollback_to", strconv.Itoa(last.round)))
+	}()
 	// Liveness sweep: restart what does not answer.
 	for i, cl := range c.clients {
 		var id int
-		if err := callTimeout(cl, "Worker.Ping", struct{}{}, &id, pingTimeout); err == nil && id == i {
+		if perr := callTimeout(cl, "Worker.Ping", struct{}{}, &id, pingTimeout); perr == nil && id == i {
 			continue
 		}
-		if err := c.restartWorker(i); err != nil {
+		if err = c.restartWorker(i); err != nil {
 			return err
 		}
+		c.flight.RecordEvent("worker restarted", obs.L("worker", strconv.Itoa(i)))
 		if c.reg != nil {
 			c.reg.Counter("rpcrt_worker_restarts_total").Inc()
 		}
@@ -497,22 +630,24 @@ func (c *Cluster) recoverJob(spec JobSpec, last ckptMeta) error {
 	// Reinstall the program everywhere, then restore from the checkpoint:
 	// restarted and surviving workers go through the same reset + reload
 	// path, so no stale per-round state survives.
-	if err := c.startJobAll(spec); err != nil {
+	if err = c.startJobAll(spec); err != nil {
 		return err
 	}
 	var wg sync.WaitGroup
 	errs := make([]error, c.k)
+	restoreArgs := RestoreArgs{Dir: c.ckptDir, Trace: uint64(span)}
 	for i, cl := range c.clients {
 		wg.Add(1)
 		go func(i int, cl *rpc.Client) {
 			defer wg.Done()
-			errs[i] = callTimeout(cl, "Worker.Restore", RestoreArgs{Dir: c.ckptDir}, &struct{}{}, c.rpcTimeout)
+			errs[i] = callTimeout(cl, "Worker.Restore", restoreArgs, &struct{}{}, c.rpcTimeout)
 		}(i, cl)
 	}
 	wg.Wait()
 	for i := range errs {
 		if errs[i] != nil {
-			return fmt.Errorf("restore on worker %d: %w", i, errs[i])
+			err = fmt.Errorf("restore on worker %d: %w", i, errs[i])
+			return err
 		}
 	}
 	lost := c.rounds - last.round
@@ -534,6 +669,7 @@ func (c *Cluster) restartWorker(i int) error {
 	w.procs = old.procs
 	w.fplan = c.fplan
 	w.rpcTimeout = c.rpcTimeout
+	w.tracer = c.tracer
 	if err := serveWorker(w); err != nil {
 		return err
 	}

@@ -8,6 +8,7 @@ import (
 
 	"vcmt/internal/ckpt"
 	"vcmt/internal/graph"
+	"vcmt/internal/obs"
 	"vcmt/internal/wire"
 )
 
@@ -46,10 +47,13 @@ func ckptManager(dir string, id int) *ckpt.Manager {
 	return &ckpt.Manager{Dir: dir, Prefix: fmt.Sprintf("w%d-", id), Keep: 1}
 }
 
-// CkptArgs asks a worker to checkpoint its barrier state into Dir.
+// CkptArgs asks a worker to checkpoint its barrier state into Dir. Trace
+// is the master-side checkpoint span to parent the worker's span under
+// (0 = tracing off).
 type CkptArgs struct {
 	Dir   string
 	Round int
+	Trace uint64
 }
 
 // Checkpoint snapshots the worker's superstep state — the sorted current
@@ -65,13 +69,17 @@ func (w *Worker) Checkpoint(args CkptArgs, reply *int64) error {
 	if w.prog == nil {
 		return fmt.Errorf("rpcrt: no job on worker %d", w.id)
 	}
+	span := w.tracer.Begin(obs.SpanID(args.Trace), "checkpoint", "ckpt",
+		workerProc(w.id), workerComputeTrack, obs.L("round", fmt.Sprint(args.Round)))
 	snap := &ckpt.Snapshot{Step: args.Round}
 
 	// Checkpoint sections reuse the runtime's wire codec: meta is a
 	// Control frame (kind = checkpoint, round = barrier superstep) and the
 	// inbox is an Envelopes frame, so snapshots share the delivery path's
-	// framing, versioning and corruption detection.
-	snap.Add(wsecMeta, wire.EncodeControl(nil, wire.ControlCheckpoint, args.Round))
+	// framing, versioning and corruption detection. The trace context is
+	// zero on purpose: snapshots outlive the run that wrote them, so a
+	// span id would be meaningless (and nondeterministic) on restore.
+	snap.Add(wsecMeta, wire.EncodeControl(nil, wire.ControlCheckpoint, args.Round, 0))
 
 	// The inbox is flattened in group order; groups are rebuilt on restore
 	// by splitting on destination change (Advance groups by destination).
@@ -110,15 +118,20 @@ func (w *Worker) Checkpoint(args CkptArgs, reply *int64) error {
 
 	bytes, err := ckptManager(args.Dir, w.id).Save(snap)
 	if err != nil {
+		w.tracer.End(span, obs.L("error", err.Error()))
 		return fmt.Errorf("rpcrt: worker %d checkpoint: %w", w.id, err)
 	}
+	w.tracer.End(span, obs.L("bytes", fmt.Sprint(bytes)))
 	*reply = bytes
 	return nil
 }
 
 // RestoreArgs asks a worker to reload its latest checkpoint from Dir.
+// Trace is the master-side recovery span to parent the worker's restore
+// span under (0 = tracing off).
 type RestoreArgs struct {
-	Dir string
+	Dir   string
+	Trace uint64
 }
 
 // Restore rolls the worker back to its latest checkpoint: pending and
@@ -133,6 +146,9 @@ func (w *Worker) Restore(args RestoreArgs, _ *struct{}) error {
 	if w.prog == nil {
 		return fmt.Errorf("rpcrt: no job on worker %d", w.id)
 	}
+	span := w.tracer.Begin(obs.SpanID(args.Trace), "restore", "ckpt",
+		workerProc(w.id), workerComputeTrack)
+	defer w.tracer.End(span)
 	snap, _, err := ckptManager(args.Dir, w.id).Latest()
 	if err != nil {
 		return fmt.Errorf("rpcrt: worker %d restore: %w", w.id, err)
@@ -141,7 +157,7 @@ func (w *Worker) Restore(args RestoreArgs, _ *struct{}) error {
 		return fmt.Errorf("rpcrt: worker %d restore: no checkpoint in %s", w.id, args.Dir)
 	}
 
-	kind, round, err := wire.DecodeControl(snap.Get(wsecMeta))
+	kind, round, _, err := wire.DecodeControl(snap.Get(wsecMeta))
 	if err != nil {
 		return fmt.Errorf("rpcrt: worker %d restore meta: %w", w.id, err)
 	}

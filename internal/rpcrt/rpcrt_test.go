@@ -370,7 +370,7 @@ func TestAdvanceSortsInbox(t *testing.T) {
 		{Dst: 5, Src: 1, Val: 7},
 		{Dst: 1, Src: 4, Val: 0},
 	}
-	if err := w.Deliver(DeliverArgs{Frame: wire.EncodeDeliver(nil, 0, 2, batch)}, &struct{}{}); err != nil {
+	if err := w.Deliver(DeliverArgs{Frame: wire.EncodeDeliver(nil, 0, 2, 0, batch)}, &struct{}{}); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.Advance(struct{}{}, &struct{}{}); err != nil {
@@ -403,8 +403,8 @@ func TestDeliverExactByteAccounting(t *testing.T) {
 		{Dst: 5, Src: 300, Val: -2},
 		{Dst: 70000, Src: 5, Val: 0},
 	}
-	frame := wire.EncodeDeliver(nil, 0, 4, batch)
-	if got, want := len(frame), wire.DeliverSize(0, 4, batch); got != want {
+	frame := wire.EncodeDeliver(nil, 0, 4, 0, batch)
+	if got, want := len(frame), wire.DeliverSize(0, 4, 0, batch); got != want {
 		t.Fatalf("encoded frame is %d bytes, DeliverSize says %d", got, want)
 	}
 	if err := w.Deliver(DeliverArgs{Frame: frame}, &struct{}{}); err != nil {
@@ -423,7 +423,7 @@ func TestDeliverExactByteAccounting(t *testing.T) {
 // inbox and every counter untouched.
 func TestDeliverRejectsCorruptFrame(t *testing.T) {
 	w := newWorker(1, 2, graph.GenerateRing(8))
-	frame := wire.EncodeDeliver(nil, 0, 2, []Message{{Dst: 3, Src: 1, Val: 9}})
+	frame := wire.EncodeDeliver(nil, 0, 2, 0, []Message{{Dst: 3, Src: 1, Val: 9}})
 	bad := [][]byte{
 		frame[:len(frame)-1],              // truncated payload
 		frame[:4],                         // truncated header

@@ -21,6 +21,7 @@ import (
 
 	"vcmt/internal/fault"
 	"vcmt/internal/graph"
+	"vcmt/internal/obs"
 	"vcmt/internal/wire"
 )
 
@@ -128,6 +129,14 @@ type Worker struct {
 	// roundBytes accumulates the wire bytes of the frames encoded during
 	// the current Seed/ComputeRound call (handler goroutine only).
 	roundBytes int64
+
+	// tracer records this worker's spans (nil = tracing off). curSpan is
+	// the span of the Seed/ComputeRound call currently executing — it is
+	// stamped into outgoing Deliver frames as the wire trace context, so
+	// receiver-side spans parent under the sending worker's compute span.
+	// Handler goroutine only, like roundBytes.
+	tracer  *obs.Tracer
+	curSpan obs.SpanID
 
 	// procs bounds ComputeRound's shard count (default GOMAXPROCS); the
 	// master sets it via Cluster.SetComputeParallelism.
@@ -300,10 +309,17 @@ type RoundReply struct {
 	WireBytes int64
 }
 
+// SeedArgs carries the master's trace context for the seed superstep:
+// Trace is the span id of the master-side RPC span this seed call should
+// parent under (0 = tracing off).
+type SeedArgs struct {
+	Trace uint64
+}
+
 // Seed runs the program's seed phase (superstep 1) and exchanges the
 // initial messages; it replies with the superstep's message and wire-byte
 // counts.
-func (w *Worker) Seed(_ struct{}, reply *RoundReply) error {
+func (w *Worker) Seed(args SeedArgs, reply *RoundReply) error {
 	if w.dead.Load() {
 		return w.down()
 	}
@@ -313,12 +329,18 @@ func (w *Worker) Seed(_ struct{}, reply *RoundReply) error {
 	w.round = 1
 	w.sent = 0
 	w.roundBytes = 0
+	w.curSpan = w.tracer.Begin(obs.SpanID(args.Trace), "seed", "worker",
+		workerProc(w.id), workerComputeTrack)
 	sc := w.newSendCtx()
 	w.prog.seed(sc)
 	w.merge(sc)
 	if err := w.flushOutboxes(); err != nil {
+		w.tracer.End(w.curSpan, obs.L("error", err.Error()))
+		w.curSpan = 0
 		return err
 	}
+	w.tracer.End(w.curSpan, obs.L("msgs", fmt.Sprint(w.sent)))
+	w.curSpan = 0
 	*reply = RoundReply{Msgs: w.sent, WireBytes: w.roundBytes}
 	return nil
 }
@@ -353,10 +375,23 @@ func (w *Worker) Advance(_ struct{}, _ *struct{}) error {
 }
 
 // ComputeRoundArgs carries the superstep number being computed, aligning
-// injected faults with the engine's superstep numbering (seed = 1).
+// injected faults with the engine's superstep numbering (seed = 1), and the
+// master's trace context (the span id of the master-side RPC span, 0 when
+// tracing is off).
 type ComputeRoundArgs struct {
 	Round int
+	Trace uint64
 }
+
+// Perfetto row assignment: the master is process 0 (job/superstep spans on
+// track 0, per-worker RPC spans on track 1+i); worker i is process 1+i,
+// with its compute/seed spans on track 0 and frames received from worker j
+// on track 1+j.
+func workerProc(id int) int { return 1 + id }
+
+const workerComputeTrack = 0
+
+func workerRecvTrack(from int) int { return 1 + from }
 
 // ComputeRound runs the vertex program over every vertex with messages and
 // exchanges the generated messages with peers. It replies with the
@@ -381,9 +416,14 @@ func (w *Worker) ComputeRound(args ComputeRoundArgs, reply *RoundReply) error {
 	}
 	w.round = args.Round
 	w.roundBytes = 0
+	w.curSpan = w.tracer.Begin(obs.SpanID(args.Trace), "compute", "worker",
+		workerProc(w.id), workerComputeTrack, obs.L("round", fmt.Sprint(args.Round)))
 	if w.fplan.Crash(w.id, args.Round) {
 		w.die()
-		return fmt.Errorf("rpcrt: worker %d: injected crash at superstep %d", w.id, args.Round)
+		err := fmt.Errorf("rpcrt: worker %d: injected crash at superstep %d", w.id, args.Round)
+		w.tracer.End(w.curSpan, obs.L("error", err.Error()))
+		w.curSpan = 0
+		return err
 	}
 	if d := w.fplan.Delay(w.id, args.Round); d > 0 {
 		time.Sleep(d)
@@ -428,11 +468,15 @@ func (w *Worker) ComputeRound(args ComputeRoundArgs, reply *RoundReply) error {
 		w.merge(sc)
 	}
 	if err := w.flushOutboxes(); err != nil {
+		w.tracer.End(w.curSpan, obs.L("error", err.Error()))
+		w.curSpan = 0
 		return err
 	}
 	if f := w.fplan.SlowFactor(w.id, args.Round); f > 1 {
 		time.Sleep(time.Duration(float64(time.Since(start)) * (f - 1)))
 	}
+	w.tracer.End(w.curSpan, obs.L("msgs", fmt.Sprint(w.sent)))
+	w.curSpan = 0
 	*reply = RoundReply{Msgs: w.sent, WireBytes: w.roundBytes}
 	return nil
 }
@@ -467,7 +511,7 @@ func (w *Worker) flushOutboxes() error {
 				hi = len(box)
 			}
 			buf := wire.GetBuf()
-			frame := wire.EncodeDeliver((*buf)[:0], w.id, w.round, box[lo:hi])
+			frame := wire.EncodeDeliver((*buf)[:0], w.id, w.round, wire.TraceContext(w.curSpan), box[lo:hi])
 			n := int64(len(frame))
 			w.statsMu.Lock()
 			w.sentBytes += n
@@ -538,6 +582,17 @@ func (w *Worker) Deliver(args DeliverArgs, _ *struct{}) error {
 	defer wire.PutEnvelopes(sl)
 	if err != nil {
 		return fmt.Errorf("rpcrt: worker %d deliver: %w", w.id, err)
+	}
+	// The frame's trace context is the sender's compute span, which stays
+	// open until the sender's flush RPC (this call) returns — so the recv
+	// span nests inside it on the wall clock.
+	if w.tracer != nil && h.From >= 0 && h.From < w.nPeer {
+		span := w.tracer.Begin(obs.SpanID(h.Trace), "recv", "wire",
+			workerProc(w.id), workerRecvTrack(h.From),
+			obs.L("from", fmt.Sprint(h.From)),
+			obs.L("msgs", fmt.Sprint(h.Count)),
+			obs.L("bytes", fmt.Sprint(len(args.Frame))))
+		defer w.tracer.End(span)
 	}
 	w.mu.Lock()
 	for _, m := range batch {

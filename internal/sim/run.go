@@ -51,6 +51,16 @@ type RecoveryObserver interface {
 	OnRecovery(round, roundsLost int, reloadBytes int64, seconds, simSeconds float64)
 }
 
+// CrashObserver is an optional extension of Observer (type-asserted like
+// RecoveryObserver): it receives the crash marker fired by ObserveCrash at
+// the instant an injected fault kills a machine, before any recovery cost
+// is charged.
+type CrashObserver interface {
+	// OnCrash fires when a machine crashes at the given superstep.
+	// machine is -1 when the faulted machine is unknown.
+	OnCrash(step, machine int, simSeconds float64)
+}
+
 // RoundObservation bundles everything known about one priced superstep.
 type RoundObservation struct {
 	Round      int // 1-based, over the whole job
@@ -244,6 +254,15 @@ func (r *Run) ObserveCheckpoint(round int, bytes int64) float64 {
 		ro.OnCheckpoint(round, bytes, sec, r.seconds)
 	}
 	return sec
+}
+
+// ObserveCrash marks an injected crash of machine at the given superstep.
+// It charges nothing — the crash itself is free; the price is the recovery
+// that follows — so fault-free accounting is untouched.
+func (r *Run) ObserveCrash(step, machine int) {
+	if co, ok := r.obs.(CrashObserver); ok {
+		co.OnCrash(step, machine, r.seconds)
+	}
 }
 
 // ObserveRecovery charges the simulated cost of one recovery: restart

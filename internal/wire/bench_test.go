@@ -30,11 +30,11 @@ const benchBatchSize = 4096
 // into a pooled buffer — the sender half of flushOutboxes.
 func BenchmarkDeliverWireEncode(b *testing.B) {
 	batch := benchBatch(benchBatchSize)
-	b.SetBytes(int64(DeliverSize(1, 3, batch)))
+	b.SetBytes(int64(DeliverSize(1, 3, 0, batch)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		buf := GetBuf()
-		frame := EncodeDeliver((*buf)[:0], 1, 3, batch)
+		frame := EncodeDeliver((*buf)[:0], 1, 3, 0, batch)
 		*buf = frame
 		PutBuf(buf)
 	}
@@ -44,7 +44,7 @@ func BenchmarkDeliverWireEncode(b *testing.B) {
 // pooled envelope slice — the receiver half of Worker.Deliver.
 func BenchmarkDeliverWireDecode(b *testing.B) {
 	batch := benchBatch(benchBatchSize)
-	frame := EncodeDeliver(nil, 1, 3, batch)
+	frame := EncodeDeliver(nil, 1, 3, 0, batch)
 	b.SetBytes(int64(len(frame)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -62,11 +62,11 @@ func BenchmarkDeliverWireDecode(b *testing.B) {
 // on the binary codec: encode the batch, decode it on the other side.
 func BenchmarkDeliverWire(b *testing.B) {
 	batch := benchBatch(benchBatchSize)
-	b.SetBytes(int64(DeliverSize(1, 3, batch)))
+	b.SetBytes(int64(DeliverSize(1, 3, 0, batch)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		buf := GetBuf()
-		frame := EncodeDeliver((*buf)[:0], 1, 3, batch)
+		frame := EncodeDeliver((*buf)[:0], 1, 3, 0, batch)
 		sl := GetEnvelopes()
 		_, out, err := DecodeDeliver(frame, (*sl)[:0])
 		if err != nil {
@@ -103,7 +103,7 @@ func BenchmarkDeliverGob(b *testing.B) {
 	if err := dec.Decode(&sink); err != nil {
 		b.Fatal(err)
 	}
-	b.SetBytes(int64(DeliverSize(1, 3, batch)))
+	b.SetBytes(int64(DeliverSize(1, 3, 0, batch)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := enc.Encode(gobBatch{From: 1, Batch: batch}); err != nil {

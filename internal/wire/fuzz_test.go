@@ -12,12 +12,14 @@ import (
 // structural edge, an oversized declared count, and a hostile length
 // prefix.
 func FuzzWireDecode(f *testing.F) {
-	valid := EncodeDeliver(nil, 2, 7, []Envelope{
+	valid := EncodeDeliver(nil, 2, 7, 0x1234, []Envelope{
 		{Dst: 1, Src: 2, Val: 3.5},
 		{Dst: 300, Src: 70000, Val: -1},
 	})
 	f.Add(valid)
-	f.Add(EncodeControl(nil, ControlCheckpoint, 9))
+	f.Add(EncodeDeliver(nil, 2, 7, 0, nil))
+	f.Add(EncodeControl(nil, ControlCheckpoint, 9, 0))
+	f.Add(EncodeControl(nil, ControlRound, 3, 1<<40))
 	f.Add(EncodeEnvelopes(nil, []Envelope{{Dst: 5, Src: 6, Val: 7}}))
 	f.Add([]byte{})
 	f.Add(valid[:3])                                                       // truncated header
@@ -27,7 +29,10 @@ func FuzzWireDecode(f *testing.F) {
 	f.Add([]byte{'V', 'W', Version, 0x7f, 0, 0, 0, 0})                     // unknown type
 	f.Add([]byte{'V', 'W', Version, FrameDeliver, 0xff, 0xff, 0xff, 0xff}) // hostile length
 	// Oversized declared count with a tiny payload.
-	f.Add([]byte{'V', 'W', Version, FrameDeliver, 5, 0, 0, 0, 0, 1, 0xff, 0xff, 0x7f})
+	f.Add([]byte{'V', 'W', Version, FrameDeliver, 6, 0, 0, 0, 0, 1, 0, 0xff, 0xff, 0x7f})
+	// Version-1 layout (no trace field) under the old version byte: must be
+	// rejected with ErrVersion before the payload is parsed.
+	f.Add([]byte{'V', 'W', 1, FrameDeliver, 3, 0, 0, 0, 2, 7, 0})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		h, envs, err := DecodeDeliver(data, nil)
@@ -40,12 +45,12 @@ func FuzzWireDecode(f *testing.F) {
 		if err == nil {
 			// A frame we accept must re-encode to the identical bytes —
 			// the codec is canonical.
-			re := EncodeDeliver(nil, h.From, h.Round, envs)
+			re := EncodeDeliver(nil, h.From, h.Round, h.Trace, envs)
 			if string(re) != string(data) {
 				t.Fatalf("accepted frame is not canonical:\n in %x\nout %x", data, re)
 			}
 		}
-		if _, _, err := DecodeControl(data); err != nil && !errors.Is(err, ErrCorrupt) {
+		if _, _, _, err := DecodeControl(data); err != nil && !errors.Is(err, ErrCorrupt) {
 			t.Fatalf("DecodeControl: untyped error %v", err)
 		}
 		if _, err := DecodeEnvelopes(data, nil); err != nil && !errors.Is(err, ErrCorrupt) {

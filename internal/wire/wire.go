@@ -10,16 +10,22 @@
 //
 //	offset  size  field
 //	0       2     magic "VW"
-//	2       1     protocol version (currently 1)
+//	2       1     protocol version (currently 2)
 //	3       1     frame type (FrameDeliver, FrameControl, FrameEnvelopes)
 //	4       4     payload length in bytes (uint32)
 //	8       n     payload
 //
 // Payloads:
 //
-//	Deliver    uvarint(from) uvarint(round) uvarint(count) count×envelope
-//	Control    uvarint(kind) uvarint(round)
+//	Deliver    uvarint(from) uvarint(round) uvarint(trace) uvarint(count) count×envelope
+//	Control    uvarint(kind) uvarint(round) uvarint(trace)
 //	Envelopes  uvarint(count) count×envelope
+//
+// The trace field (version 2) carries an optional TraceContext — the span
+// id of the RPC that produced the frame — so receiver-side spans can
+// parent under the sender's span cluster-wide. Zero means "no context"
+// and costs a single byte; Envelopes frames (checkpoint payloads) carry
+// no context because snapshots outlive any one trace.
 //
 // An envelope is uvarint(dst) uvarint(src) float32bits(val) — vertex IDs
 // are varint-compressed (most graphs have far fewer than 2^28 vertices,
@@ -45,7 +51,15 @@ import (
 )
 
 // Version is the protocol version stamped into every frame header.
-const Version = 1
+// Version 2 added the trace-context field to Deliver and Control payloads;
+// version-1 frames are rejected with ErrVersion (the codec is canonical:
+// accepting two encodings of the same values would break the re-encode
+// identity the fuzzer enforces).
+const Version = 2
+
+// TraceContext is the optional trace-correlation value carried by Deliver
+// and Control frames: the sender's span id. Zero means "no context".
+type TraceContext uint64
 
 // Frame types.
 const (
@@ -111,9 +125,10 @@ type Envelope struct {
 
 // DeliverHeader is the routing header decoded from a Deliver frame.
 type DeliverHeader struct {
-	From  int // sending worker index
-	Round int // superstep the batch belongs to
-	Count int // number of envelopes in the batch
+	From  int          // sending worker index
+	Round int          // superstep the batch belongs to
+	Trace TraceContext // sender's span id, 0 when tracing is off
+	Count int          // number of envelopes in the batch
 }
 
 // ---------------------------------------------------------------------------
@@ -144,10 +159,10 @@ func envelopesSize(batch []Envelope) int {
 }
 
 // DeliverSize returns the exact encoded size, header included, of the
-// Deliver frame EncodeDeliver(nil, from, round, batch) would produce.
-func DeliverSize(from, round int, batch []Envelope) int {
+// Deliver frame EncodeDeliver(nil, from, round, tc, batch) would produce.
+func DeliverSize(from, round int, tc TraceContext, batch []Envelope) int {
 	return headerLen + uvarintLen(uint64(from)) + uvarintLen(uint64(round)) +
-		uvarintLen(uint64(len(batch))) + envelopesSize(batch)
+		uvarintLen(uint64(tc)) + uvarintLen(uint64(len(batch))) + envelopesSize(batch)
 }
 
 // ---------------------------------------------------------------------------
@@ -175,10 +190,11 @@ func appendEnvelope(buf []byte, e Envelope) []byte {
 
 // EncodeDeliver appends a Deliver frame for batch to buf and returns the
 // extended buffer. Callers batching into pooled buffers pass *GetBuf().
-func EncodeDeliver(buf []byte, from, round int, batch []Envelope) []byte {
+func EncodeDeliver(buf []byte, from, round int, tc TraceContext, batch []Envelope) []byte {
 	buf, start := beginFrame(buf, FrameDeliver)
 	buf = binary.AppendUvarint(buf, uint64(from))
 	buf = binary.AppendUvarint(buf, uint64(round))
+	buf = binary.AppendUvarint(buf, uint64(tc))
 	buf = binary.AppendUvarint(buf, uint64(len(batch)))
 	for _, e := range batch {
 		buf = appendEnvelope(buf, e)
@@ -186,11 +202,12 @@ func EncodeDeliver(buf []byte, from, round int, batch []Envelope) []byte {
 	return endFrame(buf, start)
 }
 
-// EncodeControl appends a Control frame carrying (kind, round).
-func EncodeControl(buf []byte, kind, round int) []byte {
+// EncodeControl appends a Control frame carrying (kind, round, trace).
+func EncodeControl(buf []byte, kind, round int, tc TraceContext) []byte {
 	buf, start := beginFrame(buf, FrameControl)
 	buf = binary.AppendUvarint(buf, uint64(kind))
 	buf = binary.AppendUvarint(buf, uint64(round))
+	buf = binary.AppendUvarint(buf, uint64(tc))
 	return endFrame(buf, start)
 }
 
@@ -299,11 +316,14 @@ func DecodeDeliver(frame []byte, dst []Envelope) (DeliverHeader, []Envelope, err
 	if err != nil {
 		return h, dst, err
 	}
-	var from, round, count uint64
+	var from, round, trace, count uint64
 	if from, b, err = uvarint(b, "from"); err != nil {
 		return h, dst, err
 	}
 	if round, b, err = uvarint(b, "round"); err != nil {
+		return h, dst, err
+	}
+	if trace, b, err = uvarint(b, "trace"); err != nil {
 		return h, dst, err
 	}
 	if count, b, err = uvarint(b, "count"); err != nil {
@@ -324,30 +344,33 @@ func DecodeDeliver(frame []byte, dst []Envelope) (DeliverHeader, []Envelope, err
 	if len(b) != 0 {
 		return h, dst[:mark], corrupt("%d trailing bytes", len(b))
 	}
-	h = DeliverHeader{From: int(from), Round: int(round), Count: n}
+	h = DeliverHeader{From: int(from), Round: int(round), Trace: TraceContext(trace), Count: n}
 	return h, out, nil
 }
 
-// DecodeControl decodes a Control frame into (kind, round).
-func DecodeControl(frame []byte) (kind, round int, err error) {
+// DecodeControl decodes a Control frame into (kind, round, trace).
+func DecodeControl(frame []byte) (kind, round int, tc TraceContext, err error) {
 	b, err := parseFrame(frame, FrameControl)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
-	var k, r uint64
+	var k, r, t uint64
 	if k, b, err = uvarint(b, "kind"); err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	if r, b, err = uvarint(b, "round"); err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
+	}
+	if t, b, err = uvarint(b, "trace"); err != nil {
+		return 0, 0, 0, err
 	}
 	if k > math.MaxInt32 || r > math.MaxInt32 {
-		return 0, 0, corrupt("control field overflow")
+		return 0, 0, 0, corrupt("control field overflow")
 	}
 	if len(b) != 0 {
-		return 0, 0, corrupt("%d trailing bytes", len(b))
+		return 0, 0, 0, corrupt("%d trailing bytes", len(b))
 	}
-	return int(k), int(r), nil
+	return int(k), int(r), TraceContext(t), nil
 }
 
 // DecodeEnvelopes decodes an Envelopes frame, appending to dst. On error

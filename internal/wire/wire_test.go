@@ -42,16 +42,20 @@ func TestDeliverRoundTripProperty(t *testing.T) {
 	for trial := 0; trial < 200; trial++ {
 		batch := randEnvelopes(rng, rng.Intn(300))
 		from, round := rng.Intn(1000), rng.Intn(100000)
-		frame := EncodeDeliver(nil, from, round, batch)
-		if len(frame) != DeliverSize(from, round, batch) {
-			t.Fatalf("trial %d: frame %d bytes, DeliverSize %d", trial, len(frame), DeliverSize(from, round, batch))
+		tc := TraceContext(0)
+		if rng.Intn(3) > 0 { // cover both "no context" and full-range ids
+			tc = TraceContext(rng.Uint64())
+		}
+		frame := EncodeDeliver(nil, from, round, tc, batch)
+		if len(frame) != DeliverSize(from, round, tc, batch) {
+			t.Fatalf("trial %d: frame %d bytes, DeliverSize %d", trial, len(frame), DeliverSize(from, round, tc, batch))
 		}
 		h, got, err := DecodeDeliver(frame, nil)
 		if err != nil {
 			t.Fatalf("trial %d: decode: %v", trial, err)
 		}
-		if h.From != from || h.Round != round || h.Count != len(batch) {
-			t.Fatalf("trial %d: header %+v, want from=%d round=%d count=%d", trial, h, from, round, len(batch))
+		if h.From != from || h.Round != round || h.Trace != tc || h.Count != len(batch) {
+			t.Fatalf("trial %d: header %+v, want from=%d round=%d trace=%d count=%d", trial, h, from, round, tc, len(batch))
 		}
 		if len(got) != len(batch) {
 			t.Fatalf("trial %d: %d envelopes, want %d", trial, len(got), len(batch))
@@ -87,13 +91,15 @@ func TestEnvelopesRoundTripProperty(t *testing.T) {
 func TestControlRoundTrip(t *testing.T) {
 	for _, kind := range []int{ControlRound, ControlCheckpoint, 77} {
 		for _, round := range []int{0, 1, 255, 1 << 20} {
-			frame := EncodeControl(nil, kind, round)
-			k, r, err := DecodeControl(frame)
-			if err != nil {
-				t.Fatalf("kind=%d round=%d: %v", kind, round, err)
-			}
-			if k != kind || r != round {
-				t.Fatalf("got (%d,%d) want (%d,%d)", k, r, kind, round)
+			for _, tc := range []TraceContext{0, 1, 1 << 40, math.MaxUint64} {
+				frame := EncodeControl(nil, kind, round, tc)
+				k, r, gotTC, err := DecodeControl(frame)
+				if err != nil {
+					t.Fatalf("kind=%d round=%d trace=%d: %v", kind, round, tc, err)
+				}
+				if k != kind || r != round || gotTC != tc {
+					t.Fatalf("got (%d,%d,%d) want (%d,%d,%d)", k, r, gotTC, kind, round, tc)
+				}
 			}
 		}
 	}
@@ -101,7 +107,7 @@ func TestControlRoundTrip(t *testing.T) {
 
 func TestDecodeAppendsToDst(t *testing.T) {
 	a := []Envelope{{Dst: 1, Src: 2, Val: 3}}
-	frame := EncodeDeliver(nil, 0, 1, []Envelope{{Dst: 9, Src: 8, Val: 7}})
+	frame := EncodeDeliver(nil, 0, 1, 0, []Envelope{{Dst: 9, Src: 8, Val: 7}})
 	_, got, err := DecodeDeliver(frame, a)
 	if err != nil {
 		t.Fatal(err)
@@ -113,18 +119,18 @@ func TestDecodeAppendsToDst(t *testing.T) {
 
 func TestDecodeRejectsCorruptInput(t *testing.T) {
 	batch := []Envelope{{Dst: 5, Src: 2, Val: 1.5}, {Dst: 300, Src: 70000, Val: -4}}
-	frame := EncodeDeliver(nil, 3, 7, batch)
+	frame := EncodeDeliver(nil, 3, 7, 42, batch)
 	cases := map[string][]byte{
 		"empty":             nil,
 		"truncated header":  frame[:5],
 		"truncated payload": frame[:len(frame)-2],
 		"bad magic":         append([]byte{'x', 'y'}, frame[2:]...),
-		"wrong frame type":  EncodeControl(nil, 1, 2), // Deliver decoder on a Control frame
+		"wrong frame type":  EncodeControl(nil, 1, 2, 0), // Deliver decoder on a Control frame
 		"trailing bytes":    append(append([]byte(nil), frame...), 0xff),
 	}
 	// Oversized declared count: a frame claiming 2^20 envelopes with a
 	// near-empty payload must be rejected before any allocation.
-	huge := EncodeDeliver(nil, 0, 1, nil)
+	huge := EncodeDeliver(nil, 0, 1, 0, nil)
 	huge = huge[:len(huge)-1] // drop count=0
 	huge = append(huge, 0x80, 0x80, 0x40)
 	huge[4] = byte(len(huge) - headerLen) // fix payload length
@@ -141,9 +147,9 @@ func TestDecodeRejectsCorruptInput(t *testing.T) {
 }
 
 func TestDecodeRejectsUnknownVersion(t *testing.T) {
-	frame := EncodeControl(nil, 1, 2)
+	frame := EncodeControl(nil, 1, 2, 0)
 	frame[2] = 9
-	_, _, err := DecodeControl(frame)
+	_, _, _, err := DecodeControl(frame)
 	if !errors.Is(err, ErrVersion) {
 		t.Fatalf("got %v, want ErrVersion", err)
 	}
@@ -152,8 +158,26 @@ func TestDecodeRejectsUnknownVersion(t *testing.T) {
 	}
 }
 
+// Version-1 frames (no trace field) are rejected outright rather than
+// dual-decoded: accepting two encodings of the same values would break the
+// canonical re-encode identity FuzzWireDecode enforces. The version byte
+// is checked before any payload parsing, so the old layout never reaches
+// the field decoders.
+func TestDecodeRejectsVersion1Frames(t *testing.T) {
+	frame := EncodeDeliver(nil, 3, 7, 0, []Envelope{{Dst: 5, Src: 2, Val: 1.5}})
+	frame[2] = 1
+	if _, _, err := DecodeDeliver(frame, nil); !errors.Is(err, ErrVersion) {
+		t.Fatalf("v1 deliver frame: got %v, want ErrVersion", err)
+	}
+	ctl := EncodeControl(nil, ControlCheckpoint, 9, 0)
+	ctl[2] = 1
+	if _, _, _, err := DecodeControl(ctl); !errors.Is(err, ErrVersion) {
+		t.Fatalf("v1 control frame: got %v, want ErrVersion", err)
+	}
+}
+
 func TestDecodeErrorLeavesDstUnchanged(t *testing.T) {
-	frame := EncodeDeliver(nil, 0, 1, []Envelope{{Dst: 1, Src: 2, Val: 3}, {Dst: 4, Src: 5, Val: 6}})
+	frame := EncodeDeliver(nil, 0, 1, 0, []Envelope{{Dst: 1, Src: 2, Val: 3}, {Dst: 4, Src: 5, Val: 6}})
 	frame = frame[:len(frame)-2] // truncate mid-envelope
 	frame[4] = byte(len(frame) - headerLen)
 	dst := []Envelope{{Dst: 42}}
@@ -184,7 +208,7 @@ func TestBufPoolRoundTrip(t *testing.T) {
 	if len(*b) != 0 {
 		t.Fatalf("pooled buffer has length %d", len(*b))
 	}
-	*b = EncodeControl(*b, 1, 5)
+	*b = EncodeControl(*b, 1, 5, 0)
 	PutBuf(b)
 	s := GetEnvelopes()
 	if len(*s) != 0 {
