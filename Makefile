@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race lint bench bench-json fault bench-ckpt bench-ckpt-baseline bench-wire bench-wire-baseline smoke-adaptive ci
+.PHONY: build vet test race lint bench bench-json fault bench-ckpt bench-ckpt-baseline bench-wire bench-wire-baseline smoke-adaptive serve-smoke cover ci
 
 build:
 	$(GO) build ./...
@@ -67,5 +67,18 @@ bench-wire-baseline:
 smoke-adaptive:
 	$(GO) test -count=1 -run 'TestFigureAdaptiveShapes' ./internal/experiments/
 	$(GO) test -count=1 -run 'TestRunAdaptive' ./cmd/vctune/ ./internal/core/
+
+# vcserve end-to-end smoke, mirroring the CI serve-smoke job: admission
+# control queues the second of two concurrent jobs under a one-job budget,
+# both complete, reports are byte-identical to one-shot vcrun, and corrupt
+# graph dumps are rejected by every loader.
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
+# Coverage gate for the service and graph-loader subsystems, mirroring the
+# CI coverage step: combined statement coverage must stay at or above 80%.
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/serve/ ./internal/graph/
+	@$(GO) tool cover -func=cover.out | awk '/^total:/ { pct = $$3; sub(/%/, "", pct); 		if (pct + 0 < 80) { printf "coverage %s below the 80%% floor\n", $$3; exit 1 } 		printf "coverage %s (floor 80%%)\n", $$3 }'
 
 ci: build vet test race

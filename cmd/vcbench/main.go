@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"vcmt/internal/experiments"
+	"vcmt/internal/graph"
 	"vcmt/internal/obs"
 )
 
@@ -66,6 +67,7 @@ func main() {
 	seed := flag.Uint64("seed", 0, "experiment seed (0 = default)")
 	workers := flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS, 1 = sequential; results are identical for every value)")
 	only := flag.String("only", "", "comma-separated subset of experiments to run")
+	graphDir := flag.String("graph-dir", "", "load pregenerated <dataset>.bin graphgen dumps from this directory instead of generating replicas")
 	outDir := flag.String("out", "", "also write each experiment's table to <dir>/<name>.txt")
 	telemetry := flag.String("telemetry", "", "write a per-figure JSON telemetry summary to this file")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON span timeline of the suite to this file")
@@ -75,6 +77,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "vcbench: %v\n", err)
 			os.Exit(1)
 		}
+	}
+
+	if *graphDir != "" {
+		n, err := graph.PrimeDir(*graphDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vcbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[primed %d dataset replica(s) from %s]\n\n", n, *graphDir)
 	}
 
 	o := experiments.Options{Fast: *fast, Seed: *seed, Workers: *workers}

@@ -45,6 +45,7 @@ func main() {
 		systemName  = flag.String("system", "Pregel+", "VC-system profile")
 		clusterName = flag.String("cluster", "Galaxy-8", "cluster profile")
 		machines    = flag.Int("machines", 0, "override the cluster's machine count")
+		graphFile   = flag.String("graph-file", "", "load the dataset replica from this graphgen binary instead of generating it")
 		workload    = flag.Int("workload", 64, "replica workload (walks per vertex / sources)")
 		batches     = flag.Int("batches", 1, "number of equal batches (1 = Full-Parallelism)")
 		khops       = flag.Int("k", 2, "hop radius for BKHS")
@@ -86,6 +87,18 @@ func main() {
 	}
 	if *machines > 0 {
 		cluster = cluster.WithMachines(*machines)
+	}
+	if *graphFile != "" {
+		// The checksummed loader rejects corrupt dumps; PrimeDataset rejects
+		// dumps of the wrong dataset. A primed cache makes d.Load() below
+		// return the file's graph instead of regenerating.
+		loaded, err := graph.LoadBinaryFile(*graphFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := graph.PrimeDataset(d.Name, loaded); err != nil {
+			log.Fatal(err)
+		}
 	}
 	g := d.Load()
 	part := graph.HashPartition(g.NumVertices(), cluster.Machines)

@@ -1,0 +1,128 @@
+// Command vcserve is the multi-tenant graph service: it holds named
+// read-only graph snapshots in memory (pregenerated graphgen binaries or
+// generated on demand), accepts job submissions over HTTP/JSON, and runs
+// them concurrently under the paper's §5 model-based admission control —
+// each job's predicted peak memory is reserved against a shared per-machine
+// budget, jobs that would overshoot queue FIFO or get their batch plan
+// shrunk, and measured peaks feed back into the fitted curves.
+//
+// Usage:
+//
+//	vcserve -addr :8080 [-datasets DBLP,Orkut] [-graph-dir dumps/] \
+//	        [-system Pregel+] [-cluster Galaxy-8] [-machines 8] \
+//	        [-max-running 2] [-queue-cap 64] [-budget-gb 14] \
+//	        [-train-exp 4] [-tolerance 0.15] [-seed 7] [-events log.jsonl]
+//
+// Endpoints: POST /v1/jobs, GET /v1/jobs[/{id}[/report|/trace]],
+// GET /v1/graphs, /healthz, /metrics, /metrics.json. A completed job's
+// /report bytes are byte-identical to the equivalent one-shot
+// `vcrun -report` against the same system/cluster/machines.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+
+	"vcmt/internal/obs"
+	"vcmt/internal/serve"
+	"vcmt/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vcserve: ")
+	var (
+		addr        = flag.String("addr", ":8080", "HTTP listen address")
+		datasets    = flag.String("datasets", "", "comma-separated dataset replicas to generate at startup (e.g. DBLP,Orkut)")
+		graphDir    = flag.String("graph-dir", "", "directory of pregenerated <dataset>.bin graphgen dumps to load")
+		systemName  = flag.String("system", "Pregel+", "VC-system profile shared by all jobs")
+		clusterName = flag.String("cluster", "Galaxy-8", "cluster profile shared by all jobs")
+		machines    = flag.Int("machines", 0, "override the cluster's machine count")
+		maxRunning  = flag.Int("max-running", 2, "max concurrently running jobs")
+		queueCap    = flag.Int("queue-cap", 64, "admission queue capacity (full queue rejects)")
+		budgetGB    = flag.Float64("budget-gb", 0, "admission memory budget per machine in GB (0 = cluster usable capacity p*M)")
+		trainExp    = flag.Int("train-exp", 4, "admission-model training uses workloads 2^1..2^exp")
+		tolerance   = flag.Float64("tolerance", 0.15, "prediction error that triggers a model re-fit from measured peaks")
+		seed        = flag.Uint64("seed", 7, "random seed for training and re-fits")
+		eventsPath  = flag.String("events", "", "append job-lifecycle events to this JSONL file")
+	)
+	flag.Parse()
+
+	system, err := sim.SystemByName(*systemName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster, err := sim.ClusterByName(*clusterName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *machines > 0 {
+		cluster = cluster.WithMachines(*machines)
+	}
+
+	store := serve.NewStore()
+	if *graphDir != "" {
+		n, err := store.LoadDir(*graphDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded %d snapshot(s) from %s", n, *graphDir)
+	}
+	for _, name := range strings.Split(*datasets, ",") {
+		if name = strings.TrimSpace(name); name == "" {
+			continue
+		}
+		if err := store.AddGenerated(name); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("generated snapshot %s", name)
+	}
+
+	var events *os.File
+	if *eventsPath != "" {
+		events, err = os.OpenFile(*eventsPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer events.Close()
+	}
+
+	cfg := serve.Config{
+		Cluster:       cluster,
+		System:        system,
+		BudgetBytes:   *budgetGB * (1 << 30),
+		MaxRunning:    *maxRunning,
+		QueueCap:      *queueCap,
+		TrainExponent: *trainExp,
+		Tolerance:     *tolerance,
+		Seed:          *seed,
+		Registry:      obs.NewRegistry(),
+		Store:         store,
+	}
+	if events != nil {
+		cfg.Events = events
+	}
+	srv := serve.NewServer(cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving on http://%s (%s on %s, budget %.1f GB/machine, %d slots)",
+		ln.Addr(), system.Name, cluster.Name,
+		budgetBytes(cfg.BudgetBytes, cluster)/(1<<30), *maxRunning)
+	log.Fatal(http.Serve(ln, srv.Handler()))
+}
+
+// budgetBytes mirrors serve.NewServer's default so the startup banner
+// matches what admission will actually enforce.
+func budgetBytes(configured float64, cluster sim.ClusterProfile) float64 {
+	if configured != 0 {
+		return configured
+	}
+	return cluster.UsableMemBytes()
+}

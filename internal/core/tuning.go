@@ -232,6 +232,28 @@ func (m *Model) PredictedMemory(done, w int) float64 {
 	return resid + m.Mem.Eval(float64(w))
 }
 
+// ObservePoint appends a measured observation to the model's training
+// set. Long-lived callers (the vcserve admission controller) feed back the
+// peak and residual memory measured from completed jobs, then Refit to
+// close the loop server-side — the same idiom RunAdaptive applies within a
+// single run.
+func (m *Model) ObservePoint(p TrainingPoint) {
+	m.Points = append(m.Points, p)
+}
+
+// Refit re-fits both curves from the accumulated Points (training runs
+// plus any ObservePoint feedback). On fit failure the model keeps its
+// current curves and the error is returned, so a pathological observation
+// can never leave the model without a usable fit.
+func (m *Model) Refit(seed uint64) error {
+	mem, resid, err := fitCurves(m.Points, seed)
+	if err != nil {
+		return err
+	}
+	m.Mem, m.Resid = mem, resid
+	return nil
+}
+
 // MaxWorkloadBinarySearch implements the paper's trial-and-error practical
 // guideline (§4.10): binary-search the largest workload in [1, hi] that
 // the probe accepts (probe returns true when the workload does not

@@ -2,7 +2,10 @@ package graph
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -88,6 +91,61 @@ func (d DatasetSpec) Load() *Graph {
 	g := GenerateChungLu(d.Nodes, d.Edges/2, d.Gamma, d.Seed)
 	datasetCache[d.Name] = g
 	return g
+}
+
+// PrimeDataset installs g as the cached replica for the named dataset, so
+// later Load calls return it instead of regenerating — the hook behind
+// vcbench -graph-dir and the vcserve snapshot store, which load pregenerated
+// graphgen binaries. The generator is deterministic, so a faithful dump has
+// exactly the spec's vertex count — which differs across all six replicas,
+// making it a cheap proof the file belongs to this dataset (file integrity
+// itself is the binary format's CRC trailer's job). A mismatch is rejected
+// rather than silently skewing every extrapolated statistic keyed to the
+// replica size.
+func PrimeDataset(name string, g *Graph) error {
+	d, err := Dataset(name)
+	if err != nil {
+		return err
+	}
+	if g.NumVertices() != d.Nodes {
+		return fmt.Errorf("graph: %s replica has %d vertices, want %d — not a graphgen dump of this dataset",
+			name, g.NumVertices(), d.Nodes)
+	}
+	datasetMu.Lock()
+	defer datasetMu.Unlock()
+	datasetCache[d.Name] = g
+	return nil
+}
+
+// PrimeDir primes the dataset cache from every <dataset>.bin graphgen dump
+// in dir, returning how many were loaded. Files not named after a Table 1
+// dataset are ignored (the directory may hold other artifacts); a corrupt
+// or mismatched file fails the whole call — callers must never proceed with
+// a silently short set.
+func PrimeDir(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	loaded := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".bin") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".bin")
+		if _, err := Dataset(name); err != nil {
+			continue
+		}
+		g, err := LoadBinaryFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return loaded, err
+		}
+		if err := PrimeDataset(name, g); err != nil {
+			return loaded, err
+		}
+		loaded++
+	}
+	return loaded, nil
 }
 
 // MustLoad loads a dataset replica by name, panicking on unknown names;

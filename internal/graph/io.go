@@ -3,8 +3,11 @@ package graph
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc64"
 	"io"
+	"os"
 	"strconv"
 	"strings"
 )
@@ -102,68 +105,151 @@ func ReadEdgeList(r io.Reader, n int) (*Graph, error) {
 	return b.Build(), nil
 }
 
-const binaryMagic = 0x56434d54 // "VCMT"
+// Binary graph file format (version 2):
+//
+//	magic    uint64  "VCMT"
+//	version  uint64  format version (2)
+//	n        uint64  vertex count
+//	arcs     uint64  directed arc count
+//	flags    uint64  bit 0: weights present
+//	offsets  [n+1]int64
+//	adj      [arcs]uint32
+//	weights  [arcs]float32 (only when flagged)
+//	crc      uint64  CRC-64 (ECMA) over everything before it
+//
+// All fields are little-endian. The trailer makes truncation and bit flips
+// detectable: version 1 files had neither a version field nor a checksum,
+// so a torn download loaded silently or failed with a raw io error deep in
+// binary.Read. Version 1 is not read back — the format had no consumers
+// before the -graph-file loaders landed, so nothing can have produced
+// long-lived v1 files worth migrating.
+const (
+	binaryMagic   = 0x56434d54 // "VCMT"
+	binaryVersion = 2
+)
 
-// WriteBinary writes a compact binary encoding of the graph, much faster to
-// reload than an edge list for the larger replicas.
+var binaryCRCTable = crc64.MakeTable(crc64.ECMA)
+
+// ErrCorrupt is wrapped by ReadBinary errors caused by damaged bytes: bad
+// magic, unsupported version, truncation, structural nonsense (offsets out
+// of order, neighbors out of range), trailing garbage, or a checksum
+// mismatch. A damaged graph file is never partially loaded.
+var ErrCorrupt = errors.New("graph: corrupt graph file")
+
+// WriteBinary writes the versioned, checksummed binary encoding of the
+// graph, much faster to reload than an edge list for the larger replicas.
 func WriteBinary(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriter(w)
-	hdr := []uint64{binaryMagic, uint64(g.n), uint64(len(g.adj))}
+	crc := crc64.New(binaryCRCTable)
+	hw := io.MultiWriter(bw, crc)
 	flags := uint64(0)
 	if g.Weighted() {
 		flags = 1
 	}
-	hdr = append(hdr, flags)
-	for _, h := range hdr {
-		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+	for _, h := range []uint64{binaryMagic, binaryVersion, uint64(g.n), uint64(len(g.adj)), flags} {
+		if err := binary.Write(hw, binary.LittleEndian, h); err != nil {
 			return err
 		}
 	}
-	if err := binary.Write(bw, binary.LittleEndian, g.offsets); err != nil {
+	if err := binary.Write(hw, binary.LittleEndian, g.offsets); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, g.adj); err != nil {
+	if err := binary.Write(hw, binary.LittleEndian, g.adj); err != nil {
 		return err
 	}
 	if g.Weighted() {
-		if err := binary.Write(bw, binary.LittleEndian, g.weights); err != nil {
+		if err := binary.Write(hw, binary.LittleEndian, g.weights); err != nil {
 			return err
 		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, crc.Sum64()); err != nil {
+		return err
 	}
 	return bw.Flush()
 }
 
-// ReadBinary reads a graph written by WriteBinary.
+// ReadBinary reads a graph written by WriteBinary. The graph must be the
+// entire remainder of the stream; damaged bytes yield an error wrapping
+// ErrCorrupt and structural invariants (monotone offsets, in-range
+// neighbors) are verified, so a corrupt file is never silently mis-loaded.
 func ReadBinary(r io.Reader) (*Graph, error) {
 	br := bufio.NewReader(r)
-	var hdr [4]uint64
+	crc := crc64.New(binaryCRCTable)
+	hr := io.TeeReader(br, crc)
+	var hdr [5]uint64
 	for i := range hdr {
-		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
-			return nil, err
+		if err := binary.Read(hr, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("%w: truncated header: %v", ErrCorrupt, err)
 		}
 	}
 	if hdr[0] != binaryMagic {
-		return nil, fmt.Errorf("graph: bad magic %#x", hdr[0])
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, hdr[0])
 	}
-	if hdr[1] > maxLoadVertices || hdr[2] > 64*maxLoadVertices {
-		return nil, fmt.Errorf("graph: header claims %d vertices / %d arcs, beyond the loader limit", hdr[1], hdr[2])
+	if hdr[1] != binaryVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d (want %d)", ErrCorrupt, hdr[1], binaryVersion)
+	}
+	if hdr[2] > maxLoadVertices || hdr[3] > 64*maxLoadVertices {
+		return nil, fmt.Errorf("graph: header claims %d vertices / %d arcs, beyond the loader limit", hdr[2], hdr[3])
 	}
 	g := &Graph{
-		n:       int(hdr[1]),
-		offsets: make([]int64, hdr[1]+1),
-		adj:     make([]VertexID, hdr[2]),
+		n:       int(hdr[2]),
+		offsets: make([]int64, hdr[2]+1),
+		adj:     make([]VertexID, hdr[3]),
 	}
-	if err := binary.Read(br, binary.LittleEndian, &g.offsets); err != nil {
-		return nil, err
+	if err := binary.Read(hr, binary.LittleEndian, &g.offsets); err != nil {
+		return nil, fmt.Errorf("%w: truncated offsets: %v", ErrCorrupt, err)
 	}
-	if err := binary.Read(br, binary.LittleEndian, &g.adj); err != nil {
-		return nil, err
+	if err := binary.Read(hr, binary.LittleEndian, &g.adj); err != nil {
+		return nil, fmt.Errorf("%w: truncated adjacency: %v", ErrCorrupt, err)
 	}
-	if hdr[3]&1 != 0 {
-		g.weights = make([]float32, hdr[2])
-		if err := binary.Read(br, binary.LittleEndian, &g.weights); err != nil {
-			return nil, err
+	if hdr[4]&1 != 0 {
+		g.weights = make([]float32, hdr[3])
+		if err := binary.Read(hr, binary.LittleEndian, &g.weights); err != nil {
+			return nil, fmt.Errorf("%w: truncated weights: %v", ErrCorrupt, err)
 		}
+	}
+	// The trailer itself is read past the digest, then compared against it.
+	var want uint64
+	if err := binary.Read(br, binary.LittleEndian, &want); err != nil {
+		return nil, fmt.Errorf("%w: missing checksum trailer: %v", ErrCorrupt, err)
+	}
+	if got := crc.Sum64(); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (got %016x want %016x)", ErrCorrupt, got, want)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("%w: trailing bytes after checksum", ErrCorrupt)
+	}
+	// Structural validation: the checksum guards transport, not the writer,
+	// so a forged-but-consistent file must still describe a valid CSR.
+	if g.offsets[0] != 0 || g.offsets[g.n] != int64(len(g.adj)) {
+		return nil, fmt.Errorf("%w: offset bounds [%d, %d] do not span %d arcs",
+			ErrCorrupt, g.offsets[0], g.offsets[g.n], len(g.adj))
+	}
+	for v := 0; v < g.n; v++ {
+		if g.offsets[v] > g.offsets[v+1] {
+			return nil, fmt.Errorf("%w: offsets decrease at vertex %d", ErrCorrupt, v)
+		}
+	}
+	for _, u := range g.adj {
+		if int(u) >= g.n {
+			return nil, fmt.Errorf("%w: neighbor %d out of range n=%d", ErrCorrupt, u, g.n)
+		}
+	}
+	return g, nil
+}
+
+// LoadBinaryFile reads a graphgen binary file from disk — the shared
+// loader behind vcrun -graph-file, vcbench -graph-dir and the vcserve
+// snapshot store.
+func LoadBinaryFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := ReadBinary(f)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %s: %w", path, err)
 	}
 	return g, nil
 }

@@ -1,0 +1,192 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc64"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// encodeBinary returns the v2 encoding of g.
+func encodeBinary(t *testing.T, g *Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestBinaryCorruptionMatrix damages a valid v2 file in every region —
+// header, offsets, adjacency, weights, checksum trailer — plus truncation
+// at every interesting boundary, and requires each mutant to be rejected
+// with ErrCorrupt. A corrupt file must never load silently, partially, or
+// with a panic.
+func TestBinaryCorruptionMatrix(t *testing.T) {
+	g := WithUniformWeights(GenerateChungLu(50, 200, 2.3, 9), 1, 3, 8)
+	valid := encodeBinary(t, g)
+	if _, err := ReadBinary(bytes.NewReader(valid)); err != nil {
+		t.Fatalf("valid file rejected: %v", err)
+	}
+
+	// Region boundaries of the weighted encoding.
+	const header = 5 * 8
+	offsetsEnd := header + (g.NumVertices()+1)*8
+	adjEnd := offsetsEnd + int(g.NumEdges())*4
+	weightsEnd := adjEnd + int(g.NumEdges())*4
+
+	flip := func(name string, pos int) {
+		t.Run("flip/"+name, func(t *testing.T) {
+			mut := append([]byte(nil), valid...)
+			mut[pos] ^= 0x40
+			got, err := ReadBinary(bytes.NewReader(mut))
+			if err == nil {
+				t.Fatalf("flipped byte at %d (%s) loaded silently: %d vertices", pos, name, got.NumVertices())
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("flipped byte at %d (%s): got %v, want ErrCorrupt", pos, name, err)
+			}
+		})
+	}
+	flip("magic", 0)
+	flip("version", 8)
+	flip("vertex-count", 16)
+	flip("arc-count", 24)
+	flip("flags", 32)
+	flip("offsets", header+8)
+	flip("adj", offsetsEnd+2)
+	flip("weights", adjEnd+1)
+	flip("trailer", weightsEnd+3)
+
+	for _, cut := range []struct {
+		name string
+		n    int
+	}{
+		{"empty", 0},
+		{"mid-header", header / 2},
+		{"header-only", header},
+		{"mid-offsets", header + 24},
+		{"mid-adj", offsetsEnd + 6},
+		{"mid-weights", adjEnd + 2},
+		{"missing-trailer", weightsEnd},
+		{"half-trailer", weightsEnd + 4},
+	} {
+		t.Run("truncate/"+cut.name, func(t *testing.T) {
+			_, err := ReadBinary(bytes.NewReader(valid[:cut.n]))
+			if err == nil {
+				t.Fatalf("truncation to %d bytes loaded silently", cut.n)
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("truncation to %d bytes: got %v, want ErrCorrupt", cut.n, err)
+			}
+		})
+	}
+
+	t.Run("wrong-version", func(t *testing.T) {
+		mut := append([]byte(nil), valid...)
+		binary.LittleEndian.PutUint64(mut[8:], 7)
+		_, err := ReadBinary(bytes.NewReader(mut))
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("version 7: got %v, want ErrCorrupt", err)
+		}
+	})
+
+	t.Run("trailing-garbage", func(t *testing.T) {
+		_, err := ReadBinary(bytes.NewReader(append(append([]byte(nil), valid...), 0xEE)))
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("trailing garbage: got %v, want ErrCorrupt", err)
+		}
+	})
+}
+
+// TestBinaryForgedStructure re-checksums files whose bytes are internally
+// consistent but structurally invalid: the CRC passes, so only the CSR
+// validation stands between them and a silent mis-load.
+func TestBinaryForgedStructure(t *testing.T) {
+	g := GenerateRing(10)
+	forge := func(name string, mutate func([]byte)) {
+		t.Run(name, func(t *testing.T) {
+			data := encodeBinary(t, g)
+			body := data[:len(data)-8]
+			mutate(body)
+			mut := append(append([]byte(nil), body...), 0, 0, 0, 0, 0, 0, 0, 0)
+			binary.LittleEndian.PutUint64(mut[len(body):], crc64.Checksum(body, binaryCRCTable))
+			_, err := ReadBinary(bytes.NewReader(mut))
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("forged %s: got %v, want ErrCorrupt", name, err)
+			}
+		})
+	}
+	const header = 5 * 8
+	forge("decreasing-offsets", func(b []byte) {
+		binary.LittleEndian.PutUint64(b[header+8:], 1<<20)
+	})
+	forge("neighbor-out-of-range", func(b []byte) {
+		offsetsEnd := header + (g.NumVertices()+1)*8
+		binary.LittleEndian.PutUint32(b[offsetsEnd:], 99)
+	})
+}
+
+// TestLoadBinaryFile exercises the disk loader both ways.
+func TestLoadBinaryFile(t *testing.T) {
+	g := GenerateChungLu(80, 400, 2.4, 3)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadBinaryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, g, g2)
+
+	// Corrupt on disk: the typed error must survive the path wrapping.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	bad := filepath.Join(dir, "bad.bin")
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBinaryFile(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt file on disk: got %v, want ErrCorrupt", err)
+	}
+	if _, err := LoadBinaryFile(filepath.Join(dir, "absent.bin")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+// TestPrimeDataset checks the pregenerated-replica install path: a faithful
+// dump primes the cache, a mismatched graph is rejected.
+func TestPrimeDataset(t *testing.T) {
+	d, err := Dataset("DBLP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := d.Load()
+	if err := PrimeDataset("DBLP", g); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Load(); got != g {
+		t.Fatal("primed graph not returned by Load")
+	}
+	if err := PrimeDataset("DBLP", GenerateRing(10)); err == nil {
+		t.Fatal("mismatched replica must be rejected")
+	}
+	if err := PrimeDataset("NoSuch", g); err == nil {
+		t.Fatal("unknown dataset must be rejected")
+	}
+}

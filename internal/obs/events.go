@@ -26,6 +26,13 @@ type Event struct {
 	RelError   float64 `json:"rel_error,omitempty"`
 	Workload   int     `json:"workload,omitempty"`
 	Machine    int     `json:"machine,omitempty"`
+
+	// Service-lifecycle fields (internal/serve). Appended with omitempty so
+	// pre-service event logs stay byte-identical.
+	Job            string  `json:"job,omitempty"`
+	Tenant         string  `json:"tenant,omitempty"`
+	Reason         string  `json:"reason,omitempty"`
+	PredictedBytes float64 `json:"predicted_bytes,omitempty"`
 }
 
 // Event types emitted by the Collector.
@@ -43,6 +50,18 @@ const (
 	// Adaptive-tuner events (closed-loop §5 tuning).
 	EventReplan         = "replan"          // the tuner re-fitted the curves and re-planned the tail
 	EventGovernorShrink = "governor_shrink" // the safety governor shrank the next batch
+
+	// Job-lifecycle events emitted by the vcserve admission controller
+	// (internal/serve). SimSeconds is 0 for these: a long-lived server has
+	// no job-spanning simulated clock, and wall time would break the
+	// byte-stable log contract.
+	EventJobSubmitted = "job_submitted" // a job arrived at POST /v1/jobs
+	EventJobAdmitted  = "job_admitted"  // admission reserved memory and started the job
+	EventJobQueued    = "job_queued"    // the job waits for budget or a worker slot
+	EventJobRejected  = "job_rejected"  // infeasible under the model, or queue full
+	EventJobCompleted = "job_completed" // the job finished and released its reservation
+	EventJobFailed    = "job_failed"    // the job's engine run returned an error
+	EventModelRefit   = "model_refit"   // measured peaks re-fitted the admission curves
 )
 
 // EventLog appends events to an io.Writer as JSON Lines. It is not

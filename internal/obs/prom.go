@@ -45,6 +45,22 @@ var helpDefaults = map[string]string{
 	"rpcrt_worker_restarts_total":      "rpcrt workers restarted during recovery.",
 	"rpcrt_recoveries_total":           "rpcrt cluster recoveries performed.",
 	"rpcrt_recovery_rounds_lost_total": "rpcrt supersteps re-executed by recoveries.",
+	"serve_jobs_submitted_total":       "Jobs submitted to POST /v1/jobs.",
+	"serve_jobs_admitted_total":        "Jobs admitted by the memory-model admission controller.",
+	"serve_jobs_queued_total":          "Jobs queued for budget or a worker slot.",
+	"serve_jobs_rejected_total":        "Jobs rejected (infeasible under the model, or queue full).",
+	"serve_jobs_completed_total":       "Jobs that finished successfully.",
+	"serve_jobs_failed_total":          "Jobs whose engine run returned an error.",
+	"serve_jobs_shrunk_total":          "Jobs whose batch plan was shrunk to fit the memory budget.",
+	"serve_jobs_running":               "Jobs currently executing.",
+	"serve_queue_depth":                "Jobs currently waiting in the admission queue.",
+	"serve_mem_budget_bytes":           "Admission memory budget (per machine, paper scale).",
+	"serve_mem_reserved_bytes":         "Predicted memory reserved by running jobs.",
+	"serve_job_predicted_peak_bytes":   "Predicted per-job peak memory at admission.",
+	"serve_job_sim_seconds":            "Simulated seconds per completed job.",
+	"serve_admission_rel_error":        "Relative error of the admission-time peak-memory prediction.",
+	"serve_models_trained_total":       "Admission models trained (one per task/dataset/scale key).",
+	"serve_model_refits_total":         "Admission-model re-fits from measured job peaks.",
 }
 
 // WritePrometheus writes the registry's snapshot in the Prometheus text

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"vcmt/internal/graph"
+)
+
+// Snapshot is one named, immutable in-memory graph the service serves jobs
+// against. Snapshots are loaded once — from a pregenerated graphgen binary
+// file or by running the deterministic generator — and shared read-only by
+// every concurrent job, the iPregel argument for multi-task coexistence:
+// one resident copy of the graph, many tasks over it.
+type Snapshot struct {
+	Name   string
+	Spec   graph.DatasetSpec
+	Graph  *graph.Graph
+	Source string // "generated" or "file"
+
+	partOnce sync.Once
+	part     *graph.Partition
+}
+
+// Partition returns the snapshot's hash partition for the given machine
+// count, computed once and shared by every job (all jobs run on the same
+// simulated cluster, so the machine count never varies per snapshot).
+func (s *Snapshot) Partition(machines int) *graph.Partition {
+	s.partOnce.Do(func() {
+		s.part = graph.HashPartition(s.Graph.NumVertices(), machines)
+	})
+	return s.part
+}
+
+// SnapshotInfo is the JSON view of a snapshot for GET /v1/graphs.
+type SnapshotInfo struct {
+	Name       string `json:"name"`
+	Source     string `json:"source"`
+	Vertices   int    `json:"vertices"`
+	Arcs       int64  `json:"arcs"`
+	Weighted   bool   `json:"weighted"`
+	PaperNodes int64  `json:"paper_nodes"`
+	PaperArcs  int64  `json:"paper_arcs"`
+}
+
+// Store holds the named snapshots. Lookups that miss fall back to
+// generating the dataset replica on demand, so a cold server still serves
+// any Table 1 dataset.
+type Store struct {
+	mu    sync.Mutex
+	snaps map[string]*Snapshot
+}
+
+// NewStore returns an empty snapshot store.
+func NewStore() *Store {
+	return &Store{snaps: make(map[string]*Snapshot)}
+}
+
+// AddGenerated generates (or takes from the process-wide cache) the named
+// dataset replica and installs it as a snapshot.
+func (s *Store) AddGenerated(name string) error {
+	d, err := graph.Dataset(name)
+	if err != nil {
+		return err
+	}
+	g := d.Load()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.snaps[d.Name] = &Snapshot{Name: d.Name, Spec: d, Graph: g, Source: "generated"}
+	return nil
+}
+
+// AddFile loads a graphgen binary file as the snapshot for the named
+// dataset. The file must be a faithful dump of the dataset's replica
+// (PrimeDataset enforces the vertex count; the binary format's CRC trailer
+// guards the bytes), because every extrapolated statistic is keyed to the
+// replica size.
+func (s *Store) AddFile(name, path string) error {
+	d, err := graph.Dataset(name)
+	if err != nil {
+		return err
+	}
+	g, err := graph.LoadBinaryFile(path)
+	if err != nil {
+		return err
+	}
+	if err := graph.PrimeDataset(d.Name, g); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.snaps[d.Name] = &Snapshot{Name: d.Name, Spec: d, Graph: g, Source: "file"}
+	return nil
+}
+
+// LoadDir installs a snapshot for every <dataset>.bin file in dir,
+// returning how many were loaded. Files not named after a Table 1 dataset
+// are ignored (the directory may hold other artifacts); corrupt files fail
+// the whole load — a service must not come up with a silently short
+// snapshot set.
+func (s *Store) LoadDir(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	loaded := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".bin") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".bin")
+		if _, err := graph.Dataset(name); err != nil {
+			continue
+		}
+		if err := s.AddFile(name, filepath.Join(dir, e.Name())); err != nil {
+			return loaded, fmt.Errorf("serve: loading %s: %w", e.Name(), err)
+		}
+		loaded++
+	}
+	return loaded, nil
+}
+
+// Get returns the named snapshot, generating the dataset replica on demand
+// when it is not resident yet.
+func (s *Store) Get(name string) (*Snapshot, error) {
+	s.mu.Lock()
+	snap, ok := s.snaps[name]
+	s.mu.Unlock()
+	if ok {
+		return snap, nil
+	}
+	if err := s.AddGenerated(name); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snaps[name], nil
+}
+
+// List returns the resident snapshots sorted by name.
+func (s *Store) List() []SnapshotInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SnapshotInfo, 0, len(s.snaps))
+	for _, snap := range s.snaps {
+		out = append(out, SnapshotInfo{
+			Name:       snap.Name,
+			Source:     snap.Source,
+			Vertices:   snap.Graph.NumVertices(),
+			Arcs:       snap.Graph.NumEdges(),
+			Weighted:   snap.Graph.Weighted(),
+			PaperNodes: snap.Spec.PaperNodes,
+			PaperArcs:  snap.Spec.PaperEdges,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
