@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race lint bench bench-json fault bench-ckpt bench-ckpt-baseline bench-wire bench-wire-baseline smoke-adaptive serve-smoke cover ci
+.PHONY: build vet test race lint bench bench-json fault bench-ckpt bench-ckpt-baseline bench-wire bench-wire-baseline bench-ooc bench-ooc-baseline smoke-adaptive serve-smoke ooc-smoke cover ci
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,17 @@ bench-wire:
 bench-wire-baseline:
 	$(GO) run ./cmd/benchjson -bench 'BenchmarkDeliver' -pkg ./internal/wire 		-benchmem -benchtime 200x -out BENCH_wire.json
 
+# Partition-codec benchmark with the regression gate, mirroring the CI ooc
+# job: fails on >50% ns/op regression against the committed BENCH_ooc.json
+# baseline (filesystem-bound, so the threshold matches the checkpoint gate).
+bench-ooc:
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkPartitionWrite|BenchmarkPartitionRead' 		-pkg ./internal/ooc -benchtime 100x -out BENCH_ooc_run.json 		-compare BENCH_ooc.json -max-regress 0.5
+
+# Refresh the committed partition-codec baseline after a deliberate format
+# change; commit the resulting BENCH_ooc.json alongside the change.
+bench-ooc-baseline:
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkPartitionWrite|BenchmarkPartitionRead' 		-pkg ./internal/ooc -benchtime 100x -out BENCH_ooc.json
+
 # Closed-loop tuner smoke (DESIGN.md section 10), mirroring the CI step: the
 # static-vs-adaptive mispriced-training figure plus the vctune -adaptive
 # end-to-end run that writes the adaptive report section.
@@ -74,6 +85,14 @@ smoke-adaptive:
 # graph dumps are rejected by every loader.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# Out-of-core end-to-end smoke, mirroring the CI ooc job: the Table 2
+# overflow workload must overflow in-memory, complete under -ooc with the
+# resident window inside the budget and >= 4x the budget routed through
+# partition files, and produce a report byte-identical to the in-memory
+# run modulo the ooc counters.
+ooc-smoke:
+	sh scripts/ooc_smoke.sh
 
 # Coverage gate for the service and graph-loader subsystems, mirroring the
 # CI coverage step: combined statement coverage must stay at or above 80%.

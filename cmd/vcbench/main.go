@@ -31,6 +31,7 @@ import (
 	"vcmt/internal/experiments"
 	"vcmt/internal/graph"
 	"vcmt/internal/obs"
+	"vcmt/internal/tasks"
 )
 
 // stepTelemetry summarizes one experiment's execution for -telemetry.
@@ -71,6 +72,9 @@ func main() {
 	outDir := flag.String("out", "", "also write each experiment's table to <dir>/<name>.txt")
 	telemetry := flag.String("telemetry", "", "write a per-figure JSON telemetry summary to this file")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON span timeline of the suite to this file")
+	oocOn := flag.Bool("ooc", false, "run every synchronous job through the partitioned out-of-core backend (task results are bit-identical; GraphD rows price disk from measured partition-file IO)")
+	oocBudget := flag.Int64("ooc-budget", 64<<20, "out-of-core resident-window budget in bytes")
+	oocParts := flag.Int("ooc-partitions", 0, "fix the out-of-core partition count (0 = derive from -ooc-budget)")
 	flag.Parse()
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -89,6 +93,9 @@ func main() {
 	}
 
 	o := experiments.Options{Fast: *fast, Seed: *seed, Workers: *workers}
+	if *oocOn {
+		o.OOC = &tasks.OOCConfig{MemoryBudgetBytes: *oocBudget, Partitions: *oocParts}
+	}
 	want := map[string]bool{}
 	if *only != "" {
 		for _, name := range strings.Split(*only, ",") {

@@ -32,6 +32,7 @@ import (
 	"vcmt/internal/fault"
 	"vcmt/internal/graph"
 	"vcmt/internal/obs"
+	"vcmt/internal/ooc"
 	"vcmt/internal/sim"
 	"vcmt/internal/tasks"
 )
@@ -61,6 +62,10 @@ func main() {
 		ckptDir     = flag.String("checkpoint-dir", "", "enable superstep checkpointing into this directory")
 		ckptIval    = flag.Int("checkpoint-interval", 0, "checkpoint every N supersteps (0 = engine default)")
 		faultSpec   = flag.String("fault-plan", "", `deterministic fault plan, e.g. "crash:worker=1,step=5" (see internal/fault; crashes need -checkpoint-dir)`)
+		oocOn       = flag.Bool("ooc", false, "run supersteps out-of-core: stream partitioned edges and messages through a bounded memory window (results are bit-identical to in-memory)")
+		oocBudget   = flag.Int64("ooc-budget", 64<<20, "out-of-core resident-window budget in bytes (derives the partition count)")
+		oocParts    = flag.Int("ooc-partitions", 0, "fix the out-of-core partition count (0 = derive from -ooc-budget)")
+		oocDir      = flag.String("ooc-dir", "", "out-of-core partition-file directory (empty = private temp dir per batch)")
 	)
 	flag.Parse()
 
@@ -70,6 +75,20 @@ func main() {
 		fplan, err = fault.Parse(*faultSpec)
 		if err != nil {
 			log.Fatal(err)
+		}
+	}
+
+	var (
+		oocCfg   *tasks.OOCConfig
+		oocStats *ooc.IOStats
+	)
+	if *oocOn {
+		oocStats = &ooc.IOStats{}
+		oocCfg = &tasks.OOCConfig{
+			Dir:               *oocDir,
+			MemoryBudgetBytes: *oocBudget,
+			Partitions:        *oocParts,
+			Stats:             oocStats,
 		}
 	}
 
@@ -116,6 +135,12 @@ func main() {
 	}
 
 	async := system.Async == sim.FullAsync
+	if oocCfg != nil && async {
+		log.Fatalf("-ooc requires a synchronous system profile; %s runs the asynchronous GAS executor", system.Name)
+	}
+	if oocCfg != nil && system.Mirror {
+		log.Fatalf("-ooc is incompatible with the mirror profile %s (mirror spans assume a resident graph)", system.Name)
+	}
 	var job tasks.Job
 	switch *taskName {
 	case "BPPR":
@@ -123,6 +148,7 @@ func main() {
 			WalksPerNode: *workload, Mirror: system.Mirror, Async: async, Seed: *seed,
 			Workers:       *workers,
 			CheckpointDir: *ckptDir, CheckpointInterval: *ckptIval, Fault: fplan,
+			OOC: oocCfg,
 		})
 	case "MSSP":
 		sources := firstSources(g.NumVertices(), *workload)
@@ -130,6 +156,7 @@ func main() {
 			Sources: sources, Mirror: system.Mirror, Async: async, Seed: *seed,
 			Workers:       *workers,
 			CheckpointDir: *ckptDir, CheckpointInterval: *ckptIval, Fault: fplan,
+			OOC: oocCfg,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -140,6 +167,7 @@ func main() {
 			Sources: sources, K: *khops, Mirror: system.Mirror, Async: async, Seed: *seed,
 			Workers:       *workers,
 			CheckpointDir: *ckptDir, CheckpointInterval: *ckptIval, Fault: fplan,
+			OOC: oocCfg,
 		})
 	default:
 		log.Fatalf("unknown task %q", *taskName)
@@ -245,6 +273,16 @@ func main() {
 	if system.OutOfCore {
 		fmt.Fprintf(w, "disk:      %.1f s IO, max util %.0f%%, %.1f s overuse, queue %.0f\n",
 			res.DiskSeconds, res.MaxDiskUtil*100, res.IOOveruseSec, res.MaxIOQueueLen)
+	}
+	if oocStats != nil {
+		// key=value so scripts can assert the memory-window invariant
+		// (window_peak <= budget) and the spill volume (wrote >= N*budget).
+		fmt.Fprintf(w, "ooc:       read=%d wrote=%d window_peak=%d budget=%d",
+			res.OOCReadBytes, res.OOCWriteBytes, res.OOCWindowPeakBytes, *oocBudget)
+		if bw := oocStats.BytesPerSec(); bw > 0 {
+			fmt.Fprintf(w, " measured_disk=%.1fMB/s", bw/1e6)
+		}
+		fmt.Fprintln(w)
 	}
 	if cluster.Cloud {
 		mark := ""

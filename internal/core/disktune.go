@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vcmt/internal/batch"
+	"vcmt/internal/ooc"
 	"vcmt/internal/sim"
 )
 
@@ -55,4 +56,28 @@ func DiskTune(mk JobFactory, cfg sim.JobConfig, total, maxBatches int) (DiskTune
 	res.Batches = maxBatches
 	res.Saturated = true
 	return res, nil
+}
+
+// CalibrateDiskBandwidth returns cfg with the cluster's disk bandwidth
+// replaced by the bandwidth a real out-of-core run measured (wall-clock
+// partition-file IO, see ooc.IOStats), plus the bandwidth used. When the
+// stats carry no signal — nil, or no timed IO recorded — cfg is returned
+// unchanged and the bandwidth is 0, so callers can fall back to the
+// profile constant unconditionally.
+func CalibrateDiskBandwidth(cfg sim.JobConfig, st *ooc.IOStats) (sim.JobConfig, float64) {
+	bw := st.BytesPerSec()
+	if bw > 0 {
+		cfg.Cluster.DiskBytesPerSec = bw
+	}
+	return cfg, bw
+}
+
+// DiskTuneCalibrated is DiskTune with the disk bandwidth recalibrated from
+// observation instead of the profile constant: the measured read/write
+// throughput of a real partitioned out-of-core run (engine.OOCOptions.Stats)
+// replaces cfg.Cluster.DiskBytesPerSec before the batch-count probes run.
+// With no measured signal it degrades to plain DiskTune.
+func DiskTuneCalibrated(mk JobFactory, cfg sim.JobConfig, total, maxBatches int, st *ooc.IOStats) (DiskTuneResult, error) {
+	cfg, _ = CalibrateDiskBandwidth(cfg, st)
+	return DiskTune(mk, cfg, total, maxBatches)
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"vcmt/internal/graph"
+	"vcmt/internal/ooc"
 	"vcmt/internal/sim"
 	"vcmt/internal/tasks"
 )
@@ -63,5 +64,60 @@ func TestDiskTuneLightWorkloadUsesOneBatch(t *testing.T) {
 	}
 	if res.Batches != 1 {
 		t.Fatalf("light workload should stay at Full-Parallelism, got %d", res.Batches)
+	}
+}
+
+func TestCalibrateDiskBandwidth(t *testing.T) {
+	_, cfg := diskFixture(t)
+	base := cfg.Cluster.DiskBytesPerSec
+	// No signal: profile constant stands.
+	got, bw := CalibrateDiskBandwidth(cfg, nil)
+	if bw != 0 || got.Cluster.DiskBytesPerSec != base {
+		t.Fatalf("nil stats should keep the profile constant (bw=%v)", bw)
+	}
+	got, bw = CalibrateDiskBandwidth(cfg, &ooc.IOStats{ReadBytes: 100})
+	if bw != 0 || got.Cluster.DiskBytesPerSec != base {
+		t.Fatal("untimed stats should keep the profile constant")
+	}
+	// Measured signal overrides the constant.
+	st := &ooc.IOStats{ReadBytes: 50 << 20, WriteBytes: 50 << 20, ReadSeconds: 0.5, WriteSeconds: 0.5}
+	got, bw = CalibrateDiskBandwidth(cfg, st)
+	if bw != 100<<20 {
+		t.Fatalf("measured bandwidth = %v, want %v", bw, 100<<20)
+	}
+	if got.Cluster.DiskBytesPerSec != bw {
+		t.Fatal("calibrated config does not carry the measured bandwidth")
+	}
+	if cfg.Cluster.DiskBytesPerSec != base {
+		t.Fatal("calibration must not mutate the caller's config")
+	}
+}
+
+func TestDiskTuneCalibratedShiftsOptimum(t *testing.T) {
+	mk, cfg := diskFixture(t)
+	ref, err := DiskTune(mk, cfg, 128, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A disk measured 8x slower than the profile constant needs more
+	// batches to desaturate than the constant predicts.
+	slow := &ooc.IOStats{
+		ReadBytes: int64(cfg.Cluster.DiskBytesPerSec / 16), ReadSeconds: 0.5,
+		WriteBytes: int64(cfg.Cluster.DiskBytesPerSec / 16), WriteSeconds: 0.5,
+	}
+	res, err := DiskTuneCalibrated(mk, cfg, 128, 128, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Batches <= ref.Batches {
+		t.Fatalf("slower measured disk chose %d batches, profile constant chose %d", res.Batches, ref.Batches)
+	}
+	// No signal: identical to the uncalibrated tuner.
+	same, err := DiskTuneCalibrated(mk, cfg, 128, 128, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Batches != ref.Batches {
+		t.Fatalf("nil stats changed the tuning outcome: %d vs %d", same.Batches, ref.Batches)
 	}
 }

@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"bufio"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -10,6 +9,7 @@ import (
 
 	"vcmt/internal/ckpt"
 	"vcmt/internal/graph"
+	"vcmt/internal/ooc"
 )
 
 // CheckpointOptions enables periodic superstep checkpointing. At each
@@ -225,19 +225,18 @@ func (e *Engine[M]) buildSnapshot() (*ckpt.Snapshot, error) {
 
 // snapshotSpill copies the current spill-file bytes into the snapshot
 // (inline: drainSpill deletes the file, so a path reference would dangle).
-// The bufio writer is flushed first; flushing does not change the record
-// stream, so delivery order is unaffected.
+// The writer's buffer is flushed first; flushing does not change the record
+// stream, so delivery order is unaffected. The snapshot is the raw
+// partition-format prefix (header + records, no trailer) that
+// ooc.ResumeWriter replays on restore.
 func (e *Engine[M]) snapshotSpill() ([]byte, error) {
 	st := e.spill
-	if err := st.w.Flush(); err != nil {
-		return nil, fmt.Errorf("spill flush: %w", err)
-	}
-	content, err := os.ReadFile(st.file.Name())
+	content, err := st.w.Snapshot()
 	if err != nil {
-		return nil, fmt.Errorf("spill read: %w", err)
+		return nil, fmt.Errorf("spill snapshot: %w", err)
 	}
 	var sec []byte
-	sec = binary.LittleEndian.AppendUint64(sec, uint64(st.records))
+	sec = binary.LittleEndian.AppendUint64(sec, uint64(st.w.Records()))
 	sec = binary.LittleEndian.AppendUint64(sec, uint64(len(content)))
 	sec = append(sec, content...)
 	return sec, nil
@@ -339,7 +338,10 @@ func (e *Engine[M]) restoreSnapshot(snap *ckpt.Snapshot) error {
 }
 
 // restoreSpill recreates the spill file from the snapshot (or discards the
-// current one when the snapshot had none).
+// current one when the snapshot had none): the raw partition-format prefix
+// is replayed through ooc.ResumeWriter, which rebuilds the running CRC so
+// later appends and the drain-time trailer verify exactly as if the writer
+// had never stopped.
 func (e *Engine[M]) restoreSpill(sec []byte) error {
 	e.CleanupSpill()
 	if len(sec) == 0 {
@@ -348,15 +350,17 @@ func (e *Engine[M]) restoreSpill(sec []byte) error {
 	records := int64(binary.LittleEndian.Uint64(sec))
 	n := int64(binary.LittleEndian.Uint64(sec[8:]))
 	content := sec[16 : 16+n]
-	f, err := os.CreateTemp(e.opts.Spill.Dir, "vcmt-spill-*.bin")
+	f, err := os.CreateTemp(e.opts.Spill.Dir, "vcmt-spill-*.vp")
 	if err != nil {
 		return fmt.Errorf("spill restore: %w", err)
 	}
-	if _, err := f.Write(content); err != nil {
-		f.Close()
-		os.Remove(f.Name())
+	name := f.Name()
+	f.Close()
+	w, err := ooc.ResumeWriter(name, content, records)
+	if err != nil {
+		os.Remove(name)
 		return fmt.Errorf("spill restore: %w", err)
 	}
-	e.spill = &spillState{file: f, w: bufio.NewWriterSize(f, 1<<20), records: records, bytes: n}
+	e.spill = &spillState{w: w}
 	return nil
 }

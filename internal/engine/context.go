@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"fmt"
+
 	"vcmt/internal/graph"
 	"vcmt/internal/randx"
 	"vcmt/internal/vcapi"
@@ -19,8 +21,11 @@ type Context[M any] struct {
 	vertex  graph.VertexID
 }
 
-// Graph returns the graph under computation.
-func (c *Context[M]) Graph() *graph.Graph { return c.e.g }
+// Graph returns the graph under computation. In out-of-core mode this is
+// the current partition's streamed edge window — full vertex count, with
+// adjacency resident only for the partition being executed, which always
+// includes the vertex whose Compute call is running.
+func (c *Context[M]) Graph() *graph.Graph { return c.e.curGraph() }
 
 // Machine returns the executing machine's index.
 func (c *Context[M]) Machine() int { return c.machine }
@@ -67,7 +72,7 @@ func (c *Context[M]) Send(dst graph.VertexID, m M) {
 // one point-to-point message per neighbor.
 func (c *Context[M]) Broadcast(src graph.VertexID, m M) {
 	e := c.e
-	ns := e.g.Neighbors(src)
+	ns := e.curGraph().Neighbors(src)
 	if len(ns) == 0 {
 		return
 	}
@@ -116,10 +121,20 @@ func (c *Context[M]) ActivateNextRound(v graph.VertexID) {
 	}
 }
 
-// emit buffers one envelope in machine m's outbox. In spill mode (always
-// sequential) the global buffered count triggers flushes at the same
-// threshold the single-outbox engine used.
+// emit buffers one envelope in machine m's outbox. In out-of-core mode the
+// envelope is instead encoded and routed straight into its destination
+// partition's append file — appends preserve emission order, so the merged
+// inbox reproduces the in-memory layout. In spill mode (always sequential)
+// the global buffered count triggers flushes at the same threshold the
+// single-outbox engine used.
 func (e *Engine[M]) emit(m int, env envelope[M]) {
+	if e.ooc != nil {
+		e.ooc.enc = e.ooc.codec.Encode(e.ooc.enc[:0], env.payload)
+		if err := e.ooc.runner.Route(env.dst, e.ooc.enc); err != nil {
+			panic(fmt.Sprintf("engine: ooc route: %v", err))
+		}
+		return
+	}
 	e.outBy[m] = append(e.outBy[m], env)
 	if e.opts.Spill != nil {
 		e.outPending++

@@ -85,6 +85,11 @@ type Options[M any] struct {
 	// disables splitting. Programs must treat their inbox incrementally
 	// (all the tasks in this repository do).
 	MaxInboxPerStep int
+	// OOC selects the out-of-core execution backend (see OOCOptions):
+	// streamed edge/message partition files and a bounded memory window in
+	// place of in-memory outboxes and inboxes. Forces sequential execution;
+	// results are bit-identical to the in-memory engine.
+	OOC *OOCOptions[M]
 	// Checkpoint enables periodic superstep checkpointing (see
 	// CheckpointOptions). The program must implement vcapi.StateSnapshotter.
 	Checkpoint *CheckpointOptions[M]
@@ -152,6 +157,19 @@ type Engine[M any] struct {
 	stopped bool
 	spill   *spillState
 	aggs    map[string]*aggregator
+
+	// ooc is the live out-of-core backend (nil for in-memory runs). The
+	// byte fields hold the current round's deterministic encoded IO,
+	// populated just before observeRound and reported once; the *Total
+	// fields accumulate over the run and survive it (see OOCReadBytes).
+	ooc           *oocState[M]
+	oocReadBytes  int64
+	oocWriteBytes int64
+	oocWindowPeak int64
+	oocReadTotal  int64
+	oocWriteTotal int64
+	oocPeakMax    int64
+	oocPartitions int
 
 	// forcedNextBy[m] lists vertices machine m activated for the next
 	// superstep regardless of incoming messages (Pregel's active-vertex
@@ -325,6 +343,12 @@ func (e *Engine[M]) takeForced() []graph.VertexID {
 // run overloaded. It returns ErrMaxRounds only for the round bound; an
 // overload stop returns nil, with the overload visible on the sim.Run.
 func (e *Engine[M]) Run() error {
+	if e.opts.OOC != nil {
+		if err := e.initOOC(); err != nil {
+			return err
+		}
+		return e.runOOC()
+	}
 	if err := e.initCheckpoints(); err != nil {
 		return err
 	}
@@ -662,9 +686,12 @@ func (e *Engine[M]) observeRound() {
 			}
 		}
 		e.run.ObserveRound(sim.RoundStats{
-			PerMachine:     per,
-			SpilledBytes:   e.spilledBytes - e.obsSpilledBytes,
-			SpilledRecords: e.spilledRecords - e.obsSpilledRecords,
+			PerMachine:         per,
+			SpilledBytes:       e.spilledBytes - e.obsSpilledBytes,
+			SpilledRecords:     e.spilledRecords - e.obsSpilledRecords,
+			OOCReadBytes:       e.oocReadBytes,
+			OOCWriteBytes:      e.oocWriteBytes,
+			OOCWindowPeakBytes: e.oocWindowPeak,
 		})
 	}
 	e.obsSpilledBytes = e.spilledBytes

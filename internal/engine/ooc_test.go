@@ -1,0 +1,214 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"vcmt/internal/graph"
+	"vcmt/internal/ooc"
+	"vcmt/internal/sim"
+	"vcmt/internal/vcapi"
+)
+
+// oocRun executes prog-factory runs of BFS in-memory and out-of-core over the
+// same graph/partition/seed and returns both results plus the priced runs.
+func oocJob(t *testing.T, g *graph.Graph, k int, oo *OOCOptions[hopMsg]) (*bfsProg, sim.JobResult, *sim.Trace) {
+	t.Helper()
+	part := graph.HashPartition(g.NumVertices(), k)
+	run := sim.NewRun(sim.JobConfig{Cluster: sim.Galaxy8.WithMachines(k), System: sim.PregelPlus})
+	trace := &sim.Trace{}
+	run.SetTrace(trace)
+	prog := newBFS(g.NumVertices(), 0)
+	e := New[hopMsg](g, part, prog, run, Options[hopMsg]{Seed: 42, OOC: oo})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if oo != nil {
+		if e.OOCWriteBytes() <= 0 || e.OOCReadBytes() <= 0 {
+			t.Fatalf("ooc run reported no IO: read=%d write=%d", e.OOCReadBytes(), e.OOCWriteBytes())
+		}
+		if e.OOCWindowPeakBytes() <= 0 {
+			t.Fatal("ooc run reported no window peak")
+		}
+		if e.OOCPartitions() < 1 {
+			t.Fatalf("ooc partitions = %d", e.OOCPartitions())
+		}
+	}
+	return prog, run.Result(), trace
+}
+
+// stripOOC zeroes the ooc-only counters so in-memory and out-of-core results
+// can be compared for bit-identity everywhere else.
+func stripOOC(res *sim.JobResult, trace *sim.Trace) {
+	res.OOCReadBytes, res.OOCWriteBytes, res.OOCWindowPeakBytes = 0, 0, 0
+	for i := range trace.Rows {
+		trace.Rows[i].OOCReadBytes = 0
+		trace.Rows[i].OOCWriteBytes = 0
+		trace.Rows[i].OOCWindowPeakBytes = 0
+	}
+}
+
+func TestOOCMatchesInMemoryBitForBit(t *testing.T) {
+	g := graph.GenerateChungLu(400, 2400, 2.5, 9)
+	for _, k := range []int{1, 3, 4} {
+		ref, refRes, refTrace := oocJob(t, g, k, nil)
+		prog, res, trace := oocJob(t, g, k, &OOCOptions[hopMsg]{
+			Codec: hopCodec{}, Dir: t.TempDir(), Partitions: 5,
+		})
+		if !reflect.DeepEqual(ref.dist, prog.dist) {
+			t.Fatalf("k=%d: ooc results diverge from in-memory", k)
+		}
+		stripOOC(&res, trace)
+		if !reflect.DeepEqual(refRes, res) {
+			t.Fatalf("k=%d: job results differ:\n in-mem %+v\n ooc    %+v", k, refRes, res)
+		}
+		if !reflect.DeepEqual(refTrace.Rows, trace.Rows) {
+			t.Fatalf("k=%d: per-round traces differ", k)
+		}
+	}
+}
+
+func TestOOCDerivedPartitionsRespectBudget(t *testing.T) {
+	g := graph.GenerateChungLu(500, 3000, 2.5, 7)
+	part := graph.HashPartition(g.NumVertices(), 4)
+	prog := newBFS(g.NumVertices(), 0)
+	budget := int64(16 << 10)
+	e := New[hopMsg](g, part, prog, nil, Options[hopMsg]{
+		Seed: 42,
+		OOC:  &OOCOptions[hopMsg]{Codec: hopCodec{}, Dir: t.TempDir(), MemoryBudgetBytes: budget},
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.OOCPartitions() < 2 {
+		t.Fatalf("budget %d derived only %d partitions", budget, e.OOCPartitions())
+	}
+	ref := runBFS(t, g, 4)
+	if !reflect.DeepEqual(ref.dist, prog.dist) {
+		t.Fatal("budget-partitioned run diverges from in-memory")
+	}
+}
+
+func TestOOCWithCombinerAndWeights(t *testing.T) {
+	g := graph.GenerateStar(120)
+	part := graph.HashPartition(120, 3)
+	opts := Options[countMsg]{
+		Seed:     9,
+		Weight:   func(m countMsg) int64 { return m.N },
+		Combiner: func(a, b countMsg) countMsg { return countMsg{N: a.N + b.N} },
+	}
+	mk := func(oo *OOCOptions[countMsg]) sim.JobResult {
+		run := sim.NewRun(sim.JobConfig{Cluster: sim.Galaxy8.WithMachines(3), System: sim.PregelPlus})
+		o := opts
+		o.OOC = oo
+		e := New[countMsg](g, part, &broadcastProg{}, run, o)
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return run.Result()
+	}
+	ref := mk(nil)
+	res := mk(&OOCOptions[countMsg]{Codec: countCodec{}, Dir: t.TempDir(), Partitions: 4})
+	res.OOCReadBytes, res.OOCWriteBytes, res.OOCWindowPeakBytes = 0, 0, 0
+	if !reflect.DeepEqual(ref, res) {
+		t.Fatalf("combined/weighted ooc run differs:\n in-mem %+v\n ooc    %+v", ref, res)
+	}
+}
+
+// jumpProg exercises ActivateNextRound under ooc: every vertex re-arms
+// itself for a fixed number of rounds without sending messages.
+type jumpProg struct {
+	rounds []int
+	limit  int
+}
+
+func (p *jumpProg) Seed(ctx vcapi.Context[hopMsg]) {
+	c := ctx.(*Context[hopMsg])
+	for _, v := range c.OwnedVertices() {
+		c.Aggregate("seen", 1)
+		c.ActivateNextRound(v)
+	}
+}
+
+func (p *jumpProg) Compute(ctx vcapi.Context[hopMsg], v graph.VertexID, msgs []hopMsg) {
+	c := ctx.(*Context[hopMsg])
+	p.rounds[v]++
+	c.Aggregate("seen", 1)
+	if p.rounds[v] < p.limit {
+		c.ActivateNextRound(v)
+	}
+}
+
+func TestOOCForcedActivation(t *testing.T) {
+	g := graph.GenerateRing(30)
+	part := graph.HashPartition(30, 3)
+	prog := &jumpProg{rounds: make([]int, 30), limit: 4}
+	e := New[hopMsg](g, part, prog, nil, Options[hopMsg]{
+		OOC: &OOCOptions[hopMsg]{Codec: hopCodec{}, Dir: t.TempDir(), Partitions: 2},
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for v, r := range prog.rounds {
+		if r != prog.limit {
+			t.Fatalf("vertex %d computed %d rounds, want %d", v, r, prog.limit)
+		}
+	}
+}
+
+func TestOOCForcesSequentialWorkers(t *testing.T) {
+	g := graph.GenerateRing(12)
+	part := graph.HashPartition(12, 2)
+	e := New[hopMsg](g, part, newBFS(12, 0), nil, Options[hopMsg]{
+		Workers: 8,
+		OOC:     &OOCOptions[hopMsg]{Codec: hopCodec{}, Dir: t.TempDir()},
+	})
+	if e.Workers() != 1 {
+		t.Fatalf("ooc run resolved %d workers, want 1", e.Workers())
+	}
+}
+
+func TestOOCValidation(t *testing.T) {
+	g := graph.GenerateRing(8)
+	part := graph.HashPartition(8, 2)
+	cases := []struct {
+		name string
+		opts Options[hopMsg]
+	}{
+		{"missing codec", Options[hopMsg]{OOC: &OOCOptions[hopMsg]{}}},
+		{"spill conflict", Options[hopMsg]{
+			OOC:   &OOCOptions[hopMsg]{Codec: hopCodec{}},
+			Spill: &SpillOptions[hopMsg]{Codec: hopCodec{}, Dir: "x", ThresholdMsgs: 1},
+		}},
+		{"sub-step conflict", Options[hopMsg]{
+			OOC: &OOCOptions[hopMsg]{Codec: hopCodec{}}, MaxInboxPerStep: 10,
+		}},
+		{"checkpoint conflict", Options[hopMsg]{
+			OOC: &OOCOptions[hopMsg]{Codec: hopCodec{}}, Checkpoint: &CheckpointOptions[hopMsg]{Codec: hopCodec{}, Dir: "x", Interval: 1},
+		}},
+	}
+	for _, tc := range cases {
+		e := New[hopMsg](g, part, newBFS(8, 0), nil, tc.opts)
+		if err := e.Run(); err == nil {
+			t.Fatalf("%s: expected a configuration error", tc.name)
+		}
+	}
+}
+
+func TestOOCStatsPopulated(t *testing.T) {
+	g := graph.GenerateChungLu(200, 1000, 2.5, 3)
+	part := graph.HashPartition(200, 2)
+	var st ooc.IOStats
+	e := New[hopMsg](g, part, newBFS(200, 0), nil, Options[hopMsg]{
+		OOC: &OOCOptions[hopMsg]{Codec: hopCodec{}, Dir: t.TempDir(), Partitions: 3, Stats: &st},
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if st.ReadBytes <= 0 || st.WriteBytes <= 0 {
+		t.Fatalf("wall-clock stats not populated: %+v", st)
+	}
+	if st.BytesPerSec() <= 0 {
+		t.Fatal("no measured bandwidth")
+	}
+}

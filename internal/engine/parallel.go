@@ -22,16 +22,16 @@ import (
 const parallelDeliverMin = 4096
 
 // effectiveWorkers resolves Options.Workers: 0 means GOMAXPROCS, and modes
-// whose semantics are inherently sequential (out-of-core spilling tracks a
-// global outbox byte stream; Giraph-style sub-step splitting threads a
-// cross-machine processed counter through mid-round observations) force one
-// worker.
+// whose semantics are inherently sequential (out-of-core spilling and
+// partitioned execution track a global emission-ordered byte stream;
+// Giraph-style sub-step splitting threads a cross-machine processed counter
+// through mid-round observations) force one worker.
 func effectiveWorkers[M any](opts Options[M]) int {
 	w := opts.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	if opts.Spill != nil || opts.MaxInboxPerStep > 0 {
+	if opts.Spill != nil || opts.MaxInboxPerStep > 0 || opts.OOC != nil {
 		w = 1
 	}
 	if w < 1 {

@@ -1,12 +1,11 @@
 package engine
 
 import (
-	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
+
+	"vcmt/internal/ooc"
 )
 
 // Codec serializes message payloads for out-of-core buffering. Encode
@@ -23,6 +22,12 @@ type Codec[M any] interface {
 // file in Dir, keeping resident memory bounded regardless of message
 // volume. Spilled envelopes are streamed back at delivery time (§2.2:
 // "the disk is ready to receive the stream of edges and messages").
+//
+// Spill files use the ooc partition file format (kind KindMessages), the
+// one on-disk framing shared with the partitioned out-of-core backend:
+// varint-framed records, a record-count cross-check and a CRC-64 trailer,
+// so a truncated or corrupted spill is detected at drain time instead of
+// silently delivering garbage.
 type SpillOptions[M any] struct {
 	Codec         Codec[M]
 	Dir           string
@@ -30,10 +35,7 @@ type SpillOptions[M any] struct {
 }
 
 type spillState struct {
-	file    *os.File
-	w       *bufio.Writer
-	records int64
-	bytes   int64
+	w *ooc.Writer
 }
 
 // SpilledBytes returns the real bytes written to spill files over the whole
@@ -44,83 +46,80 @@ func (e *Engine[M]) SpilledBytes() int64 { return e.spilledBytes }
 // so far.
 func (e *Engine[M]) SpilledRecords() int64 { return e.spilledRecords }
 
+// newSpillFile reserves a unique file name in the spill directory and opens
+// a partition writer over it.
+func newSpillFile(dir string) (*ooc.Writer, error) {
+	f, err := os.CreateTemp(dir, "vcmt-spill-*.vp")
+	if err != nil {
+		return nil, err
+	}
+	name := f.Name()
+	f.Close()
+	return ooc.Create(name, ooc.KindMessages, false)
+}
+
 // flushSpill writes every buffered outbox envelope to the spill file and
 // truncates the outboxes. Spill mode runs sequentially, so walking the
-// per-machine outboxes in machine order reproduces the exact byte stream
+// per-machine outboxes in machine order reproduces the exact record stream
 // the single-outbox engine wrote: machines execute in index order, hence
 // buffered envelopes of lower-numbered machines chronologically precede
 // those of the machine currently mid-superstep.
 func (e *Engine[M]) flushSpill() {
 	opts := e.opts.Spill
 	if e.spill == nil {
-		f, err := os.CreateTemp(opts.Dir, "vcmt-spill-*.bin")
+		w, err := newSpillFile(opts.Dir)
 		if err != nil {
 			panic(fmt.Sprintf("engine: cannot create spill file: %v", err))
 		}
-		e.spill = &spillState{file: f, w: bufio.NewWriterSize(f, 1<<20)}
+		e.spill = &spillState{w: w}
 	}
-	var scratch [4]byte
+	var scratch []byte
 	for m := range e.outBy {
 		for _, env := range e.outBy[m] {
-			binary.LittleEndian.PutUint32(scratch[:], env.dst)
-			if _, err := e.spill.w.Write(scratch[:]); err != nil {
+			scratch = opts.Codec.Encode(scratch[:0], env.payload)
+			before := e.spill.w.Bytes()
+			if err := e.spill.w.AppendMessage(env.dst, scratch); err != nil {
 				panic(fmt.Sprintf("engine: spill write: %v", err))
 			}
-			payload := opts.Codec.Encode(nil, env.payload)
-			if len(payload) > 255 {
-				panic("engine: spill payloads are limited to 255 bytes")
-			}
-			if err := e.spill.w.WriteByte(byte(len(payload))); err != nil {
-				panic(fmt.Sprintf("engine: spill write: %v", err))
-			}
-			if _, err := e.spill.w.Write(payload); err != nil {
-				panic(fmt.Sprintf("engine: spill write: %v", err))
-			}
-			e.spill.records++
-			rec := int64(4 + 1 + len(payload))
-			e.spill.bytes += rec
 			e.spilledRecords++
-			e.spilledBytes += rec
+			e.spilledBytes += e.spill.w.Bytes() - before
 		}
 		e.outBy[m] = e.outBy[m][:0]
 	}
 	e.outPending = 0
 }
 
-// drainSpill reads back every spilled envelope of the current superstep and
-// removes the spill file. It returns nil when nothing was spilled.
+// drainSpill seals and reads back every spilled envelope of the current
+// superstep — verifying the record count and checksum — and removes the
+// spill file. It returns nil when nothing was spilled.
 func (e *Engine[M]) drainSpill() []envelope[M] {
 	if e.spill == nil {
 		return nil
 	}
 	st := e.spill
 	e.spill = nil
-	defer func() {
-		name := st.file.Name()
-		st.file.Close()
-		os.Remove(name)
-	}()
-	if err := st.w.Flush(); err != nil {
+	path := st.w.Path()
+	records := st.w.Records()
+	if _, err := st.w.Finish(); err != nil {
 		panic(fmt.Sprintf("engine: spill flush: %v", err))
 	}
-	if _, err := st.file.Seek(0, io.SeekStart); err != nil {
-		panic(fmt.Sprintf("engine: spill seek: %v", err))
+	defer os.Remove(path)
+	r, err := ooc.Open(path)
+	if err != nil {
+		panic(fmt.Sprintf("engine: spill open: %v", err))
 	}
-	r := bufio.NewReaderSize(st.file, 1<<20)
-	envs := make([]envelope[M], 0, st.records)
-	var hdr [5]byte
-	buf := make([]byte, 255)
-	for i := int64(0); i < st.records; i++ {
-		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	defer r.Close()
+	envs := make([]envelope[M], 0, records)
+	for {
+		dst, payload, err := r.NextMessage()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
 			panic(fmt.Sprintf("engine: spill read: %v", err))
 		}
-		dst := binary.LittleEndian.Uint32(hdr[:4])
-		n := int(hdr[4])
-		if _, err := io.ReadFull(r, buf[:n]); err != nil {
-			panic(fmt.Sprintf("engine: spill read: %v", err))
-		}
-		m, used := e.opts.Spill.Codec.Decode(buf[:n])
-		if used != n {
+		m, used := e.opts.Spill.Codec.Decode(payload)
+		if used != len(payload) {
 			panic("engine: spill codec decoded wrong length")
 		}
 		envs = append(envs, envelope[M]{dst: dst, payload: m})
@@ -133,8 +132,6 @@ func (e *Engine[M]) CleanupSpill() {
 	if e.spill == nil {
 		return
 	}
-	name := e.spill.file.Name()
-	e.spill.file.Close()
-	os.Remove(filepath.Clean(name))
+	e.spill.w.Abort()
 	e.spill = nil
 }

@@ -91,7 +91,7 @@ func FigureAdaptive(o Options) ([]AdaptivePoint, error) {
 		trainCfg := cfg
 		trainCfg.StatScale *= c.bias
 		mk := func() tasks.Job {
-			job, err := s.makeJob(g, part, total, o.seed()+17, o.Workers)
+			job, err := s.makeJob(g, part, total, o.seed()+17, o)
 			if err != nil {
 				panic(err)
 			}

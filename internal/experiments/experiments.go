@@ -46,6 +46,12 @@ type Options struct {
 	// engine.Options.Workers: 0 = GOMAXPROCS, 1 = sequential). Results are
 	// identical for every value; only wall-clock time changes.
 	Workers int
+	// OOC routes every synchronous engine job through the partitioned
+	// out-of-core backend (tasks.OOCConfig). Task results are bit-identical;
+	// out-of-core system profiles (GraphD) price their disk phase from the
+	// measured partition-file traffic instead of the stream-fraction
+	// estimate. Ignored by asynchronous (GAS) settings.
+	OOC *tasks.OOCConfig
 }
 
 func (o Options) seed() uint64 {
@@ -206,7 +212,7 @@ func (s setting) jobConfig(d graph.DatasetSpec, replicaW int) sim.JobConfig {
 }
 
 // makeJob builds a fresh job for one run of the setting.
-func (s setting) makeJob(g *graph.Graph, part *graph.Partition, replicaW int, seed uint64, workers int) (tasks.Job, error) {
+func (s setting) makeJob(g *graph.Graph, part *graph.Partition, replicaW int, seed uint64, o Options) (tasks.Job, error) {
 	async := s.system.Async == sim.FullAsync
 	switch s.task {
 	case BPPR:
@@ -216,8 +222,9 @@ func (s setting) makeJob(g *graph.Graph, part *graph.Partition, replicaW int, se
 			Async:              async,
 			Seed:               seed,
 			MaxRounds:          5000,
-			Workers:            workers,
+			Workers:            o.Workers,
 			StopWhenOverloaded: false,
+			OOC:                o.OOC,
 		}), nil
 	case MSSP:
 		return tasks.NewMSSP(g, part, tasks.MSSPConfig{
@@ -226,8 +233,9 @@ func (s setting) makeJob(g *graph.Graph, part *graph.Partition, replicaW int, se
 			Async:              async,
 			Seed:               seed,
 			MaxRounds:          5000,
-			Workers:            workers,
+			Workers:            o.Workers,
 			StopWhenOverloaded: false,
+			OOC:                o.OOC,
 		})
 	case BKHS:
 		return tasks.NewBKHS(g, part, tasks.BKHSConfig{
@@ -237,8 +245,9 @@ func (s setting) makeJob(g *graph.Graph, part *graph.Partition, replicaW int, se
 			Async:              async,
 			Seed:               seed,
 			MaxRounds:          5000,
-			Workers:            workers,
+			Workers:            o.Workers,
 			StopWhenOverloaded: false,
+			OOC:                o.OOC,
 		}), nil
 	default:
 		return nil, fmt.Errorf("experiments: unknown task %q", s.task)
@@ -276,7 +285,7 @@ func (s setting) run(o Options, labelSuffix string) (Series, error) {
 	}
 	series := Series{Label: s.label(labelSuffix)}
 	for _, k := range batches {
-		job, err := s.makeJob(g, part, replicaW, s.seed+uint64(k)*101, o.Workers)
+		job, err := s.makeJob(g, part, replicaW, s.seed+uint64(k)*101, o)
 		if err != nil {
 			return Series{}, err
 		}

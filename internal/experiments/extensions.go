@@ -198,7 +198,7 @@ func AblationUnequalBatching(o Options) (AblationResult, error) {
 	total := s.replicaWorkload(o)
 	cfg := s.jobConfig(d, total)
 	runSched := func(sched batch.Schedule) (sim.JobResult, error) {
-		job, err := s.makeJob(g, part, total, o.seed(), o.Workers)
+		job, err := s.makeJob(g, part, total, o.seed(), o)
 		if err != nil {
 			return sim.JobResult{}, err
 		}

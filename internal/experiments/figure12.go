@@ -101,7 +101,7 @@ func figure12Point(o Options, d graph.DatasetSpec, g *graph.Graph, part *graph.P
 	mk := func() tasks.Job {
 		// The factory is reused for training (small workloads) and for the
 		// evaluation run (replicaW); each call returns a fresh job.
-		job, err := s.makeJob(g, part, replicaW, o.seed()+17, o.Workers)
+		job, err := s.makeJob(g, part, replicaW, o.seed()+17, o)
 		if err != nil {
 			panic(err)
 		}

@@ -363,7 +363,7 @@ func Figure9(o Options) (map[string][]Figure9Point, error) {
 			if w <= 0 {
 				return 0, false, nil
 			}
-			job, err := base.makeJob(g, part, w, seed, o.Workers)
+			job, err := base.makeJob(g, part, w, seed, o)
 			if err != nil {
 				return 0, false, err
 			}
@@ -379,7 +379,7 @@ func Figure9(o Options) (map[string][]Figure9Point, error) {
 		}
 		for delta := -4 * step; delta <= 4*step; delta += step {
 			sched := batch.TwoUnequal(total, delta)
-			job, err := base.makeJob(g, part, total, o.seed()+uint64(delta+1e6), o.Workers)
+			job, err := base.makeJob(g, part, total, o.seed()+uint64(delta+1e6), o)
 			if err != nil {
 				return nil, err
 			}

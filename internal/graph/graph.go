@@ -179,6 +179,36 @@ func (b *Builder) Build() *Graph {
 	return g
 }
 
+// NewCSRView wraps pre-built CSR arrays as a Graph without copying. The
+// out-of-core runner uses it to present one streamed edge partition as a
+// full-width graph: offsets spans all n vertices, with zero degree outside
+// the partition, so NumVertices and current-vertex Neighbors/Weights behave
+// exactly like the in-memory graph. The arrays are aliased, not copied; the
+// caller must not mutate them while the view is in use.
+func NewCSRView(n int, offsets []int64, adj []VertexID, weights []float32) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	if len(offsets) != n+1 {
+		return nil, fmt.Errorf("graph: offsets length %d, want %d", len(offsets), n+1)
+	}
+	if n > 0 && offsets[0] != 0 {
+		return nil, fmt.Errorf("graph: offsets[0] = %d, want 0", offsets[0])
+	}
+	for v := 0; v < n; v++ {
+		if offsets[v+1] < offsets[v] {
+			return nil, fmt.Errorf("graph: offsets decrease at vertex %d", v)
+		}
+	}
+	if n > 0 && offsets[n] != int64(len(adj)) {
+		return nil, fmt.Errorf("graph: offsets[n] = %d, want %d", offsets[n], len(adj))
+	}
+	if weights != nil && len(weights) != len(adj) {
+		return nil, fmt.Errorf("graph: %d weights for %d edges", len(weights), len(adj))
+	}
+	return &Graph{n: n, offsets: offsets, adj: adj, weights: weights}, nil
+}
+
 // FromAdjacency constructs a graph directly from adjacency lists, useful in
 // tests. adj[v] lists the out-neighbors of v.
 func FromAdjacency(adj [][]VertexID) *Graph {

@@ -33,6 +33,7 @@ type Collector struct {
 	overflowed bool
 	lastSim    float64
 	adaptive   *AdaptiveSection
+	oocPeak    int64
 
 	// tracer, when non-nil, receives the run's span hierarchy on the
 	// simulated-time axis: run → batch → superstep → per-machine phases.
@@ -60,6 +61,8 @@ type batchRecord struct {
 	phases     PhaseBreakdown
 	spillBytes int64
 	spillRecs  int64
+	oocRead    int64
+	oocWrite   int64
 }
 
 type machineAgg struct {
@@ -170,6 +173,8 @@ func (c *Collector) OnRound(o sim.RoundObservation) {
 		b.phases.Add(ph)
 		b.spillBytes += o.Stats.SpilledBytes
 		b.spillRecs += o.Stats.SpilledRecords
+		b.oocRead += o.Stats.OOCReadBytes
+		b.oocWrite += o.Stats.OOCWriteBytes
 	}
 	for len(c.machines) < len(o.Stats.PerMachine) {
 		c.machines = append(c.machines, machineAgg{})
@@ -270,6 +275,46 @@ func (c *Collector) OnRound(o sim.RoundObservation) {
 			Round:      o.Round,
 			SpillBytes: o.Stats.SpilledBytes,
 			SpillRecs:  o.Stats.SpilledRecords,
+		})
+	}
+	if o.Stats.OOCReadBytes > 0 || o.Stats.OOCWriteBytes > 0 {
+		c.reg.Counter("ooc_read_bytes_total").Add(o.Stats.OOCReadBytes)
+		c.reg.Counter("ooc_write_bytes_total").Add(o.Stats.OOCWriteBytes)
+		if o.Stats.OOCWindowPeakBytes > c.oocPeak {
+			c.oocPeak = o.Stats.OOCWindowPeakBytes
+		}
+		c.reg.Gauge("ooc_window_peak_bytes").Set(float64(c.oocPeak))
+		if c.tracer != nil {
+			// Partition-file lifecycle spans: the flush (write side) and the
+			// load (read side) of this round's partition IO, laid out over
+			// the round's disk phase proportionally to their byte shares.
+			roundEnd := usec(o.CumSeconds)
+			roundStart := roundEnd - usec(o.Result.Seconds)
+			if roundStart < c.batchStartUS {
+				roundStart = c.batchStartUS
+			}
+			total := o.Stats.OOCReadBytes + o.Stats.OOCWriteBytes
+			diskUS := usec(o.Result.DiskSeconds)
+			if diskUS > roundEnd-roundStart {
+				diskUS = roundEnd - roundStart
+			}
+			flushUS := diskUS * o.Stats.OOCWriteBytes / total
+			c.tracer.Add(c.simParent(), "ooc flush", "ooc", 0, 0, roundStart, flushUS,
+				L("round", strconv.Itoa(o.Round)),
+				L("write_bytes", strconv.FormatInt(o.Stats.OOCWriteBytes, 10)))
+			c.tracer.Add(c.simParent(), "ooc load", "ooc", 0, 0, roundStart+flushUS, diskUS-flushUS,
+				L("round", strconv.Itoa(o.Round)),
+				L("read_bytes", strconv.FormatInt(o.Stats.OOCReadBytes, 10)),
+				L("window_bytes", strconv.FormatInt(o.Stats.OOCWindowPeakBytes, 10)))
+		}
+		c.events.Emit(Event{
+			Type:           EventOOC,
+			SimSeconds:     o.CumSeconds,
+			Batch:          o.Batch,
+			Round:          o.Round,
+			OOCReadBytes:   o.Stats.OOCReadBytes,
+			OOCWriteBytes:  o.Stats.OOCWriteBytes,
+			OOCWindowBytes: o.Stats.OOCWindowPeakBytes,
 		})
 	}
 	if o.Result.Overflow && !c.overflowed {

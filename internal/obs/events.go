@@ -33,6 +33,12 @@ type Event struct {
 	Tenant         string  `json:"tenant,omitempty"`
 	Reason         string  `json:"reason,omitempty"`
 	PredictedBytes float64 `json:"predicted_bytes,omitempty"`
+
+	// Out-of-core partitioned-execution fields (the ooc event). Appended
+	// with omitempty so in-memory event logs stay byte-identical.
+	OOCReadBytes   int64 `json:"ooc_read_bytes,omitempty"`
+	OOCWriteBytes  int64 `json:"ooc_write_bytes,omitempty"`
+	OOCWindowBytes int64 `json:"ooc_window_bytes,omitempty"`
 }
 
 // Event types emitted by the Collector.
@@ -41,6 +47,7 @@ const (
 	EventBatchEnd   = "batch_end"
 	EventSuperstep  = "superstep"
 	EventSpill      = "spill"
+	EventOOC        = "ooc"        // one round's partition-file IO (out-of-core backend)
 	EventOverload   = "overload"   // cumulative simulated time crossed the cutoff
 	EventOverflow   = "overflow"   // a machine's memory demand passed the overflow ratio
 	EventCheckpoint = "checkpoint" // a checkpoint was cut at a superstep barrier

@@ -53,18 +53,26 @@ type ResultSummary struct {
 	Recoveries         int     `json:"recoveries,omitempty"`
 	RoundsLost         int     `json:"rounds_lost,omitempty"`
 	RecoverySeconds    float64 `json:"recovery_seconds,omitempty"`
+
+	// Out-of-core partitioned-execution counters (measured encoded bytes);
+	// omitted for in-memory runs so their reports stay byte-identical.
+	OOCReadBytes       int64 `json:"ooc_read_bytes,omitempty"`
+	OOCWriteBytes      int64 `json:"ooc_write_bytes,omitempty"`
+	OOCWindowPeakBytes int64 `json:"ooc_window_peak_bytes,omitempty"`
 }
 
 // BatchReport is one batch's share of the run.
 type BatchReport struct {
-	Batch        int            `json:"batch"`
-	StartSeconds float64        `json:"start_seconds"` // simulated time when the batch began
-	Rounds       int            `json:"rounds"`
-	Seconds      float64        `json:"seconds"`
-	LogicalMsgs  float64        `json:"logical_msgs"`
-	Phases       PhaseBreakdown `json:"phases"`
-	SpilledBytes int64          `json:"spilled_bytes,omitempty"`
-	SpilledRecs  int64          `json:"spilled_records,omitempty"`
+	Batch         int            `json:"batch"`
+	StartSeconds  float64        `json:"start_seconds"` // simulated time when the batch began
+	Rounds        int            `json:"rounds"`
+	Seconds       float64        `json:"seconds"`
+	LogicalMsgs   float64        `json:"logical_msgs"`
+	Phases        PhaseBreakdown `json:"phases"`
+	SpilledBytes  int64          `json:"spilled_bytes,omitempty"`
+	SpilledRecs   int64          `json:"spilled_records,omitempty"`
+	OOCReadBytes  int64          `json:"ooc_read_bytes,omitempty"`
+	OOCWriteBytes int64          `json:"ooc_write_bytes,omitempty"`
 }
 
 // MachineReport aggregates one simulated machine over the whole run — the
@@ -97,6 +105,11 @@ type SuperstepReport struct {
 	SkewRatio    float64        `json:"skew_ratio"`
 	SpilledBytes int64          `json:"spilled_bytes,omitempty"`
 	SpilledRecs  int64          `json:"spilled_records,omitempty"`
+	// Out-of-core partition-file IO for this round (trailing omitempty so
+	// in-memory rows are unchanged).
+	OOCReadBytes       int64 `json:"ooc_read_bytes,omitempty"`
+	OOCWriteBytes      int64 `json:"ooc_write_bytes,omitempty"`
+	OOCWindowPeakBytes int64 `json:"ooc_window_peak_bytes,omitempty"`
 }
 
 // SkewSummary condenses the run's machine imbalance.
@@ -158,6 +171,10 @@ func (c *Collector) Report(meta RunMeta, res sim.JobResult) *RunReport {
 			Recoveries:         res.Recoveries,
 			RoundsLost:         res.RoundsLost,
 			RecoverySeconds:    res.RecoverySeconds,
+
+			OOCReadBytes:       res.OOCReadBytes,
+			OOCWriteBytes:      res.OOCWriteBytes,
+			OOCWindowPeakBytes: res.OOCWindowPeakBytes,
 		},
 		Phases: c.phases,
 	}
@@ -182,6 +199,10 @@ func (c *Collector) Report(meta RunMeta, res sim.JobResult) *RunReport {
 			SkewRatio:    o.Result.SkewRatio,
 			SpilledBytes: o.Stats.SpilledBytes,
 			SpilledRecs:  o.Stats.SpilledRecords,
+
+			OOCReadBytes:       o.Stats.OOCReadBytes,
+			OOCWriteBytes:      o.Stats.OOCWriteBytes,
+			OOCWindowPeakBytes: o.Stats.OOCWindowPeakBytes,
 		})
 		if r.logicalMsgs > 0 {
 			skewSum += o.Result.SkewRatio
@@ -202,6 +223,9 @@ func (c *Collector) Report(meta RunMeta, res sim.JobResult) *RunReport {
 			Phases:       b.phases,
 			SpilledBytes: b.spillBytes,
 			SpilledRecs:  b.spillRecs,
+
+			OOCReadBytes:  b.oocRead,
+			OOCWriteBytes: b.oocWrite,
 		})
 	}
 	for m, agg := range c.machines {

@@ -1,0 +1,83 @@
+package ooc
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vcmt/internal/graph"
+)
+
+// BenchmarkPartitionWrite measures streaming a message partition to disk
+// through the framed codec (the Route hot path plus the barrier flush).
+func BenchmarkPartitionWrite(b *testing.B) {
+	dir := b.TempDir()
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	const msgs = 20000
+	b.SetBytes(int64(msgs * len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("b%03d.vp", i%8))
+		w, err := Create(path, KindMessages, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for m := 0; m < msgs; m++ {
+			if err := w.AppendMessage(graph.VertexID(m%4096), payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := w.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPartitionRead measures streaming a message partition back
+// through the verifying decoder (the ReadInbox hot path).
+func BenchmarkPartitionRead(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "r.vp")
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	const msgs = 20000
+	w, err := Create(path, KindMessages, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for m := 0; m < msgs; m++ {
+		w.AppendMessage(graph.VertexID(m%4096), payload)
+	}
+	if _, err := w.Finish(); err != nil {
+		b.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(fi.Size())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for {
+			_, _, err := r.NextMessage()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+		r.Close()
+		if n != msgs {
+			b.Fatalf("decoded %d messages, want %d", n, msgs)
+		}
+	}
+}

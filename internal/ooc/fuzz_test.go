@@ -1,0 +1,120 @@
+package ooc
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"vcmt/internal/graph"
+)
+
+// FuzzPartitionDecode drives the partition reader over arbitrary bytes: it
+// must never panic, anything it rejects must carry the typed ErrCorrupt
+// sentinel (possibly via ErrVersion), and any file it fully accepts must
+// re-encode canonically to the identical bytes. The seed corpus covers
+// valid files of both kinds, truncations at structural edges, bad versions,
+// hostile length prefixes and a count mismatch.
+func FuzzPartitionDecode(f *testing.F) {
+	var msgFile bytes.Buffer
+	mw := NewWriter(&msgFile, KindMessages, false)
+	mw.AppendMessage(1, []byte("alpha"))
+	mw.AppendMessage(300, nil)
+	mw.AppendMessage(1<<31, []byte{0xff, 0x00})
+	mw.Finish()
+	f.Add(msgFile.Bytes())
+
+	var edgeFile bytes.Buffer
+	ew := NewWriter(&edgeFile, KindEdges, false)
+	ew.AppendEdges(0, []graph.VertexID{1, 2, 3}, nil)
+	ew.AppendEdges(7, nil, nil)
+	ew.Finish()
+	f.Add(edgeFile.Bytes())
+
+	var wEdgeFile bytes.Buffer
+	ww := NewWriter(&wEdgeFile, KindEdges, true)
+	ww.AppendEdges(2, []graph.VertexID{9}, []float32{1.5})
+	ww.Finish()
+	f.Add(wEdgeFile.Bytes())
+
+	var empty bytes.Buffer
+	NewWriter(&empty, KindMessages, false).Finish()
+	f.Add(empty.Bytes())
+
+	valid := msgFile.Bytes()
+	f.Add([]byte{})
+	f.Add(valid[:3])                                             // truncated header
+	f.Add(valid[:headerLen])                                     // header only
+	f.Add(valid[:len(valid)-1])                                  // truncated trailer
+	f.Add(valid[:len(valid)-trailerLen-1])                       // missing count+trailer
+	f.Add([]byte{partMagic0, partMagic1, 9, KindMessages, 0})    // bad version
+	f.Add([]byte{partMagic0, partMagic1, Version, 0x7f, 0})      // unknown kind
+	f.Add([]byte{partMagic0, partMagic1, Version, KindEdges, 4}) // unknown flag
+	// Hostile record length.
+	f.Add(append(append([]byte{}, valid[:headerLen]...), 0xff, 0xff, 0xff, 0xff, 0x7f))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("NewReader: untyped error %v", err)
+			}
+			return
+		}
+		var msgs []msgRec
+		var edges []edgeRec
+		for {
+			if r.Kind() == KindMessages {
+				dst, payload, err := r.NextMessage()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					if !errors.Is(err, ErrCorrupt) {
+						t.Fatalf("NextMessage: untyped error %v", err)
+					}
+					return
+				}
+				msgs = append(msgs, msgRec{dst, append([]byte(nil), payload...)})
+			} else {
+				v, nbrs, wts, err := r.NextEdges()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					if !errors.Is(err, ErrCorrupt) {
+						t.Fatalf("NextEdges: untyped error %v", err)
+					}
+					return
+				}
+				edges = append(edges, edgeRec{
+					v:    v,
+					nbrs: append([]graph.VertexID(nil), nbrs...),
+					wts:  append([]float32(nil), wts...),
+				})
+			}
+		}
+		// Accepted files must be canonical: re-encoding the decoded records
+		// reproduces the input bit-for-bit.
+		var re bytes.Buffer
+		w := NewWriter(&re, r.Kind(), r.Weighted())
+		for _, m := range msgs {
+			w.AppendMessage(m.dst, m.payload)
+		}
+		for _, e := range edges {
+			wts := e.wts
+			if !r.Weighted() {
+				wts = nil
+			} else if wts == nil {
+				wts = []float32{}
+			}
+			w.AppendEdges(e.v, e.nbrs, wts)
+		}
+		if _, err := w.Finish(); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(re.Bytes(), data) {
+			t.Fatalf("accepted file is not canonical:\n in %x\nout %x", data, re.Bytes())
+		}
+	})
+}

@@ -1,0 +1,506 @@
+package ooc
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"vcmt/internal/graph"
+)
+
+// IOStats accumulates measured wall-clock IO from a run. Unlike the encoded
+// byte counters the runner reports per round (which are deterministic and
+// flow into reports), these include real seconds and exist only to display
+// observed disk bandwidth and to recalibrate core.DiskTune from measurement
+// instead of constants. They never enter deterministic output.
+type IOStats struct {
+	ReadBytes    int64
+	WriteBytes   int64
+	ReadSeconds  float64
+	WriteSeconds float64
+}
+
+// BytesPerSec returns the observed streaming bandwidth, or 0 when there is
+// no signal yet.
+func (s *IOStats) BytesPerSec() float64 {
+	if s == nil {
+		return 0
+	}
+	sec := s.ReadSeconds + s.WriteSeconds
+	b := s.ReadBytes + s.WriteBytes
+	if sec <= 0 || b <= 0 {
+		return 0
+	}
+	return float64(b) / sec
+}
+
+// Config parameterizes a PartitionedRunner.
+type Config struct {
+	// Dir is the directory for partition files. Empty means a private
+	// temporary directory that Close removes.
+	Dir string
+	// MemoryBudgetBytes bounds the resident window: one partition's edge
+	// file plus its inbox. When Partitions is 0 the partition count is
+	// derived so each edge partition fits in half the budget.
+	MemoryBudgetBytes int64
+	// Partitions fixes the partition count; 0 derives it from the budget.
+	Partitions int
+	// Stats, when non-nil, accumulates measured wall-clock IO.
+	Stats *IOStats
+}
+
+// Inbox holds one partition's delivered messages in arrival order, which —
+// because senders execute in the deterministic global order and appends
+// preserve emission order — is the global chronological emission order
+// restricted to this partition. Payload i is Data[Offs[i]:Offs[i+1]].
+type Inbox struct {
+	Dsts []graph.VertexID
+	Offs []int32
+	Data []byte
+	// Bytes is the resident footprint charged against the memory window.
+	Bytes int64
+}
+
+// Reset empties the inbox, keeping capacity.
+func (ib *Inbox) Reset() {
+	ib.Dsts = ib.Dsts[:0]
+	ib.Offs = append(ib.Offs[:0], 0)
+	ib.Data = ib.Data[:0]
+	ib.Bytes = 0
+}
+
+// Len returns the number of messages.
+func (ib *Inbox) Len() int { return len(ib.Dsts) }
+
+// Payload returns message i's payload.
+func (ib *Inbox) Payload(i int) []byte { return ib.Data[ib.Offs[i]:ib.Offs[i+1]] }
+
+// PartitionedRunner executes supersteps out-of-core: the vertex execution
+// order (machine-major, exactly the sequential engine's order) is cut into
+// contiguous partitions; each partition's edges live in a sorted partition
+// file written once up front, and messages are routed at send time into
+// per-destination-partition append files that become the next superstep's
+// inboxes at the barrier. At any moment only one partition's edge window
+// and inbox are resident — the bounded memory window.
+type PartitionedRunner struct {
+	g        *graph.Graph
+	dir      string
+	ownsDir  bool
+	n        int
+	parts    int
+	order    []graph.VertexID // machine-major execution order (all n vertices)
+	pos      []int32          // vertex -> index in order
+	partOf   []int32          // vertex -> partition
+	starts   []int            // len parts+1; order[starts[p]:starts[p+1]] is partition p
+	weighted bool
+
+	edgePaths []string
+	edgeBytes []int64 // encoded size of each edge partition file
+
+	cur []*Writer // next superstep's inbox files, keyed by partition
+	in  []string  // current superstep's readable inbox files ("" = none)
+	seq int64     // file-name sequence
+
+	// Deterministic per-round accounting in encoded bytes; consumed by
+	// TakeRoundIO at each barrier.
+	readBytes   int64
+	writeBytes  int64
+	windowPeak  int64
+	curWinBytes int64
+
+	stats *IOStats
+
+	// Window scratch, reused across partitions.
+	deg  []int32
+	offs []int64
+	adj  []graph.VertexID
+	wts  []float32
+}
+
+// NewRunner partitions the execution order and writes the edge partition
+// files. order must contain every vertex of g exactly once; it defines both
+// the partition cuts (contiguous ranges) and the in-partition execution
+// order, so the caller's deterministic vertex order is preserved exactly.
+func NewRunner(g *graph.Graph, order []graph.VertexID, cfg Config) (*PartitionedRunner, error) {
+	n := g.NumVertices()
+	if len(order) != n {
+		return nil, fmt.Errorf("ooc: order has %d vertices, graph has %d", len(order), n)
+	}
+	dir, ownsDir := cfg.Dir, false
+	if dir == "" {
+		d, err := os.MkdirTemp("", "vcooc-")
+		if err != nil {
+			return nil, err
+		}
+		dir, ownsDir = d, true
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+
+	r := &PartitionedRunner{
+		g: g, dir: dir, ownsDir: ownsDir, n: n,
+		order: order, weighted: g.Weighted(), stats: cfg.Stats,
+		pos: make([]int32, n), partOf: make([]int32, n),
+		deg: make([]int32, n), offs: make([]int64, n+1),
+	}
+	seen := make([]bool, n)
+	for i, v := range order {
+		if int(v) >= n || seen[v] {
+			r.cleanupDir()
+			return nil, fmt.Errorf("ooc: order is not a permutation (vertex %d)", v)
+		}
+		seen[v] = true
+		r.pos[v] = int32(i)
+	}
+
+	// Estimated encoded edge bytes per vertex: two varints plus ~5 bytes
+	// per neighbor (varint ID + optional weight). Used only to derive the
+	// partition count; actual sizes are measured when the files are written.
+	perNbr := int64(5)
+	if r.weighted {
+		perNbr = 9
+	}
+	estBytes := int64(n)*10 + g.NumEdges()*perNbr
+	r.parts = cfg.Partitions
+	if r.parts <= 0 {
+		r.parts = 1
+		if cfg.MemoryBudgetBytes > 0 {
+			half := cfg.MemoryBudgetBytes / 2
+			if half < 1 {
+				half = 1
+			}
+			r.parts = int((estBytes + half - 1) / half)
+		}
+	}
+	if r.parts < 1 {
+		r.parts = 1
+	}
+	if r.parts > n && n > 0 {
+		r.parts = n
+	}
+
+	// Cut the order into parts contiguous ranges, balanced by estimated
+	// edge bytes so the largest edge window stays near estBytes/parts.
+	r.starts = make([]int, r.parts+1)
+	target := (estBytes + int64(r.parts) - 1) / int64(r.parts)
+	p, acc := 0, int64(0)
+	for i, v := range order {
+		r.partOf[v] = int32(p)
+		acc += 10 + int64(g.Degree(v))*perNbr
+		if acc >= target && p < r.parts-1 {
+			p++
+			r.starts[p] = i + 1
+			acc = 0
+		}
+	}
+	for q := p + 1; q <= r.parts; q++ {
+		r.starts[q] = n
+	}
+
+	r.cur = make([]*Writer, r.parts)
+	r.in = make([]string, r.parts)
+	r.edgePaths = make([]string, r.parts)
+	r.edgeBytes = make([]int64, r.parts)
+	if err := r.writeEdgePartitions(); err != nil {
+		r.cleanupDir()
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *PartitionedRunner) cleanupDir() {
+	if r.ownsDir {
+		os.RemoveAll(r.dir)
+	}
+}
+
+// writeEdgePartitions writes each partition's edge records sorted by vertex
+// ID, so Window can rebuild a CSR view with a single ascending sweep.
+func (r *PartitionedRunner) writeEdgePartitions() error {
+	start := time.Now()
+	var written int64
+	verts := make([]graph.VertexID, 0, r.n)
+	for p := 0; p < r.parts; p++ {
+		verts = append(verts[:0], r.order[r.starts[p]:r.starts[p+1]]...)
+		sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+		path := filepath.Join(r.dir, fmt.Sprintf("edges-%04d.vp", p))
+		w, err := Create(path, KindEdges, r.weighted)
+		if err != nil {
+			return err
+		}
+		for _, v := range verts {
+			if err := w.AppendEdges(v, r.g.Neighbors(v), r.g.Weights(v)); err != nil {
+				w.Abort()
+				return err
+			}
+		}
+		nb, err := w.Finish()
+		if err != nil {
+			return err
+		}
+		r.edgePaths[p] = path
+		r.edgeBytes[p] = nb
+		written += nb
+	}
+	// The one-time edge dump is charged to the first round's write counter.
+	r.writeBytes += written
+	if r.stats != nil {
+		r.stats.WriteBytes += written
+		r.stats.WriteSeconds += time.Since(start).Seconds()
+	}
+	return nil
+}
+
+// Partitions returns the partition count.
+func (r *PartitionedRunner) Partitions() int { return r.parts }
+
+// Start returns the index into the execution order where partition p begins.
+func (r *PartitionedRunner) Start(p int) int { return r.starts[p] }
+
+// End returns the index just past partition p's last vertex.
+func (r *PartitionedRunner) End(p int) int { return r.starts[p+1] }
+
+// Order returns the full machine-major execution order.
+func (r *PartitionedRunner) Order() []graph.VertexID { return r.order }
+
+// Pos returns v's index in the execution order.
+func (r *PartitionedRunner) Pos(v graph.VertexID) int { return int(r.pos[v]) }
+
+// EdgeBytes returns the total encoded size of the edge partition files.
+func (r *PartitionedRunner) EdgeBytes() int64 {
+	var t int64
+	for _, b := range r.edgeBytes {
+		t += b
+	}
+	return t
+}
+
+// Route appends one outgoing message to its destination partition's file
+// for the next superstep. Payloads are opaque; appends preserve emission
+// order, which is what makes the merged inbox deterministic.
+func (r *PartitionedRunner) Route(dst graph.VertexID, payload []byte) error {
+	p := r.partOf[dst]
+	w := r.cur[p]
+	if w == nil {
+		var err error
+		w, err = r.newInboxWriter(p)
+		if err != nil {
+			return err
+		}
+		r.cur[p] = w
+	}
+	before := w.Bytes()
+	if err := w.AppendMessage(dst, payload); err != nil {
+		return err
+	}
+	r.writeBytes += w.Bytes() - before
+	return nil
+}
+
+// newInboxWriter opens the append file for partition p and charges its
+// header bytes to the emitting round.
+func (r *PartitionedRunner) newInboxWriter(p int32) (*Writer, error) {
+	r.seq++
+	path := filepath.Join(r.dir, fmt.Sprintf("inbox-%06d-p%04d.vp", r.seq, p))
+	w, err := Create(path, KindMessages, false)
+	if err != nil {
+		return nil, err
+	}
+	r.writeBytes += w.Bytes()
+	return w, nil
+}
+
+// Pending reports whether any routed-but-unread messages exist.
+func (r *PartitionedRunner) Pending() bool {
+	for _, w := range r.cur {
+		if w != nil && w.Records() > 0 {
+			return true
+		}
+	}
+	for _, path := range r.in {
+		if path != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// Barrier seals the current superstep's routed messages: every open append
+// file is finished (trailer written) and becomes the next superstep's
+// readable inbox for its partition.
+func (r *PartitionedRunner) Barrier() error {
+	start := time.Now()
+	var flushed int64
+	for p, w := range r.cur {
+		if w == nil {
+			continue
+		}
+		if r.in[p] != "" {
+			return fmt.Errorf("ooc: partition %d inbox not consumed before barrier", p)
+		}
+		pre := w.Bytes()
+		nb, err := w.Finish()
+		if err != nil {
+			return err
+		}
+		r.writeBytes += nb - pre // end marker, count and trailer
+		r.in[p] = w.Path()
+		r.cur[p] = nil
+		flushed += nb
+	}
+	if r.stats != nil {
+		r.stats.WriteBytes += flushed
+		r.stats.WriteSeconds += time.Since(start).Seconds()
+	}
+	return nil
+}
+
+// Window streams partition p's edge file into a full-width CSR view: n
+// vertices, zero degree outside the partition. The view aliases scratch
+// buffers reused by the next Window call, and its encoded size is charged
+// to the round's read bytes and the resident window.
+func (r *PartitionedRunner) Window(p int) (*graph.Graph, int64, error) {
+	start := time.Now()
+	rd, err := Open(r.edgePaths[p])
+	if err != nil {
+		return nil, 0, err
+	}
+	defer rd.Close()
+	for i := range r.deg {
+		r.deg[i] = 0
+	}
+	r.adj = r.adj[:0]
+	r.wts = r.wts[:0]
+	for {
+		v, nbrs, wts, err := rd.NextEdges()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		if int(v) >= r.n {
+			return nil, 0, corrupt("edge vertex %d out of range", v)
+		}
+		r.deg[v] = int32(len(nbrs))
+		r.adj = append(r.adj, nbrs...)
+		if r.weighted {
+			r.wts = append(r.wts, wts...)
+		}
+	}
+	r.offs[0] = 0
+	for v := 0; v < r.n; v++ {
+		r.offs[v+1] = r.offs[v] + int64(r.deg[v])
+	}
+	var wts []float32
+	if r.weighted {
+		wts = r.wts
+	}
+	g, err := graph.NewCSRView(r.n, r.offs, r.adj, wts)
+	if err != nil {
+		return nil, 0, err
+	}
+	nb := r.edgeBytes[p]
+	r.readBytes += nb
+	r.curWinBytes = nb
+	if nb > r.windowPeak {
+		r.windowPeak = nb
+	}
+	if r.stats != nil {
+		r.stats.ReadBytes += nb
+		r.stats.ReadSeconds += time.Since(start).Seconds()
+	}
+	return g, nb, nil
+}
+
+// ReadInbox streams partition p's inbox file (if any) into ib in arrival
+// order, deletes the file, and charges the resident footprint against the
+// memory window alongside the current edge window.
+func (r *PartitionedRunner) ReadInbox(p int, ib *Inbox) error {
+	ib.Reset()
+	path := r.in[p]
+	if path == "" {
+		return nil
+	}
+	start := time.Now()
+	rd, err := Open(path)
+	if err != nil {
+		return err
+	}
+	var encoded int64
+	for {
+		dst, payload, err := rd.NextMessage()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			rd.Close()
+			return err
+		}
+		if int(dst) >= r.n || r.partOf[dst] != int32(p) {
+			rd.Close()
+			return corrupt("message for vertex %d routed to partition %d", dst, p)
+		}
+		ib.Dsts = append(ib.Dsts, dst)
+		ib.Data = append(ib.Data, payload...)
+		ib.Offs = append(ib.Offs, int32(len(ib.Data)))
+	}
+	rd.Close()
+	if fi, err := os.Stat(path); err == nil {
+		encoded = fi.Size()
+	}
+	os.Remove(path)
+	r.in[p] = ""
+	ib.Bytes = int64(len(ib.Data)) + int64(len(ib.Dsts))*8
+	r.readBytes += encoded
+	if resident := r.curWinBytes + ib.Bytes; resident > r.windowPeak {
+		r.windowPeak = resident
+	}
+	if r.stats != nil {
+		r.stats.ReadBytes += encoded
+		r.stats.ReadSeconds += time.Since(start).Seconds()
+	}
+	return nil
+}
+
+// TakeRoundIO returns and resets the deterministic encoded-byte IO counters
+// accumulated since the previous call: bytes read, bytes written, and the
+// peak resident window (edge window + inbox) observed.
+func (r *PartitionedRunner) TakeRoundIO() (read, write, peak int64) {
+	read, write, peak = r.readBytes, r.writeBytes, r.windowPeak
+	r.readBytes, r.writeBytes, r.windowPeak = 0, 0, 0
+	r.curWinBytes = 0
+	return read, write, peak
+}
+
+// Close releases every partition file and, for runner-owned directories,
+// removes the directory.
+func (r *PartitionedRunner) Close() error {
+	var first error
+	for p, w := range r.cur {
+		if w != nil {
+			w.Abort()
+			r.cur[p] = nil
+		}
+	}
+	for p, path := range r.in {
+		if path != "" {
+			os.Remove(path)
+			r.in[p] = ""
+		}
+	}
+	for _, path := range r.edgePaths {
+		if path != "" {
+			os.Remove(path)
+		}
+	}
+	if r.ownsDir {
+		if err := os.RemoveAll(r.dir); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,249 @@
+package ooc
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+
+	"vcmt/internal/graph"
+)
+
+func testGraph(t *testing.T, n int, weighted bool) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n, weighted)
+	for v := 0; v < n; v++ {
+		for d := 1; d <= 3; d++ {
+			u := graph.VertexID((v + d*7) % n)
+			if weighted {
+				b.AddWeightedEdge(graph.VertexID(v), u, float32(d))
+			} else {
+				b.AddEdge(graph.VertexID(v), u)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func identityOrder(n int) []graph.VertexID {
+	order := make([]graph.VertexID, n)
+	for i := range order {
+		order[i] = graph.VertexID(i)
+	}
+	return order
+}
+
+// TestRunnerWindowMatchesGraph checks that streaming every partition's
+// window reproduces each vertex's adjacency (and weights) exactly.
+func TestRunnerWindowMatchesGraph(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		g := testGraph(t, 97, weighted)
+		r, err := NewRunner(g, identityOrder(97), Config{Dir: t.TempDir(), Partitions: 5})
+		if err != nil {
+			t.Fatalf("NewRunner: %v", err)
+		}
+		defer r.Close()
+		if r.Partitions() != 5 {
+			t.Fatalf("partitions = %d, want 5", r.Partitions())
+		}
+		covered := 0
+		for p := 0; p < r.Partitions(); p++ {
+			win, nb, err := r.Window(p)
+			if err != nil {
+				t.Fatalf("Window(%d): %v", p, err)
+			}
+			if nb <= 0 {
+				t.Fatalf("Window(%d): non-positive size %d", p, nb)
+			}
+			if win.NumVertices() != g.NumVertices() {
+				t.Fatalf("window has %d vertices, want %d", win.NumVertices(), g.NumVertices())
+			}
+			for i := r.Start(p); i < r.End(p); i++ {
+				v := r.Order()[i]
+				covered++
+				want := g.Neighbors(v)
+				got := win.Neighbors(v)
+				if len(got) != len(want) {
+					t.Fatalf("partition %d vertex %d: degree %d, want %d", p, v, len(got), len(want))
+				}
+				for j := range want {
+					if got[j] != want[j] {
+						t.Fatalf("vertex %d neighbor %d mismatch", v, j)
+					}
+					if weighted && win.Weight(v, j) != g.Weight(v, j) {
+						t.Fatalf("vertex %d weight %d mismatch", v, j)
+					}
+				}
+			}
+		}
+		if covered != g.NumVertices() {
+			t.Fatalf("partitions cover %d vertices, want %d", covered, g.NumVertices())
+		}
+	}
+}
+
+// TestRunnerRouteBarrierInbox routes messages in a known order and checks
+// each partition's inbox preserves arrival order, is consumed exactly once,
+// and the files disappear after reading.
+func TestRunnerRouteBarrierInbox(t *testing.T) {
+	g := testGraph(t, 20, false)
+	dir := t.TempDir()
+	r, err := NewRunner(g, identityOrder(20), Config{Dir: dir, Partitions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	type sent struct {
+		dst     graph.VertexID
+		payload string
+	}
+	var all []sent
+	for i := 0; i < 100; i++ {
+		dst := graph.VertexID((i * 13) % 20)
+		payload := string(rune('a'+i%26)) + "x"
+		all = append(all, sent{dst, payload})
+		if err := r.Route(dst, []byte(payload)); err != nil {
+			t.Fatalf("Route: %v", err)
+		}
+	}
+	if !r.Pending() {
+		t.Fatal("Pending false after routing")
+	}
+	if err := r.Barrier(); err != nil {
+		t.Fatalf("Barrier: %v", err)
+	}
+	var ib Inbox
+	got := 0
+	for p := 0; p < r.Partitions(); p++ {
+		if err := r.ReadInbox(p, &ib); err != nil {
+			t.Fatalf("ReadInbox(%d): %v", p, err)
+		}
+		// Expected: the routed messages for this partition in arrival order.
+		var want []sent
+		for _, s := range all {
+			if int(r.partOf[s.dst]) == p {
+				want = append(want, s)
+			}
+		}
+		if ib.Len() != len(want) {
+			t.Fatalf("partition %d: %d messages, want %d", p, ib.Len(), len(want))
+		}
+		for i := 0; i < ib.Len(); i++ {
+			if ib.Dsts[i] != want[i].dst || !bytes.Equal(ib.Payload(i), []byte(want[i].payload)) {
+				t.Fatalf("partition %d message %d out of order", p, i)
+			}
+		}
+		got += ib.Len()
+	}
+	if got != len(all) {
+		t.Fatalf("consumed %d messages, want %d", got, len(all))
+	}
+	if r.Pending() {
+		t.Fatal("Pending true after all inboxes consumed")
+	}
+	read, write, peak := r.TakeRoundIO()
+	if read <= 0 || write <= 0 || peak <= 0 {
+		t.Fatalf("TakeRoundIO = (%d, %d, %d), want all positive", read, write, peak)
+	}
+	if read2, write2, peak2 := r.TakeRoundIO(); read2 != 0 || write2 != 0 || peak2 != 0 {
+		t.Fatal("TakeRoundIO did not reset")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if len(e.Name()) > 5 && e.Name()[:5] == "inbox" {
+			t.Fatalf("inbox file %s survived consumption", e.Name())
+		}
+	}
+}
+
+// TestRunnerDerivesPartitions checks the partition count is derived from the
+// memory budget when unset, and that windows then respect the budget.
+func TestRunnerDerivesPartitions(t *testing.T) {
+	g := testGraph(t, 500, false)
+	budget := int64(2048)
+	r, err := NewRunner(g, identityOrder(500), Config{Dir: t.TempDir(), MemoryBudgetBytes: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Partitions() < 2 {
+		t.Fatalf("budget %d derived only %d partitions", budget, r.Partitions())
+	}
+	for p := 0; p < r.Partitions(); p++ {
+		if _, nb, err := r.Window(p); err != nil {
+			t.Fatal(err)
+		} else if nb > budget {
+			t.Fatalf("partition %d edge window %d exceeds budget %d", p, nb, budget)
+		}
+	}
+}
+
+// TestRunnerStats checks wall-clock IO accumulates into the caller's
+// IOStats and produces a usable bandwidth estimate.
+func TestRunnerStats(t *testing.T) {
+	g := testGraph(t, 50, false)
+	var stats IOStats
+	r, err := NewRunner(g, identityOrder(50), Config{Dir: t.TempDir(), Partitions: 2, Stats: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i := 0; i < 50; i++ {
+		r.Route(graph.VertexID(i), []byte("pppp"))
+	}
+	if err := r.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	var ib Inbox
+	for p := 0; p < r.Partitions(); p++ {
+		if _, _, err := r.Window(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.ReadInbox(p, &ib); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if stats.ReadBytes <= 0 || stats.WriteBytes <= 0 {
+		t.Fatalf("stats bytes = %+v, want positive", stats)
+	}
+	if stats.BytesPerSec() <= 0 {
+		t.Fatalf("BytesPerSec = %v, want positive", stats.BytesPerSec())
+	}
+	if (*IOStats)(nil).BytesPerSec() != 0 {
+		t.Fatal("nil IOStats bandwidth should be 0")
+	}
+}
+
+// TestRunnerRejectsBadOrder checks order validation.
+func TestRunnerRejectsBadOrder(t *testing.T) {
+	g := testGraph(t, 10, false)
+	if _, err := NewRunner(g, identityOrder(9), Config{Dir: t.TempDir()}); err == nil {
+		t.Fatal("short order accepted")
+	}
+	dup := identityOrder(10)
+	dup[3] = 4
+	if _, err := NewRunner(g, dup, Config{Dir: t.TempDir()}); err == nil {
+		t.Fatal("duplicate order accepted")
+	}
+}
+
+// TestRunnerCloseRemovesOwnedDir checks temp-dir lifecycle.
+func TestRunnerCloseRemovesOwnedDir(t *testing.T) {
+	g := testGraph(t, 10, false)
+	r, err := NewRunner(g, identityOrder(10), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := r.dir
+	r.Route(1, []byte("z"))
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("owned dir survived Close: %v", err)
+	}
+}

@@ -147,6 +147,7 @@ func (r *Run) roundCost(rs RoundStats) RoundResult {
 
 		msgMemBytes := float64(bufMsgs) * f * float64(sys.MemBytesPerMsg)
 		var diskSec, spillBytes float64
+		var diskMeasured bool
 		if sys.OutOfCore {
 			budget := float64(sys.MemoryBudgetBytes)
 			// The semi-streaming design always routes a share of the
@@ -156,6 +157,23 @@ func (r *Run) roundCost(rs RoundStats) RoundResult {
 			if msgMemBytes > budget {
 				spillBytes += msgMemBytes - budget
 				msgMemBytes = budget
+			}
+			if measured := rs.OOCReadBytes + rs.OOCWriteBytes; measured > 0 {
+				diskMeasured = true
+				// The partitioned backend measured the real partition-file
+				// traffic for this superstep (engine-wide, replica scale):
+				// price the disk phase from those bytes instead of the
+				// stream-fraction estimate. Each simulated machine streams
+				// its 1/K share in parallel; spillBytes holds the one-way
+				// volume so the write-once/read-once doubling below still
+				// applies.
+				spillBytes = float64(measured) * f / float64(len(rs.PerMachine)) / 2
+				// The memory-window invariant held for real: the resident
+				// message footprint never exceeded the measured peak (which
+				// the budget cap above already bounds).
+				if wp := float64(rs.OOCWindowPeakBytes) * f; wp < msgMemBytes {
+					msgMemBytes = wp
+				}
 			}
 			// Spilled messages are written once and streamed back once.
 			diskSec = 2 * spillBytes / cl.DiskBytesPerSec
@@ -170,12 +188,20 @@ func (r *Run) roundCost(rs RoundStats) RoundResult {
 
 		window := computeSec + netSec
 		if sys.OutOfCore && diskSec > 0 {
-			util := diskSec / math.Max(window, 1e-9)
+			utilWindow := window
+			if diskMeasured && utilWindow < barrierSec {
+				// A measured sweep can land on a round with no compute or
+				// network at all (the edge-partition build, a dried-up tail
+				// round): the barrier is the round's wall-clock floor, so
+				// utilization is relative to it rather than to zero.
+				utilWindow = barrierSec
+			}
+			util := diskSec / math.Max(utilWindow, 1e-9)
 			if util > res.DiskUtil {
 				res.DiskUtil = util
 			}
-			if diskSec > window {
-				res.IOOveruseSec += diskSec - window
+			if diskSec > utilWindow {
+				res.IOOveruseSec += diskSec - utilWindow
 				// Saturated disk: messages queue and IO stretches.
 				diskSec *= 1 + diskQueuePenalty*(util-1)/util
 				qLen := (spillBytes / ioRequestBytes) * (util - 1) / util

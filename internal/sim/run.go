@@ -96,6 +96,9 @@ type Run struct {
 	maxSkew        float64
 	spilledBytes   int64
 	spilledRecords int64
+	oocReadBytes   int64
+	oocWriteBytes  int64
+	oocWindowPeak  int64
 	ckptWritten    int
 	ckptBytes      int64
 	ckptSec        float64
@@ -220,6 +223,11 @@ func (r *Run) ObserveRound(rs RoundStats) RoundResult {
 	}
 	r.spilledBytes += rs.SpilledBytes
 	r.spilledRecords += rs.SpilledRecords
+	r.oocReadBytes += rs.OOCReadBytes
+	r.oocWriteBytes += rs.OOCWriteBytes
+	if rs.OOCWindowPeakBytes > r.oocWindowPeak {
+		r.oocWindowPeak = rs.OOCWindowPeakBytes
+	}
 	if res.Overflow {
 		r.overflow = true
 	}
@@ -315,6 +323,10 @@ func (r *Run) Result() JobResult {
 		MaxSkewRatio:     r.maxSkew,
 		SpilledBytes:     r.spilledBytes,
 		SpilledRecords:   r.spilledRecords,
+
+		OOCReadBytes:       r.oocReadBytes,
+		OOCWriteBytes:      r.oocWriteBytes,
+		OOCWindowPeakBytes: r.oocWindowPeak,
 
 		CheckpointsWritten: r.ckptWritten,
 		CheckpointBytes:    r.ckptBytes,

@@ -38,6 +38,15 @@ type RoundStats struct {
 	// in-memory runs.
 	SpilledBytes   int64
 	SpilledRecords int64
+
+	// OOCReadBytes / OOCWriteBytes are the real partition-file volumes the
+	// partitioned out-of-core backend measured during this superstep
+	// (replica scale, engine-wide, deterministic encoded bytes — not wall
+	// clock). OOCWindowPeakBytes is the peak resident window (edge window +
+	// inbox) over the superstep. All three are zero for in-memory runs.
+	OOCReadBytes       int64
+	OOCWriteBytes      int64
+	OOCWindowPeakBytes int64
 }
 
 // TotalSentLogical sums logical sends across machines.
@@ -115,26 +124,32 @@ type JobResult struct {
 	Overload bool // exceeded the 6000 s cutoff (§4, "overload")
 	Overflow bool // a machine exceeded physical memory + swap headroom
 
-	TotalLogicalMsgs  float64 // paper scale
-	AvgMsgsPerRound   float64
-	MaxMsgsPerRound   float64
-	PeakMemBytes      float64 // worst machine over the whole job
-	MaxMemRatio       float64
-	ComputeSeconds    float64 // summed worst-machine compute phase
-	BarrierSeconds    float64 // summed barrier overhead
-	NetSeconds        float64
-	NetOveruseSec     float64
-	DiskSeconds       float64
-	MaxDiskUtil       float64
-	IOOveruseSec      float64
-	MaxIOQueueLen     float64
-	WireBytesTotal    float64
-	WireBytesPerMach  float64
-	MaxSkewRatio      float64 // worst per-round machine imbalance (1 = balanced)
-	SpilledBytes      int64   // real engine spill volume (replica scale)
-	SpilledRecords    int64   // real engine spill record count (replica scale)
-	Credits           float64 // cloud monetary cost; 0 off-cloud
-	CreditsLowerBound bool    // true when Overload: cost is a lower bound (paper marks '>')
+	TotalLogicalMsgs float64 // paper scale
+	AvgMsgsPerRound  float64
+	MaxMsgsPerRound  float64
+	PeakMemBytes     float64 // worst machine over the whole job
+	MaxMemRatio      float64
+	ComputeSeconds   float64 // summed worst-machine compute phase
+	BarrierSeconds   float64 // summed barrier overhead
+	NetSeconds       float64
+	NetOveruseSec    float64
+	DiskSeconds      float64
+	MaxDiskUtil      float64
+	IOOveruseSec     float64
+	MaxIOQueueLen    float64
+	WireBytesTotal   float64
+	WireBytesPerMach float64
+	MaxSkewRatio     float64 // worst per-round machine imbalance (1 = balanced)
+	SpilledBytes     int64   // real engine spill volume (replica scale)
+	SpilledRecords   int64   // real engine spill record count (replica scale)
+	// OOC* totals summarize the partitioned out-of-core backend's measured
+	// partition-file traffic (replica scale): bytes summed over rounds, the
+	// window peak maxed. Zero for in-memory runs.
+	OOCReadBytes       int64
+	OOCWriteBytes      int64
+	OOCWindowPeakBytes int64
+	Credits            float64 // cloud monetary cost; 0 off-cloud
+	CreditsLowerBound  bool    // true when Overload: cost is a lower bound (paper marks '>')
 
 	// Fault-tolerance accounting (zero for runs without checkpointing).
 	CheckpointsWritten int     // checkpoints cut at superstep barriers

@@ -39,6 +39,11 @@ type TraceRow struct {
 	SkewRatio      float64
 	SpilledBytes   int64 // real engine spill (replica scale)
 	SpilledRecords int64
+	// Partitioned out-of-core backend's measured partition-file traffic and
+	// peak resident window for the round (replica scale; zero in-memory).
+	OOCReadBytes       int64
+	OOCWriteBytes      int64
+	OOCWindowPeakBytes int64
 }
 
 // MachineTraceRow is one machine's raw counters and cost decomposition for
@@ -83,6 +88,10 @@ func (r *Run) traceRound(rs RoundStats, res RoundResult) {
 		SkewRatio:      res.SkewRatio,
 		SpilledBytes:   rs.SpilledBytes,
 		SpilledRecords: rs.SpilledRecords,
+
+		OOCReadBytes:       rs.OOCReadBytes,
+		OOCWriteBytes:      rs.OOCWriteBytes,
+		OOCWindowPeakBytes: rs.OOCWindowPeakBytes,
 	})
 	if !r.trace.PerMachine {
 		return
@@ -117,6 +126,7 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 		"mem_ratio", "thrash_factor", "net_seconds", "disk_seconds",
 		"disk_util", "wire_bytes", "compute_seconds", "barrier_seconds",
 		"skew_ratio", "spilled_bytes", "spilled_records",
+		"ooc_read_bytes", "ooc_write_bytes", "ooc_window_peak_bytes",
 	}); err != nil {
 		return err
 	}
@@ -138,6 +148,9 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 			fmt.Sprintf("%.4f", r.SkewRatio),
 			fmt.Sprintf("%d", r.SpilledBytes),
 			fmt.Sprintf("%d", r.SpilledRecords),
+			fmt.Sprintf("%d", r.OOCReadBytes),
+			fmt.Sprintf("%d", r.OOCWriteBytes),
+			fmt.Sprintf("%d", r.OOCWindowPeakBytes),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

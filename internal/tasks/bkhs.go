@@ -41,6 +41,9 @@ type BKHSConfig struct {
 	CheckpointDir      string
 	CheckpointInterval int
 	Fault              *fault.Plan
+	// OOC enables partitioned out-of-core execution on the synchronous
+	// path (see OOCConfig); ignored in Async and Mirror modes.
+	OOC *OOCConfig
 }
 
 // BKHSJob computes, for every source s in S, the set of vertices within K
@@ -138,6 +141,7 @@ func (j *BKHSJob) RunBatch(run *sim.Run, workload int, batchIdx int) ([]int64, e
 			StopWhenOverloaded: j.cfg.StopWhenOverloaded,
 			Checkpoint:         checkpointOptions[HopMsg](HopMsgCodec{}, j.cfg.CheckpointDir, j.cfg.CheckpointInterval, batchIdx),
 			Fault:              j.cfg.Fault,
+			OOC:                oocOptions[HopMsg](HopMsgCodec{}, j.cfg.OOC, batchIdx, j.cfg.Mirror),
 		})
 		err = e.Run()
 	}

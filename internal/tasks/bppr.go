@@ -71,6 +71,9 @@ type BPPRConfig struct {
 	CheckpointDir      string
 	CheckpointInterval int
 	Fault              *fault.Plan
+	// OOC enables partitioned out-of-core execution on the synchronous
+	// paths (see OOCConfig); ignored in Async and Mirror modes.
+	OOC *OOCConfig
 }
 
 func (c *BPPRConfig) defaults() {
@@ -276,6 +279,7 @@ func (j *BPPRJob) RunBatch(run *sim.Run, workload int, batchIdx int) ([]int64, e
 		StopWhenOverloaded: j.cfg.StopWhenOverloaded,
 		Checkpoint:         checkpointOptions[WalkMsg](WalkMsgCodec{}, j.cfg.CheckpointDir, j.cfg.CheckpointInterval, batchIdx),
 		Fault:              j.cfg.Fault,
+		OOC:                oocOptions[WalkMsg](WalkMsgCodec{}, j.cfg.OOC, batchIdx, j.cfg.Mirror),
 	}
 	var err error
 	perNode := workload
@@ -300,6 +304,7 @@ func (j *BPPRJob) RunBatch(run *sim.Run, workload int, batchIdx int) ([]int64, e
 			StopWhenOverloaded: opts.StopWhenOverloaded,
 			Checkpoint:         checkpointOptions[MassMsg](MassMsgCodec{}, j.cfg.CheckpointDir, j.cfg.CheckpointInterval, batchIdx),
 			Fault:              j.cfg.Fault,
+			OOC:                oocOptions[MassMsg](MassMsgCodec{}, j.cfg.OOC, batchIdx, j.cfg.Mirror),
 		})
 		err = e.Run()
 	default:

@@ -48,6 +48,9 @@ type MSSPConfig struct {
 	CheckpointInterval int
 	// Fault injects deterministic failures (see internal/fault).
 	Fault *fault.Plan
+	// OOC enables partitioned out-of-core execution on the synchronous
+	// path (see OOCConfig); ignored in Async and Mirror modes.
+	OOC *OOCConfig
 }
 
 // MSSPJob computes single-source shortest path distances from every source
@@ -151,6 +154,7 @@ func (j *MSSPJob) RunBatch(run *sim.Run, workload int, batchIdx int) ([]int64, e
 			StopWhenOverloaded: j.cfg.StopWhenOverloaded,
 			Checkpoint:         checkpointOptions[DistMsg](DistMsgCodec{}, j.cfg.CheckpointDir, j.cfg.CheckpointInterval, batchIdx),
 			Fault:              j.cfg.Fault,
+			OOC:                oocOptions[DistMsg](DistMsgCodec{}, j.cfg.OOC, batchIdx, j.cfg.Mirror),
 		})
 		err = e.Run()
 	}

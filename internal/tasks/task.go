@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 
 	"vcmt/internal/engine"
+	"vcmt/internal/ooc"
 	"vcmt/internal/sim"
 )
 
@@ -49,5 +50,48 @@ func checkpointOptions[M any](codec engine.Codec[M], dir string, interval, batch
 		Codec:    codec,
 		Dir:      filepath.Join(dir, fmt.Sprintf("batch%03d", batchIdx)),
 		Interval: interval,
+	}
+}
+
+// OOCConfig enables the partitioned out-of-core execution backend
+// (engine.OOCOptions) on a task's synchronous batches: messages are routed
+// through per-partition files and each superstep streams one partition at a
+// time through a bounded memory window. Results are bit-identical to
+// in-memory execution. Ignored by the asynchronous GAS executor, which has
+// no barrier to seal partition files at, and by mirror (broadcast)
+// configurations, whose mirror spans assume a resident graph.
+type OOCConfig struct {
+	// Dir is the partition-file directory (each batch uses its own
+	// subdirectory); empty means a private temporary directory per batch.
+	Dir string
+	// MemoryBudgetBytes bounds the resident window; used to derive the
+	// partition count when Partitions is 0.
+	MemoryBudgetBytes int64
+	// Partitions fixes the partition count; 0 derives it from the budget.
+	Partitions int
+	// Stats, when non-nil, accumulates measured wall-clock IO across all
+	// batches for disk-bandwidth calibration (core.DiskTuneCalibrated).
+	Stats *ooc.IOStats
+}
+
+// oocOptions builds the engine out-of-core configuration shared by all
+// tasks: nil when cfg is nil or the batch runs a mirror (broadcast) system
+// — the engine rejects OOC+mirroring — otherwise a per-batch subdirectory
+// (mirroring checkpointOptions; an empty Dir lets each batch's runner own a
+// temporary directory).
+func oocOptions[M any](codec engine.Codec[M], cfg *OOCConfig, batchIdx int, mirror bool) *engine.OOCOptions[M] {
+	if cfg == nil || mirror {
+		return nil
+	}
+	dir := cfg.Dir
+	if dir != "" {
+		dir = filepath.Join(dir, fmt.Sprintf("batch%03d", batchIdx))
+	}
+	return &engine.OOCOptions[M]{
+		Codec:             codec,
+		Dir:               dir,
+		MemoryBudgetBytes: cfg.MemoryBudgetBytes,
+		Partitions:        cfg.Partitions,
+		Stats:             cfg.Stats,
 	}
 }

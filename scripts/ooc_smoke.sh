@@ -1,0 +1,63 @@
+#!/bin/sh
+# ooc_smoke.sh — end-to-end smoke of the out-of-core partitioned backend.
+#
+# Runs one BPPR workload (paper workload 12288 on 4 machines, the Table 2
+# overflow cell) three ways and asserts the out-of-core contract:
+#
+#   1. In-memory on Pregel+ the run must OVERFLOW (demand beyond physical
+#      memory + swap headroom).
+#   2. The same workload on GraphD with -ooc must complete, the resident
+#      window must stay within -ooc-budget, and the message volume routed
+#      through partition files must exceed 4x the budget (the bounded-window
+#      claim is only interesting when the data could not have fit).
+#   3. The ooc run's JSON report must be byte-identical to the in-memory
+#      report modulo the three ooc counters (delegated to the difftest
+#      report-identity test, which strips them and byte-compares).
+#
+# Run from the repository root (CI and `make ooc-smoke` do).
+set -eu
+
+DIR=$(mktemp -d)
+cleanup() { rm -rf "$DIR"; }
+trap cleanup EXIT INT TERM
+
+say() { echo "ooc-smoke: $*"; }
+die() { echo "ooc-smoke: FAIL: $*" >&2; exit 1; }
+
+# Table 2's overflow cell: BPPR paper workload 12288 (replica 192 at stat
+# scale 4096), 4 machines, one batch.
+TASK=BPPR DATASET=DBLP MACHINES=4 WORKLOAD=192 SCALE=4096 SEED=7
+BUDGET=$((4 << 20)) PARTITIONS=32
+
+say "building vcrun"
+go build -o "$DIR/vcrun" ./cmd/vcrun
+
+say "in-memory run must overflow (Pregel+, W=12288, 1 batch, 4 machines)"
+"$DIR/vcrun" -task "$TASK" -dataset "$DATASET" -system Pregel+ -cluster Galaxy-8 \
+    -machines "$MACHINES" -workload "$WORKLOAD" -batches 1 -scale "$SCALE" -seed "$SEED" \
+    > "$DIR/inmem.txt"
+grep -q "OVERFLOW" "$DIR/inmem.txt" || die "in-memory run did not overflow: $(grep '^time:' "$DIR/inmem.txt")"
+
+say "ooc run must complete within a $BUDGET-byte window"
+"$DIR/vcrun" -task "$TASK" -dataset "$DATASET" -system GraphD -cluster Galaxy-8 \
+    -machines "$MACHINES" -workload "$WORKLOAD" -batches 1 -scale "$SCALE" -seed "$SEED" \
+    -ooc -ooc-budget "$BUDGET" -ooc-partitions "$PARTITIONS" -ooc-dir "$DIR/parts" \
+    > "$DIR/ooc.txt"
+grep -q "OVERFLOW" "$DIR/ooc.txt" && die "ooc run overflowed"
+grep -q "OVERLOAD" "$DIR/ooc.txt" && die "ooc run overloaded"
+grep '^ooc:' "$DIR/ooc.txt" || die "ooc summary line missing"
+
+# The ooc: line is key=value; assert the memory-window invariant and the
+# 4x spill volume.
+eval "$(sed -n 's/^ooc: *//p' "$DIR/ooc.txt" | tr ' ' '\n' | grep -E '^(read|wrote|window_peak|budget)=')"
+[ "$budget" -eq "$BUDGET" ] || die "budget echo mismatch: $budget != $BUDGET"
+[ "$window_peak" -le "$budget" ] || die "window peak $window_peak exceeds budget $budget"
+[ "$wrote" -ge $((4 * BUDGET)) ] || die "only $wrote bytes routed through partitions, want >= 4x budget ($((4 * BUDGET)))"
+[ "$read" -ge "$wrote" ] || die "read $read < wrote $wrote (every partition file is written once and read at least once)"
+say "window peak $window_peak <= budget $budget; $wrote bytes routed (>= 4x budget)"
+
+say "ooc report must match the in-memory report modulo ooc counters"
+go test -count=1 -run 'TestOOCReportMatchesInMemory' ./internal/difftest/ \
+    || die "report identity test failed"
+
+say "PASS"
