@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race lint bench bench-json fault bench-ckpt bench-ckpt-baseline bench-wire bench-wire-baseline bench-ooc bench-ooc-baseline smoke-adaptive serve-smoke ooc-smoke cover ci
+.PHONY: build vet test race lint bench bench-engine bench-engine-baseline bench-workers fault bench-ckpt bench-ckpt-baseline bench-wire bench-wire-baseline bench-ooc bench-ooc-baseline smoke-adaptive serve-smoke ooc-smoke cover ci
 
 build:
 	$(GO) build ./...
@@ -28,10 +28,27 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-# Machine-readable engine benchmark artifact (worker-pool scaling); the CI
-# race-parallel job uploads this as BENCH_engine.json.
-bench-json:
-	$(GO) run ./cmd/benchjson -bench 'BenchmarkEngineWorkers|BenchmarkEngineMessageThroughput' 		-pkg ./internal/engine -benchtime 2x -out BENCH_engine.json
+# Engine hot-path benchmark with the regression gate, mirroring the CI
+# race-parallel job: message throughput, the allocation-free steady-state
+# delivery cycle and the skewed-degree workload, checked against the
+# committed BENCH_engine.json baseline. ns/op and B/op may regress at most
+# 25%, and the steady-state benchmark's 0 allocs/op baseline is matched
+# exactly — one allocation on the delivery path fails the gate.
+# BenchmarkEngineWorkers is deliberately NOT in the gate: its wall clock
+# measures pool scaling, which depends on the host's core count and means
+# nothing on an arbitrary CI runner; it stays an uploaded artifact
+# (bench-workers below).
+bench-engine:
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkEngineMessageThroughput$$|BenchmarkEngineDeliverySteadyState$$|BenchmarkEngineSkewedDegree/w1$$' 		-pkg ./internal/engine -benchmem -benchtime 20x -out BENCH_engine_run.json 		-compare BENCH_engine.json -max-regress 0.25
+
+# Refresh the committed engine baseline after a deliberate hot-path change;
+# commit the resulting BENCH_engine.json alongside the change justifying it.
+bench-engine-baseline:
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkEngineMessageThroughput$$|BenchmarkEngineDeliverySteadyState$$|BenchmarkEngineSkewedDegree/w1$$' 		-pkg ./internal/engine -benchmem -benchtime 20x -out BENCH_engine.json
+
+# Worker-pool scaling artifact (not a gate; see bench-engine).
+bench-workers:
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkEngineWorkers' 		-pkg ./internal/engine -benchtime 2x -out BENCH_workers_run.json
 
 # Fault-injection + checkpoint/recovery tests under the race detector,
 # mirroring the CI fault-recovery job.

@@ -8,8 +8,10 @@
 //	    -benchtime 2x -out BENCH_engine.json
 //
 // With -compare, the fresh results are checked against a committed
-// baseline artifact and the command exits nonzero when ns/op or bytes/op
-// regress beyond -max-regress — the CI benchmark-regression gate:
+// baseline artifact and the command exits nonzero when ns/op, bytes/op or
+// allocs/op regress beyond -max-regress — the CI benchmark-regression
+// gate. An allocation-free baseline (0 allocs/op) is matched exactly: any
+// allocation on the fresh side fails the gate.
 //
 //	benchjson -bench 'BenchmarkDeliver' -pkg ./internal/wire -benchmem \
 //	    -benchtime 100x -compare BENCH_wire.json -max-regress 0.25
@@ -56,7 +58,7 @@ func main() {
 		benchmem   = flag.Bool("benchmem", false, "pass -benchmem (records B/op and allocs/op)")
 		out        = flag.String("out", "", "output JSON path (default stdout)")
 		compare    = flag.String("compare", "", "baseline JSON artifact to compare against")
-		maxRegress = flag.Float64("max-regress", 0.25, "fail when ns/op or B/op regress by more than this fraction (with -compare)")
+		maxRegress = flag.Float64("max-regress", 0.25, "fail when ns/op, B/op or allocs/op regress by more than this fraction (with -compare); a 0 allocs/op baseline is matched exactly")
 	)
 	flag.Parse()
 
@@ -165,6 +167,23 @@ func compareResults(base Output, fresh []Result, maxRegress float64) []string {
 		if bv, ok := b.Metrics["B/op"]; ok {
 			if fv, ok := f.Metrics["B/op"]; ok {
 				check("B/op", bv, fv, bytesSlack)
+			}
+		}
+		// allocs/op is gated exactly at a 0-alloc baseline: an engine that
+		// promises an allocation-free steady state regresses the moment a
+		// single allocation appears, so no slack and no relative headroom
+		// apply there. Non-zero baselines get the relative limit like the
+		// other metrics.
+		if bv, ok := b.Metrics["allocs/op"]; ok {
+			if fv, ok := f.Metrics["allocs/op"]; ok {
+				if bv == 0 {
+					if fv > 0 {
+						regressions = append(regressions, fmt.Sprintf(
+							"%s allocs/op: baseline is allocation-free, this run allocates %.4g/op", b.Name, fv))
+					}
+				} else {
+					check("allocs/op", bv, fv, 0)
+				}
 			}
 		}
 	}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func result(name string, ns float64, metrics map[string]float64) Result {
+	return Result{Name: name, Iterations: 1, NsPerOp: ns, Metrics: metrics}
+}
+
+func baseline(results ...Result) Output {
+	return Output{Package: "./p", Bench: ".", Results: results}
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	base := baseline(result("BenchmarkA-8", 100, map[string]float64{"B/op": 1000, "allocs/op": 10}))
+	fresh := []Result{result("BenchmarkA-8", 110, map[string]float64{"B/op": 1100, "allocs/op": 11})}
+	if regs := compareResults(base, fresh, 0.25); len(regs) != 0 {
+		t.Fatalf("within-limit run flagged: %v", regs)
+	}
+}
+
+func TestCompareFlagsNsRegression(t *testing.T) {
+	base := baseline(result("BenchmarkA-8", 100, nil))
+	fresh := []Result{result("BenchmarkA-8", 130, nil)}
+	regs := compareResults(base, fresh, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "ns/op") {
+		t.Fatalf("want one ns/op regression, got %v", regs)
+	}
+}
+
+func TestCompareFlagsAllocRegression(t *testing.T) {
+	base := baseline(result("BenchmarkA-8", 100, map[string]float64{"allocs/op": 100}))
+	fresh := []Result{result("BenchmarkA-8", 100, map[string]float64{"allocs/op": 130})}
+	regs := compareResults(base, fresh, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+		t.Fatalf("want one allocs/op regression, got %v", regs)
+	}
+}
+
+func TestCompareZeroAllocBaselineIsExact(t *testing.T) {
+	base := baseline(result("BenchmarkSteady-8", 100, map[string]float64{"B/op": 0, "allocs/op": 0}))
+
+	// A single allocation against a 0-alloc baseline fails, no matter how
+	// generous the relative limit is.
+	fresh := []Result{result("BenchmarkSteady-8", 100, map[string]float64{"B/op": 16, "allocs/op": 1})}
+	regs := compareResults(base, fresh, 10.0)
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocation-free") {
+		t.Fatalf("want exact-match alloc regression, got %v", regs)
+	}
+
+	// Staying at zero passes.
+	fresh = []Result{result("BenchmarkSteady-8", 100, map[string]float64{"B/op": 0, "allocs/op": 0})}
+	if regs := compareResults(base, fresh, 0.25); len(regs) != 0 {
+		t.Fatalf("0-alloc run flagged against 0-alloc baseline: %v", regs)
+	}
+}
+
+func TestCompareBytesSlackAbsorbsPoolNoise(t *testing.T) {
+	// Pool-backed benchmarks report a few bytes of scheduler noise; the
+	// absolute slack keeps that from tripping a relative gate on a
+	// near-zero baseline. allocs/op gets no such slack.
+	base := baseline(result("BenchmarkA-8", 100, map[string]float64{"B/op": 2}))
+	fresh := []Result{result("BenchmarkA-8", 100, map[string]float64{"B/op": 60})}
+	if regs := compareResults(base, fresh, 0.25); len(regs) != 0 {
+		t.Fatalf("B/op within absolute slack flagged: %v", regs)
+	}
+	fresh = []Result{result("BenchmarkA-8", 100, map[string]float64{"B/op": 70})}
+	if regs := compareResults(base, fresh, 0.25); len(regs) != 1 {
+		t.Fatalf("B/op past absolute slack not flagged: %v", regs)
+	}
+}
+
+func TestCompareMissingBenchmarkIsRegression(t *testing.T) {
+	base := baseline(result("BenchmarkGone-8", 100, nil))
+	regs := compareResults(base, nil, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "missing") {
+		t.Fatalf("want missing-benchmark regression, got %v", regs)
+	}
+}
+
+func TestCompareNewBenchmarkIgnored(t *testing.T) {
+	base := baseline(result("BenchmarkA-8", 100, nil))
+	fresh := []Result{
+		result("BenchmarkA-8", 100, nil),
+		result("BenchmarkNew-8", 999999, map[string]float64{"allocs/op": 5000}),
+	}
+	if regs := compareResults(base, fresh, 0.25); len(regs) != 0 {
+		t.Fatalf("benchmark absent from baseline flagged: %v", regs)
+	}
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	out := bytes.NewBufferString(strings.Join([]string{
+		"goos: linux",
+		"BenchmarkEngineDeliverySteadyState \t      10\t   1041995 ns/op\t       151.5 Mmsgs/s\t       0 B/op\t       0 allocs/op",
+		"BenchmarkEngineSkewedDegree/w1     \t      10\t  17818135 ns/op\t        65.00 Mmsgs/s\t 6005152 B/op\t    1084 allocs/op",
+		"PASS",
+	}, "\n"))
+	res := parse(out)
+	if len(res) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(res))
+	}
+	r := res[0]
+	if r.Name != "BenchmarkEngineDeliverySteadyState" || r.NsPerOp != 1041995 {
+		t.Fatalf("bad first result: %+v", r)
+	}
+	if v, ok := r.Metrics["allocs/op"]; !ok || v != 0 {
+		t.Fatalf("allocs/op not parsed as explicit 0: %+v", r.Metrics)
+	}
+	if v := res[1].Metrics["B/op"]; v != 6005152 {
+		t.Fatalf("B/op = %v want 6005152", v)
+	}
+}

@@ -91,6 +91,64 @@ func BenchmarkEngineWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineDeliverySteadyState measures one fill-and-deliver cycle on
+// a long-lived engine: every send lands in pooled outbox rows and the
+// counting sort places payloads into the persistent inbox. After the warm-up
+// cycle grows the buffers to capacity, the path must run allocation-free —
+// the CI gate pins this benchmark at exactly 0 allocs/op.
+func BenchmarkEngineDeliverySteadyState(b *testing.B) {
+	g := graph.GenerateChungLu(10000, 40000, 2.5, 3)
+	part := graph.HashPartition(g.NumVertices(), 8)
+	e := New[hopMsg](g, part, &floodProg{rounds: 1}, nil, Options[hopMsg]{Seed: 1})
+	fill := func() {
+		for m := 0; m < e.k; m++ {
+			ctx := e.ctxs[m]
+			for _, v := range e.vertsByMachine[m] {
+				ctx.vertex = v
+				for _, u := range g.Neighbors(v) {
+					ctx.Send(u, hopMsg{Hop: 1})
+				}
+			}
+		}
+	}
+	fill()
+	e.deliver()
+	msgsPerOp := float64(2 * g.NumEdges()) // one send per directed edge
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fill()
+		e.deliver()
+	}
+	b.ReportMetric(msgsPerOp*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mmsgs/s")
+}
+
+// BenchmarkEngineSkewedDegree runs the flood workload on a heavy-tailed
+// degree distribution (Chung-Lu exponent 2.0), where a few hub vertices
+// concentrate a large share of the messages on one machine: the stress test
+// for degree-aware (LPT) scheduling and per-row buffer reuse. The w1
+// sub-benchmark is part of the CI gate; w4 exercises the pool but its wall
+// clock is hardware-dependent, so it stays informational.
+func BenchmarkEngineSkewedDegree(b *testing.B) {
+	g := graph.GenerateChungLu(20000, 120000, 2.0, 7)
+	part := graph.HashPartition(g.NumVertices(), 8)
+	const rounds = 6
+	msgsPerRun := g.NumEdges() * (rounds + 1)
+	for _, w := range []int{1, 4} {
+		b.Run(map[int]string{1: "w1", 4: "w4"}[w], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := New[hopMsg](g, part, &floodProg{rounds: rounds}, nil, Options[hopMsg]{
+					Seed: 1, Workers: w,
+				})
+				if err := e.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(msgsPerRun)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mmsgs/s")
+		})
+	}
+}
+
 // BenchmarkEngineSpill measures the real out-of-core path (encode, write,
 // read back, decode through a temp file).
 func BenchmarkEngineSpill(b *testing.B) {

@@ -163,11 +163,14 @@ func (e *Engine[M]) buildSnapshot() (*ckpt.Snapshot, error) {
 	meta = binary.LittleEndian.AppendUint64(meta, uint64(e.spilledBytes))
 	snap.Add(secMeta, meta)
 
+	// Outbox rows are serialized as the engine holds them — k legacy rows
+	// in spill mode, k×k per-destination rows otherwise — so restore
+	// repopulates the identical routing layout.
 	var out []byte
-	out = binary.LittleEndian.AppendUint32(out, uint32(k))
-	for m := 0; m < k; m++ {
-		out = binary.LittleEndian.AppendUint32(out, uint32(len(e.outBy[m])))
-		for _, env := range e.outBy[m] {
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(e.outRows)))
+	for r := range e.outRows {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(e.outRows[r])))
+		for _, env := range e.outRows[r] {
 			out = binary.LittleEndian.AppendUint32(out, env.dst)
 			payload := co.Codec.Encode(nil, env.payload)
 			out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
@@ -260,15 +263,15 @@ func (e *Engine[M]) restoreSnapshot(snap *ckpt.Snapshot) error {
 	e.obsSpilledBytes = e.spilledBytes
 
 	out := snap.Get(secOutbox)
-	if got := int(binary.LittleEndian.Uint32(out)); got != k {
-		return fmt.Errorf("snapshot has %d machines, engine has %d", got, k)
+	if got := int(binary.LittleEndian.Uint32(out)); got != len(e.outRows) {
+		return fmt.Errorf("snapshot has %d outbox rows, engine has %d", got, len(e.outRows))
 	}
 	out = out[4:]
 	e.outPending = 0
-	for m := 0; m < k; m++ {
+	for r := range e.outRows {
 		n := int(binary.LittleEndian.Uint32(out))
 		out = out[4:]
-		e.outBy[m] = e.outBy[m][:0]
+		e.outRows[r] = e.outRows[r][:0]
 		for i := 0; i < n; i++ {
 			dst := binary.LittleEndian.Uint32(out)
 			plen := int(binary.LittleEndian.Uint32(out[4:]))
@@ -277,10 +280,13 @@ func (e *Engine[M]) restoreSnapshot(snap *ckpt.Snapshot) error {
 				return fmt.Errorf("snapshot outbox payload decoded %d of %d bytes", used, plen)
 			}
 			out = out[8+plen:]
-			e.outBy[m] = append(e.outBy[m], envelope[M]{dst: dst, payload: payload})
+			e.outRows[r] = append(e.outRows[r], envelope[M]{dst: dst, payload: payload})
 			e.outPending++
 		}
 	}
+	// Stale send-combine bookkeeping from the abandoned timeline is
+	// discarded at the next delivery (route clears the maps before any
+	// post-restore Compute call can emit), so nothing to restore here.
 
 	for i := range e.forcedFlag {
 		e.forcedFlag[i] = false

@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"testing"
+
+	"vcmt/internal/graph"
+	"vcmt/internal/sim"
+	"vcmt/internal/vcapi"
+)
+
+// keyedProg sends two distinct streams (keys 1 and 2) from every vertex to
+// vertex 7 and records the combined inbox.
+type keyedProg struct{ got []hopMsg }
+
+// keyed messages reuse hopMsg with Hop encoding key*100 + value.
+func (p *keyedProg) Seed(ctx vcapi.Context[hopMsg]) {
+	c := ctx.(*Context[hopMsg])
+	for _, v := range c.OwnedVertices() {
+		if v == 7 {
+			continue
+		}
+		c.Send(7, hopMsg{Hop: 100 + int32(v)}) // key 1, value v
+		c.Send(7, hopMsg{Hop: 200 + int32(v)}) // key 2, value v
+	}
+}
+
+func (p *keyedProg) Compute(ctx vcapi.Context[hopMsg], v graph.VertexID, msgs []hopMsg) {
+	p.got = append(p.got, msgs...)
+}
+
+func keyedOptions(atDelivery bool) Options[hopMsg] {
+	return Options[hopMsg]{
+		// Sum values within a key, preserving the key's hundreds digit.
+		Combiner: func(a, b hopMsg) hopMsg {
+			return hopMsg{Hop: a.Hop + b.Hop%100}
+		},
+		CombinerKey:       func(m hopMsg) uint64 { return uint64(m.Hop / 100) },
+		CombineAtDelivery: atDelivery,
+	}
+}
+
+// TestKeyedCombinerGroupsPerKey checks that CombinerKey restricts the fold
+// to same-key messages: vertex 7 must receive exactly one message per key,
+// and the identical result must come out of both combine timings.
+func TestKeyedCombinerGroupsPerKey(t *testing.T) {
+	g := graph.GenerateRing(10)
+	part := graph.HashPartition(10, 4)
+	for _, atDelivery := range []bool{false, true} {
+		prog := &keyedProg{}
+		e := New[hopMsg](g, part, prog, nil, keyedOptions(atDelivery))
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if len(prog.got) != 2 {
+			t.Fatalf("atDelivery=%v: want one message per key (2), got %d", atDelivery, len(prog.got))
+		}
+		// Sum of 0..9 except 7 is 38; key k's representative carries k*100.
+		for i, want := range []int32{138, 238} {
+			if prog.got[i].Hop != want {
+				t.Fatalf("atDelivery=%v: message %d = %d want %d", atDelivery, i, prog.got[i].Hop, want)
+			}
+		}
+	}
+}
+
+// TestSendTimeCombiningIsDefault checks the timing selection logic: a
+// combiner alone opts into send-time merging, CombineAtDelivery restores
+// the old fold point, and spill mode always combines at delivery (spilled
+// envelopes cannot be merged retroactively).
+func TestSendTimeCombiningIsDefault(t *testing.T) {
+	g := graph.GenerateRing(10)
+	part := graph.HashPartition(10, 2)
+	sum := func(a, b hopMsg) hopMsg { return hopMsg{Hop: a.Hop + b.Hop} }
+
+	if e := New[hopMsg](g, part, &combSumProg{}, nil, Options[hopMsg]{Combiner: sum}); !e.combineAtSend {
+		t.Fatal("combiner alone should combine at send time")
+	}
+	if e := New[hopMsg](g, part, &combSumProg{}, nil, Options[hopMsg]{
+		Combiner: sum, CombineAtDelivery: true,
+	}); e.combineAtSend {
+		t.Fatal("CombineAtDelivery should disable send-time combining")
+	}
+	if e := New[hopMsg](g, part, &combSumProg{}, nil, Options[hopMsg]{
+		Combiner: sum,
+		Spill:    &SpillOptions[hopMsg]{Codec: hopCodec{}, Dir: t.TempDir(), ThresholdMsgs: 4},
+	}); e.combineAtSend {
+		t.Fatal("spill mode must combine at delivery")
+	}
+}
+
+// TestCombinedAtSendStatFlowsToObserver checks that the merge counter
+// reaches sim.RoundStats for send-time runs and stays zero for
+// delivery-time runs (the counter must never leak into reports, but it
+// must be visible to the observer hook for the metrics registry).
+func TestCombinedAtSendStatFlowsToObserver(t *testing.T) {
+	g := graph.GenerateRing(10)
+	part := graph.HashPartition(10, 4)
+	run := func(atDelivery bool) int64 {
+		rec := &statObserver{}
+		r := sim.NewRun(sim.JobConfig{
+			Cluster:  sim.Galaxy8.WithMachines(4),
+			System:   sim.PregelPlus,
+			Observer: rec,
+		})
+		r.BeginBatch()
+		opts := keyedOptions(atDelivery)
+		e := New[hopMsg](g, part, &keyedProg{}, r, opts)
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return rec.combined
+	}
+	atSend := run(false)
+	// 9 vertices send 2 messages each; 2 survive per key pair on each
+	// source machine, so some merges must have happened.
+	if atSend <= 0 {
+		t.Fatalf("send-time run reported %d merges, want > 0", atSend)
+	}
+	if atDelivery := run(true); atDelivery != 0 {
+		t.Fatalf("delivery-time run reported %d send-time merges, want 0", atDelivery)
+	}
+}
+
+type statObserver struct{ combined int64 }
+
+func (s *statObserver) OnBatchStart(int, float64) {}
+func (s *statObserver) OnRound(o sim.RoundObservation) {
+	s.combined += o.Stats.CombinedAtSend
+}

@@ -19,6 +19,12 @@ type Context[M any] struct {
 	e       *Engine[M]
 	machine int
 	vertex  graph.VertexID
+	// Hot-path caches resolved at construction: this machine's send
+	// counters and (in the per-destination row layout) its k outbox rows —
+	// a subslice of Engine.outRows, so appends through either view update
+	// the same headers.
+	sc   *machineCounters
+	rows [][]envelope[M]
 }
 
 // Graph returns the graph under computation. In out-of-core mode this is
@@ -48,21 +54,30 @@ func (c *Context[M]) RNG() *randx.RNG { return c.e.rngs[c.machine] }
 
 // Send transmits a point-to-point message from the executing machine to
 // vertex dst, to be delivered in the next superstep (the Pregel-based
-// implementation family of §3).
+// implementation family of §3). Ownership comes from the precomputed
+// owners table — no partition closure call on the hot path.
 func (c *Context[M]) Send(dst graph.VertexID, m M) {
 	e := c.e
-	w := e.weight(m)
-	sc := &e.sent[c.machine]
+	sc := c.sc
+	w := int64(1)
+	if e.opts.Weight != nil {
+		w = e.opts.Weight(m)
+	}
 	sc.logical += w
 	sc.physical++
-	if e.part.Owner(dst) != c.machine {
+	d := int(e.owners[dst])
+	if d != c.machine {
 		sc.remoteLogical += w
 		sc.remotePhysical++
 		if e.opts.WireSizer != nil {
 			sc.remoteWireBytes += int64(e.opts.WireSizer(dst, m))
 		}
 	}
-	e.emit(c.machine, envelope[M]{dst: dst, payload: m})
+	if e.fastEmit {
+		c.rows[d] = append(c.rows[d], envelope[M]{dst: dst, payload: m})
+		return
+	}
+	e.emit(c.machine, d, envelope[M]{dst: dst, payload: m})
 }
 
 // Broadcast delivers m to every neighbor of src: the broadcast interface of
@@ -76,8 +91,11 @@ func (c *Context[M]) Broadcast(src graph.VertexID, m M) {
 	if len(ns) == 0 {
 		return
 	}
-	w := e.weight(m)
-	sc := &e.sent[c.machine]
+	w := int64(1)
+	if e.opts.Weight != nil {
+		w = e.opts.Weight(m)
+	}
+	sc := c.sc
 	sc.logical += w * int64(len(ns))
 	if e.mirrored() && len(ns) >= e.mirrorThreshold() {
 		// One wire message per mirror machine; local fan-out is free.
@@ -93,7 +111,7 @@ func (c *Context[M]) Broadcast(src graph.VertexID, m M) {
 	} else {
 		sc.physical += int64(len(ns))
 		for _, u := range ns {
-			if e.part.Owner(u) != c.machine {
+			if int(e.owners[u]) != c.machine {
 				sc.remoteLogical += w
 				sc.remotePhysical++
 				if e.opts.WireSizer != nil {
@@ -102,8 +120,16 @@ func (c *Context[M]) Broadcast(src graph.VertexID, m M) {
 			}
 		}
 	}
+	if e.fastEmit {
+		rows := c.rows
+		for _, u := range ns {
+			d := e.owners[u]
+			rows[d] = append(rows[d], envelope[M]{dst: u, payload: m})
+		}
+		return
+	}
 	for _, u := range ns {
-		e.emit(c.machine, envelope[M]{dst: u, payload: m})
+		e.emit(c.machine, int(e.owners[u]), envelope[M]{dst: u, payload: m})
 	}
 }
 
@@ -121,13 +147,17 @@ func (c *Context[M]) ActivateNextRound(v graph.VertexID) {
 	}
 }
 
-// emit buffers one envelope in machine m's outbox. In out-of-core mode the
-// envelope is instead encoded and routed straight into its destination
-// partition's append file — appends preserve emission order, so the merged
-// inbox reproduces the in-memory layout. In spill mode (always sequential)
-// the global buffered count triggers flushes at the same threshold the
-// single-outbox engine used.
-func (e *Engine[M]) emit(m int, env envelope[M]) {
+// emit buffers one envelope in the outbox row of (source machine src,
+// destination machine dstM). With send-time combining active, a message
+// to an already-buffered (vertex, key) merges into the existing slot
+// instead of appending — the outbox shrinks before the barrier. In
+// out-of-core mode the envelope is instead encoded and routed straight
+// into its destination partition's append file — appends preserve emission
+// order, so the merged inbox reproduces the in-memory layout. In spill
+// mode (always sequential, legacy one-row-per-machine layout) the global
+// buffered count triggers flushes at the same threshold the single-outbox
+// engine used.
+func (e *Engine[M]) emit(src, dstM int, env envelope[M]) {
 	if e.ooc != nil {
 		e.ooc.enc = e.ooc.codec.Encode(e.ooc.enc[:0], env.payload)
 		if err := e.ooc.runner.Route(env.dst, e.ooc.enc); err != nil {
@@ -135,11 +165,44 @@ func (e *Engine[M]) emit(m int, env envelope[M]) {
 		}
 		return
 	}
-	e.outBy[m] = append(e.outBy[m], env)
-	if e.opts.Spill != nil {
-		e.outPending++
-		if e.outPending >= e.opts.Spill.ThresholdMsgs {
-			e.flushSpill()
+	if e.combineAtSend {
+		row := src*e.k + dstM
+		if e.sendGen != nil {
+			// Unkeyed fast path: direct-mapped, generation-tagged table.
+			seen := e.sendSeen[src]
+			gen := e.sendGen[src]
+			if seen[env.dst] == gen {
+				slot := &e.outRows[row][e.sendPos[src][env.dst]]
+				slot.payload = e.opts.Combiner(slot.payload, env.payload)
+				e.combinedSend[src]++
+				return
+			}
+			seen[env.dst] = gen
+			e.sendPos[src][env.dst] = int32(len(e.outRows[row]))
+			e.outRows[row] = append(e.outRows[row], env)
+			return
 		}
+		key := sendKey{dst: env.dst, key: e.opts.CombinerKey(env.payload)}
+		if idx, ok := e.sendKeys[src][key]; ok {
+			slot := &e.outRows[row][idx]
+			slot.payload = e.opts.Combiner(slot.payload, env.payload)
+			e.combinedSend[src]++
+			return
+		}
+		e.sendKeys[src][key] = int32(len(e.outRows[row]))
+		e.outRows[row] = append(e.outRows[row], env)
+		return
+	}
+	if e.perDst {
+		row := src*e.k + dstM
+		e.outRows[row] = append(e.outRows[row], env)
+		return
+	}
+	// Legacy one-row-per-machine layout, used only in spill mode: count
+	// globally buffered envelopes to flush at the historical threshold.
+	e.outRows[src] = append(e.outRows[src], env)
+	e.outPending++
+	if e.outPending >= e.opts.Spill.ThresholdMsgs {
+		e.flushSpill()
 	}
 }

@@ -11,9 +11,18 @@
 // model. Supersteps execute the K logical machines on a worker pool
 // (Options.Workers; 1 reproduces the historical single-thread engine), and
 // every run is fully deterministic regardless of worker count: each machine
-// owns its SplitMix64 RNG stream, outbox, counters and aggregator lane, and
-// cross-machine merges always walk machines in index order, so results,
-// message ordering and round statistics are reproducible bit-for-bit.
+// owns its SplitMix64 RNG stream, outbox rows, counters and aggregator
+// lane, and cross-machine merges always walk machines in index order, so
+// results, message ordering and round statistics are reproducible
+// bit-for-bit.
+//
+// The steady-state superstep core is allocation-free: messages route
+// through a K×K matrix of reusable outbox rows (row [src][dst] buffers
+// machine src's messages to machine dst's vertices), delivery runs one
+// independent counting sort per destination machine over small dense-rank
+// count arrays, and all scratch (counts, offsets, inbox storage, worker
+// pool) persists across rounds. Combiners apply at send time by default,
+// shrinking outbox rows before the barrier (see Options.CombineAtDelivery).
 //
 // The engine also implements the two implementation families of §3:
 // point-to-point sends (Pregel-based systems) via Context.Send, and the
@@ -49,18 +58,38 @@ type WeightFunc[M any] = vcapi.WeightFunc[M]
 
 // Combiner merges two messages addressed to the same vertex (Pregel's
 // combiner contract: the operation must be commutative and associative,
-// e.g. summing PageRank fragments or taking a minimum). Combining happens
-// at delivery time and reduces the receiver's inbox to one message per
-// vertex; the wire-level effect of combining across machines is modelled
-// by the system profile's Combines flag.
+// e.g. summing walk counts or taking a minimum). The engine additionally
+// requires exact operations — selection (min/max) or integer sums — so
+// that send-time and delivery-time combining produce bit-identical
+// results; every combiner in this repository qualifies. The wire-level
+// effect of combining across machines is modelled by the system profile's
+// Combines flag.
 type Combiner[M any] func(a, b M) M
 
 // Options tunes an engine run.
 type Options[M any] struct {
 	// Weight reports logical message multiplicity; nil means 1 per message.
 	Weight WeightFunc[M]
-	// Combiner, when set, merges each vertex's incoming messages into one.
+	// Combiner, when set, merges each vertex's incoming messages into one
+	// (one per key when CombinerKey is also set).
 	Combiner Combiner[M]
+	// CombinerKey, when set alongside Combiner, restricts combining to
+	// messages that agree on a key: only messages addressed to the same
+	// vertex with equal keys merge. Multi-source tasks use the source
+	// vertex as the key so per-source streams stay separate. Ignored when
+	// Combiner is nil.
+	CombinerKey func(m M) uint64
+	// CombineAtDelivery forces the historical combiner timing: buffer
+	// every sent message and fold each vertex's inbox only at delivery.
+	// By default the combiner is applied at send time — messages from the
+	// same machine to the same (vertex, key) merge in the outbox row,
+	// shrinking barrier state before delivery — followed by a cross-machine
+	// fold at delivery. Both timings produce bit-identical inboxes,
+	// results and reports for exact combiners (see Combiner); the flag
+	// exists so the differential tests can prove it. Spill and OOC modes
+	// always combine at delivery (their emission-ordered byte streams
+	// record raw messages).
+	CombineAtDelivery bool
 	// MaxRounds bounds the superstep count (0 means the default of 10000).
 	MaxRounds int
 	// Seed makes per-machine RNG streams deterministic.
@@ -112,6 +141,21 @@ type Options[M any] struct {
 // computation drains.
 var ErrMaxRounds = errors.New("engine: maximum superstep count reached")
 
+// sendKey identifies a combinable outbox slot: the destination vertex plus
+// the optional combiner key (0 when unkeyed).
+type sendKey struct {
+	dst graph.VertexID
+	key uint64
+}
+
+// foldSlot marks where a key's combined representative lives during a
+// delivery-time keyed fold. The epoch stamp makes one persistent map per
+// machine serve every vertex segment of every round without clearing.
+type foldSlot struct {
+	epoch uint64
+	pos   int32
+}
+
 // Engine executes one Program over one graph partition.
 type Engine[M any] struct {
 	g    *graph.Graph
@@ -120,35 +164,91 @@ type Engine[M any] struct {
 	run  *sim.Run
 	opts Options[M]
 
-	// workers is the resolved pool size (see Options.Workers).
+	// k caches part.NumMachines(); workers is the resolved pool size.
+	k       int
 	workers int
 	// ctxs holds one Context per machine so parallel Seed/Compute calls
 	// never share a mutable context.
 	ctxs []*Context[M]
 
 	vertsByMachine [][]graph.VertexID
+	// owners[v] is v's machine and rank[v] its dense index within that
+	// machine (its position in vertsByMachine): precomputed tables that
+	// replace per-message Partition.Owner closure calls on the hot path
+	// and give delivery small L1-resident per-machine count arrays.
+	owners []int32
+	rank   []int32
 	// mirrorSpan[v] is the number of machines (other than v's own) hosting
 	// at least one neighbor of v; computed lazily for mirror mode.
 	mirrorSpan []int32
 	mirrorOnce sync.Once
 
-	// outBy[m] is machine m's outbox for the current superstep. Delivery
-	// concatenates the outboxes in machine order, which reproduces the
-	// sequential engine's single-outbox append order exactly (machines ran
-	// in index order there too).
-	outBy [][]envelope[M]
-	// outPending counts buffered envelopes across all outboxes; maintained
+	// outRows is the outbox matrix for the current superstep. In the
+	// default mode (perDst true) it has k×k rows: row src*k+dst buffers
+	// machine src's messages to machine dst's vertices, in emission order,
+	// so delivery runs one independent counting sort per destination.
+	// Spill mode keeps the legacy one-row-per-machine layout (perDst
+	// false): its mid-superstep flushes must reproduce the chronological
+	// cross-destination record stream of the single-outbox engine. Rows
+	// are truncated, never freed, so steady-state appends don't allocate.
+	outRows [][]envelope[M]
+	perDst  bool
+	// scatterRows is the per-destination staging used only in the legacy
+	// (spill) layout: delivery first scatters the mixed rows plus any
+	// spilled envelopes into per-destination rows in chunk-major order.
+	scatterRows [][]envelope[M]
+	// outPending counts buffered envelopes across all rows; maintained
 	// only in spill mode (which is sequential) to trigger flushes at the
 	// same global threshold the single-outbox engine used.
 	outPending int
-	inbox      []M
-	inCounts   []int32
-	inOffs     []int32
-	// chunkCnt[c][v] is scratch for parallel delivery: outbox c's message
-	// count (then placement cursor) for vertex v. Allocated on first
-	// parallel delivery, reused across rounds.
-	chunkCnt [][]int32
-	rngs     []*randx.RNG
+
+	// inbox holds the delivered payloads, laid out as one contiguous
+	// region per destination machine (regionStart[d]..regionStart[d+1]).
+	// Within machine d's region, local vertex i's segment is
+	// moffs[d][i]..moffs[d][i+1] (relative to the region start). mcount is
+	// the per-machine histogram/cursor scratch. All of it persists across
+	// rounds.
+	inbox       []M
+	regionStart []int32
+	mcount      [][]int32
+	moffs       [][]int32
+	// machLoad and machOrder implement load-ordered (LPT) scheduling:
+	// delivery and compute tasks are handed to the pool largest-first so a
+	// skewed machine starts first and stragglers shrink. Ordering never
+	// affects results — all cross-machine state is partitioned.
+	machLoad  []int64
+	machOrder []int32
+
+	// Send-time combining state (combineAtSend caches the decision).
+	// Unkeyed combiners use a direct-mapped table per source machine:
+	// sendSeen[src][v] == sendGen[src] means vertex v already has a slot
+	// this round, at row index sendPos[src][v]. Generation tags make the
+	// per-round reset a single counter bump instead of an O(n) clear or a
+	// per-message map lookup. Keyed combiners (CombinerKey set) fall back
+	// to the sendKeys[src] map from (dst vertex, key) to the slot index,
+	// cleared once per round at delivery. combinedSend counts messages
+	// merged into an existing slot.
+	combineAtSend bool
+	sendSeen      [][]uint32
+	sendPos       [][]int32
+	sendGen       []uint32
+	sendKeys      []map[sendKey]int32
+	combinedSend  []int64
+
+	// fastEmit marks the plain per-destination-row append path (no OOC, no
+	// spill, no send-time combining), which Send/Broadcast inline to skip a
+	// call per message.
+	fastEmit bool
+
+	// Delivery-time keyed-fold scratch (per destination machine).
+	foldKeys  []map[uint64]foldSlot
+	foldEpoch []uint64
+
+	// pool is the persistent phase-dispatch worker pool (nil until the
+	// first parallel phase; see parallel.go).
+	pool *phasePool
+
+	rngs []*randx.RNG
 
 	sent    []machineCounters
 	recv    []machineCounters
@@ -178,10 +278,11 @@ type Engine[M any] struct {
 	// vertices forced in the CURRENT one (kept separate so a vertex can
 	// re-arm itself while executing). Both flag arrays are safe under
 	// parallel execution because activation is owner-machine-only (see
-	// Context.ActivateNextRound).
+	// Context.ActivateNextRound). forcedAll is the reused merge scratch.
 	forcedNextBy [][]graph.VertexID
 	forcedFlag   []bool
 	forcedNow    []bool
+	forcedAll    []graph.VertexID
 
 	spilledRecords int64
 	spilledBytes   int64
@@ -222,13 +323,27 @@ func New[M any](g *graph.Graph, part *graph.Partition, prog Program[M], run *sim
 		opts.MaxRounds = 10000
 	}
 	k := part.NumMachines()
+	n := g.NumVertices()
+	perDst := opts.Spill == nil
+	rowCount := k
+	if perDst {
+		rowCount = k * k
+	}
 	e := &Engine[M]{
 		g: g, part: part, prog: prog, run: run, opts: opts,
+		k:              k,
 		workers:        effectiveWorkers(opts),
+		perDst:         perDst,
 		vertsByMachine: make([][]graph.VertexID, k),
-		outBy:          make([][]envelope[M], k),
-		inCounts:       make([]int32, g.NumVertices()),
-		inOffs:         make([]int32, g.NumVertices()+1),
+		owners:         make([]int32, n),
+		rank:           make([]int32, n),
+		outRows:        make([][]envelope[M], rowCount),
+		regionStart:    make([]int32, k+1),
+		mcount:         make([][]int32, k),
+		moffs:          make([][]int32, k),
+		machLoad:       make([]int64, k),
+		machOrder:      make([]int32, k),
+		combinedSend:   make([]int64, k),
 		rngs:           make([]*randx.RNG, k),
 		sent:           make([]machineCounters, k),
 		recv:           make([]machineCounters, k),
@@ -238,17 +353,59 @@ func New[M any](g *graph.Graph, part *graph.Partition, prog Program[M], run *sim
 	if e.workers > k {
 		e.workers = k
 	}
-	for v := 0; v < g.NumVertices(); v++ {
+	for v := 0; v < n; v++ {
 		m := part.Owner(graph.VertexID(v))
+		e.owners[v] = int32(m)
+		e.rank[v] = int32(len(e.vertsByMachine[m]))
 		e.vertsByMachine[m] = append(e.vertsByMachine[m], graph.VertexID(v))
+	}
+	for m := 0; m < k; m++ {
+		nl := len(e.vertsByMachine[m])
+		e.mcount[m] = make([]int32, nl)
+		e.moffs[m] = make([]int32, nl+1)
+	}
+	if !perDst {
+		e.scatterRows = make([][]envelope[M], k)
+	}
+	e.combineAtSend = opts.Combiner != nil && !opts.CombineAtDelivery &&
+		opts.Spill == nil && opts.OOC == nil
+	e.fastEmit = perDst && !e.combineAtSend && opts.OOC == nil
+	if e.combineAtSend {
+		if opts.CombinerKey == nil {
+			e.sendSeen = make([][]uint32, k)
+			e.sendPos = make([][]int32, k)
+			for m := 0; m < k; m++ {
+				e.sendSeen[m] = make([]uint32, n)
+				e.sendPos[m] = make([]int32, n)
+			}
+			e.sendGen = make([]uint32, k)
+			for m := range e.sendGen {
+				e.sendGen[m] = 1
+			}
+		} else {
+			e.sendKeys = make([]map[sendKey]int32, k)
+			for m := range e.sendKeys {
+				e.sendKeys[m] = make(map[sendKey]int32)
+			}
+		}
+	}
+	if opts.Combiner != nil && opts.CombinerKey != nil {
+		e.foldKeys = make([]map[uint64]foldSlot, k)
+		for m := range e.foldKeys {
+			e.foldKeys[m] = make(map[uint64]foldSlot)
+		}
+		e.foldEpoch = make([]uint64, k)
 	}
 	e.ctxs = make([]*Context[M], k)
 	for m := 0; m < k; m++ {
 		e.rngs[m] = randx.New(opts.Seed ^ (uint64(m+1) * 0x9e3779b97f4a7c15))
-		e.ctxs[m] = &Context[M]{e: e, machine: m}
+		e.ctxs[m] = &Context[M]{e: e, machine: m, sc: &e.sent[m]}
+		if perDst {
+			e.ctxs[m].rows = e.outRows[m*k : (m+1)*k]
+		}
 	}
-	e.forcedFlag = make([]bool, g.NumVertices())
-	e.forcedNow = make([]bool, g.NumVertices())
+	e.forcedFlag = make([]bool, n)
+	e.forcedNow = make([]bool, n)
 	return e
 }
 
@@ -290,14 +447,14 @@ func (e *Engine[M]) mirrorThreshold() int {
 func (e *Engine[M]) ensureMirrorSpan() {
 	e.mirrorOnce.Do(func() {
 		e.mirrorSpan = make([]int32, e.g.NumVertices())
-		seen := make([]int, e.part.NumMachines())
+		seen := make([]int, e.k)
 		epoch := 0
 		for v := 0; v < e.g.NumVertices(); v++ {
 			epoch++
-			own := e.part.Owner(graph.VertexID(v))
+			own := e.owners[v]
 			span := int32(0)
 			for _, u := range e.g.Neighbors(graph.VertexID(v)) {
-				m := e.part.Owner(u)
+				m := e.owners[u]
 				if m != own && seen[m] != epoch {
 					seen[m] = epoch
 					span++
@@ -314,8 +471,8 @@ func (e *Engine[M]) pending() bool {
 	if e.spill != nil {
 		return true
 	}
-	for m := range e.outBy {
-		if len(e.outBy[m]) > 0 {
+	for r := range e.outRows {
+		if len(e.outRows[r]) > 0 {
 			return true
 		}
 	}
@@ -328,13 +485,14 @@ func (e *Engine[M]) pending() bool {
 }
 
 // takeForced drains the per-machine forced-activation lists, merged in
-// machine order.
+// machine order into a reused scratch slice (valid until the next call).
 func (e *Engine[M]) takeForced() []graph.VertexID {
-	var forced []graph.VertexID
+	forced := e.forcedAll[:0]
 	for m := range e.forcedNextBy {
 		forced = append(forced, e.forcedNextBy[m]...)
 		e.forcedNextBy[m] = e.forcedNextBy[m][:0]
 	}
+	e.forcedAll = forced
 	return forced
 }
 
@@ -352,12 +510,10 @@ func (e *Engine[M]) Run() error {
 	if err := e.initCheckpoints(); err != nil {
 		return err
 	}
+	defer e.stopPool()
 	// Superstep 1: seeding. "In the first round, each of the W walks stops
 	// with α probability and ... a message is sent" (§3).
-	e.forEachN(e.part.NumMachines(), func(m int) {
-		e.prog.Seed(e.ctxs[m])
-		e.active[m] += int64(len(e.vertsByMachine[m]))
-	})
+	e.runPhase(phaseSeed, e.k)
 	e.rollAggregators()
 	e.observeRound()
 	if err := e.maybeCheckpoint(); err != nil {
@@ -391,7 +547,7 @@ func (e *Engine[M]) Run() error {
 		}
 		e.deliver()
 		if e.workers > 1 {
-			e.forEachN(e.part.NumMachines(), e.computeMachine)
+			e.runPhase(phaseCompute, e.k)
 		} else {
 			e.computeSequential()
 		}
@@ -410,20 +566,27 @@ func (e *Engine[M]) Run() error {
 
 // computeMachine runs one machine's Compute calls for the current
 // superstep. All state it touches is owned by machine m (context, RNG,
-// outbox, counters) or is a read-only inbox segment of an owned vertex, so
-// machines may run concurrently.
+// outbox rows, counters) or is a read-only inbox segment of an owned
+// vertex, so machines may run concurrently.
 func (e *Engine[M]) computeMachine(m int) {
 	ctx := e.ctxs[m]
 	rc := &e.recv[m]
-	for _, v := range e.vertsByMachine[m] {
-		lo, hi := e.inOffs[v], e.inOffs[v+1]
+	offs := e.moffs[m]
+	base := e.regionStart[m]
+	weigh := e.opts.Weight
+	for i, v := range e.vertsByMachine[m] {
+		lo, hi := offs[i], offs[i+1]
 		if lo == hi && !e.forcedNow[v] {
 			continue
 		}
 		ctx.vertex = v
-		msgs := e.inbox[lo:hi]
-		for _, msg := range msgs {
-			rc.logical += e.weight(msg)
+		msgs := e.inbox[base+lo : base+hi]
+		if weigh == nil {
+			rc.logical += int64(len(msgs))
+		} else {
+			for _, msg := range msgs {
+				rc.logical += weigh(msg)
+			}
 		}
 		rc.physical += int64(len(msgs))
 		e.prog.Compute(ctx, v, msgs)
@@ -435,20 +598,27 @@ func (e *Engine[M]) computeMachine(m int) {
 // goroutine, with the Giraph-style sub-step splitting that threads a
 // cross-machine processed counter through mid-round observations.
 func (e *Engine[M]) computeSequential() {
-	k := e.part.NumMachines()
 	processed := 0
-	for m := 0; m < k; m++ {
+	for m := 0; m < e.k; m++ {
 		ctx := e.ctxs[m]
-		for _, v := range e.vertsByMachine[m] {
-			lo, hi := e.inOffs[v], e.inOffs[v+1]
+		rc := &e.recv[m]
+		offs := e.moffs[m]
+		base := e.regionStart[m]
+		weigh := e.opts.Weight
+		maxStep := e.opts.MaxInboxPerStep
+		for i, v := range e.vertsByMachine[m] {
+			lo, hi := offs[i], offs[i+1]
 			if lo == hi && !e.forcedNow[v] {
 				continue
 			}
 			ctx.vertex = v
-			msgs := e.inbox[lo:hi]
-			rc := &e.recv[m]
-			for _, msg := range msgs {
-				rc.logical += e.weight(msg)
+			msgs := e.inbox[base+lo : base+hi]
+			if weigh == nil {
+				rc.logical += int64(len(msgs))
+			} else {
+				for _, msg := range msgs {
+					rc.logical += weigh(msg)
+				}
 			}
 			rc.physical += int64(len(msgs))
 			e.prog.Compute(ctx, v, msgs)
@@ -456,7 +626,7 @@ func (e *Engine[M]) computeSequential() {
 			processed += len(msgs)
 			// Giraph-style superstep splitting: bound the messages a
 			// sub-step holds in flight.
-			if e.opts.MaxInboxPerStep > 0 && processed >= e.opts.MaxInboxPerStep {
+			if maxStep > 0 && processed >= maxStep {
 				e.observeRound()
 				processed = 0
 			}
@@ -467,186 +637,247 @@ func (e *Engine[M]) computeSequential() {
 // Stopped reports whether the run was abandoned due to overload.
 func (e *Engine[M]) Stopped() bool { return e.stopped }
 
-// deliver routes the pending envelopes into per-vertex inbox segments using
-// a counting sort on destination. The message chunks — per-machine outboxes
-// in machine order, then any spilled envelopes — are placed in chunk order
-// with stable within-chunk order, which is exactly the single-outbox
-// engine's layout; the sequential and parallel paths below produce
-// bit-identical inboxes.
+// deliver routes the pending envelopes into per-vertex inbox segments and
+// applies the combiner's delivery-time fold. Routing runs one counting
+// sort per destination machine over that machine's dense local ranks; the
+// sort places row contents in (source machine, emission) order, which is
+// exactly the chunk-major stable layout of the historical single-outbox
+// engine, so sequential and parallel execution produce bit-identical
+// inboxes.
 func (e *Engine[M]) deliver() {
+	e.route()
+	if e.opts.Combiner != nil {
+		if e.workers > 1 && len(e.inbox) >= parallelDeliverMin {
+			e.runPhase(phaseCombine, e.k)
+		} else {
+			for i := 0; i < e.k; i++ {
+				e.runTask(phaseCombine, i)
+			}
+		}
+	}
+}
+
+// route performs the counting-sort placement of every pending envelope
+// (buffered rows plus any spilled overflow) into the inbox, leaving
+// regionStart/moffs describing the per-vertex segments. No allocation on
+// the steady-state path: rows, counts, offsets and the inbox itself are
+// all persistent scratch.
+func (e *Engine[M]) route() {
+	k := e.k
 	spilled := e.drainSpill()
-	chunks := e.outBy
-	if len(spilled) > 0 {
-		chunks = make([][]envelope[M], 0, len(e.outBy)+1)
-		chunks = append(chunks, e.outBy...)
-		chunks = append(chunks, spilled)
+	if !e.perDst {
+		e.scatterLegacy(spilled)
 	}
 	total := 0
-	for _, ch := range chunks {
-		total += len(ch)
+	for d := 0; d < k; d++ {
+		t := 0
+		if e.perDst {
+			for s := 0; s < k; s++ {
+				t += len(e.outRows[s*k+d])
+			}
+		} else {
+			t = len(e.scatterRows[d])
+		}
+		e.machLoad[d] = int64(t)
+		e.regionStart[d] = int32(total)
+		total += t
 	}
+	e.regionStart[k] = int32(total)
+	if cap(e.inbox) < total {
+		e.inbox = make([]M, total)
+	}
+	e.inbox = e.inbox[:total]
+	e.orderByLoad()
 	if e.workers > 1 && total >= parallelDeliverMin {
-		e.deliverParallel(chunks, total)
+		e.runPhase(phaseDeliver, k)
 	} else {
-		e.deliverSequential(chunks, total)
+		for i := 0; i < k; i++ {
+			e.runTask(phaseDeliver, i)
+		}
 	}
-	for m := range e.outBy {
-		e.outBy[m] = e.outBy[m][:0]
+	// Truncate rows keeping capacity — the pooled chunks for next round.
+	for r := range e.outRows {
+		e.outRows[r] = e.outRows[r][:0]
+	}
+	if !e.perDst {
+		for d := range e.scatterRows {
+			e.scatterRows[d] = e.scatterRows[d][:0]
+		}
 	}
 	e.outPending = 0
-	if e.opts.Combiner != nil {
-		e.combineInboxes()
-	}
-}
-
-// deliverSequential is the single-goroutine counting sort.
-func (e *Engine[M]) deliverSequential(chunks [][]envelope[M], total int) {
-	n := e.g.NumVertices()
-	for i := range e.inCounts {
-		e.inCounts[i] = 0
-	}
-	for _, ch := range chunks {
-		for _, env := range ch {
-			e.inCounts[env.dst]++
-		}
-	}
-	e.inOffs[0] = 0
-	for v := 0; v < n; v++ {
-		e.inOffs[v+1] = e.inOffs[v] + e.inCounts[v]
-	}
-	if cap(e.inbox) < total {
-		e.inbox = make([]M, total)
-	}
-	e.inbox = e.inbox[:total]
-	cursor := make([]int32, n)
-	copy(cursor, e.inOffs[:n])
-	for _, ch := range chunks {
-		for _, env := range ch {
-			e.inbox[cursor[env.dst]] = env.payload
-			cursor[env.dst]++
-		}
-	}
-}
-
-// deliverParallel distributes the same counting sort over the worker pool:
-// per-chunk histograms (parallel over chunks), per-vertex totals and chunk
-// cursors (parallel over vertex ranges), a sequential prefix sum, and
-// placement (parallel over chunks, each writing disjoint inbox slots).
-func (e *Engine[M]) deliverParallel(chunks [][]envelope[M], total int) {
-	n := e.g.NumVertices()
-	for len(e.chunkCnt) < len(chunks) {
-		e.chunkCnt = append(e.chunkCnt, make([]int32, n))
-	}
-	cnt := e.chunkCnt[:len(chunks)]
-	// Per-chunk destination histograms.
-	e.forEachN(len(chunks), func(c int) {
-		row := cnt[c]
-		for i := range row {
-			row[i] = 0
-		}
-		for _, env := range chunks[c] {
-			row[env.dst]++
-		}
-	})
-	// Per-vertex totals.
-	e.forEachRange(n, func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			s := int32(0)
-			for c := range cnt {
-				s += cnt[c][v]
-			}
-			e.inCounts[v] = s
-		}
-	})
-	// Prefix sum (sequential; O(n) and dependency-chained).
-	e.inOffs[0] = 0
-	for v := 0; v < n; v++ {
-		e.inOffs[v+1] = e.inOffs[v] + e.inCounts[v]
-	}
-	// Turn histograms into per-chunk placement cursors: chunk c's messages
-	// for vertex v occupy [cnt[c][v], cnt[c][v]+hist) after this, with
-	// chunks laid out in order inside v's segment — the stable layout.
-	e.forEachRange(n, func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			run := e.inOffs[v]
-			for c := range cnt {
-				h := cnt[c][v]
-				cnt[c][v] = run
-				run += h
-			}
-		}
-	})
-	if cap(e.inbox) < total {
-		e.inbox = make([]M, total)
-	}
-	e.inbox = e.inbox[:total]
-	// Placement: each chunk owns its cursor row and the slots it reserves,
-	// so chunks place concurrently without synchronization.
-	e.forEachN(len(chunks), func(c int) {
-		cur := cnt[c]
-		for _, env := range chunks[c] {
-			e.inbox[cur[env.dst]] = env.payload
-			cur[env.dst]++
-		}
-	})
-}
-
-// combineInboxes folds each vertex's inbox down to a single message using
-// the configured combiner. The fold is left-to-right within each vertex's
-// segment on both paths; the parallel path folds vertex ranges concurrently
-// (disjoint segments) and compacts sequentially.
-func (e *Engine[M]) combineInboxes() {
-	n := e.g.NumVertices()
-	if e.workers > 1 && len(e.inbox) >= parallelDeliverMin {
-		e.forEachRange(n, func(lo, hi int) {
-			for v := lo; v < hi; v++ {
-				s, t := e.inOffs[v], e.inOffs[v+1]
-				if t-s < 2 {
-					continue
+	if e.combineAtSend {
+		if e.sendGen != nil {
+			for m := range e.sendGen {
+				e.sendGen[m]++
+				if e.sendGen[m] == 0 { // generation wrap: invalidate for real
+					clear(e.sendSeen[m])
+					e.sendGen[m] = 1
 				}
-				acc := e.inbox[s]
-				for i := s + 1; i < t; i++ {
-					acc = e.opts.Combiner(acc, e.inbox[i])
-				}
-				e.inbox[s] = acc
 			}
-		})
-		w := int32(0)
-		newOffs := make([]int32, n+1)
-		for v := 0; v < n; v++ {
-			newOffs[v] = w
-			lo, hi := e.inOffs[v], e.inOffs[v+1]
+		} else {
+			for m := range e.sendKeys {
+				clear(e.sendKeys[m])
+			}
+		}
+	}
+}
+
+// orderByLoad fills machOrder with machine indices sorted by machLoad
+// descending (stable on index), the LPT heuristic: the pool starts the
+// heaviest destination first so the round's critical path shrinks on
+// skewed partitions. Insertion sort — k is small and the slice is nearly
+// sorted between rounds — and no closures, so no allocation.
+func (e *Engine[M]) orderByLoad() {
+	ord := e.machOrder
+	for i := range ord {
+		ord[i] = int32(i)
+	}
+	for i := 1; i < len(ord); i++ {
+		for j := i; j > 0 && e.machLoad[ord[j]] > e.machLoad[ord[j-1]]; j-- {
+			ord[j], ord[j-1] = ord[j-1], ord[j]
+		}
+	}
+}
+
+// scatterLegacy stages the legacy mixed-destination rows (spill mode) plus
+// the spilled envelopes into per-destination scatter rows, in chunk-major
+// order (machine rows in index order, then the spill stream), so the
+// per-destination counting sorts see the same stable order as always.
+func (e *Engine[M]) scatterLegacy(spilled []envelope[M]) {
+	for d := range e.scatterRows {
+		e.scatterRows[d] = e.scatterRows[d][:0]
+	}
+	for m := range e.outRows {
+		for _, env := range e.outRows[m] {
+			d := e.owners[env.dst]
+			e.scatterRows[d] = append(e.scatterRows[d], env)
+		}
+	}
+	for _, env := range spilled {
+		d := e.owners[env.dst]
+		e.scatterRows[d] = append(e.scatterRows[d], env)
+	}
+}
+
+// deliverMachine counting-sorts every envelope addressed to machine d into
+// d's inbox region: histogram over dense local ranks, prefix sum into the
+// per-vertex offsets, then stable placement walking source rows in machine
+// order. The count array spans only d's vertices, so it stays cache-
+// resident however large the graph is.
+func (e *Engine[M]) deliverMachine(d int) {
+	k := e.k
+	cnt := e.mcount[d]
+	offs := e.moffs[d]
+	rank := e.rank
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	if e.perDst {
+		for s := 0; s < k; s++ {
+			for _, env := range e.outRows[s*k+d] {
+				cnt[rank[env.dst]]++
+			}
+		}
+	} else {
+		for _, env := range e.scatterRows[d] {
+			cnt[rank[env.dst]]++
+		}
+	}
+	offs[0] = 0
+	for i := range cnt {
+		offs[i+1] = offs[i] + cnt[i]
+	}
+	// Reuse cnt as the placement cursor; index into the region subslice so
+	// the compiler checks bounds against the region, not the whole inbox.
+	reg := e.inbox[e.regionStart[d]:e.regionStart[d+1]]
+	cur := cnt
+	copy(cur, offs[:len(cnt)])
+	if e.perDst {
+		for s := 0; s < k; s++ {
+			for _, env := range e.outRows[s*k+d] {
+				r := rank[env.dst]
+				reg[cur[r]] = env.payload
+				cur[r]++
+			}
+		}
+	} else {
+		for _, env := range e.scatterRows[d] {
+			r := rank[env.dst]
+			reg[cur[r]] = env.payload
+			cur[r]++
+		}
+	}
+}
+
+// combineMachine folds machine d's freshly delivered segments with the
+// configured combiner, compacting in place within d's region and
+// rewriting moffs. Unkeyed: each segment folds left-to-right to one
+// message. Keyed: each segment folds to one message per distinct key, the
+// representative sitting at the key's first occurrence — which is exactly
+// the layout send-time combining plus this cross-machine fold produces,
+// so both timings yield bit-identical inboxes.
+func (e *Engine[M]) combineMachine(d int) {
+	comb := e.opts.Combiner
+	offs := e.moffs[d]
+	base := e.regionStart[d]
+	nloc := len(e.mcount[d])
+	if e.opts.CombinerKey == nil {
+		lw := int32(0)
+		prev := int32(0)
+		for i := 0; i < nloc; i++ {
+			lo, hi := prev, offs[i+1]
+			prev = offs[i+1]
+			offs[i] = lw
 			if lo == hi {
 				continue
 			}
-			// w <= lo always (each earlier non-empty vertex consumed at
-			// least one slot), so this never overwrites a pending segment.
-			e.inbox[w] = e.inbox[lo]
-			w++
+			acc := e.inbox[base+lo]
+			for j := lo + 1; j < hi; j++ {
+				acc = comb(acc, e.inbox[base+j])
+			}
+			e.inbox[base+lw] = acc
+			lw++
 		}
-		newOffs[n] = w
-		e.inbox = e.inbox[:w]
-		copy(e.inOffs, newOffs)
+		offs[nloc] = lw
 		return
 	}
-	w := int32(0)
-	newOffs := make([]int32, n+1)
-	for v := 0; v < n; v++ {
-		newOffs[v] = w
-		lo, hi := e.inOffs[v], e.inOffs[v+1]
+	keyOf := e.opts.CombinerKey
+	mp := e.foldKeys[d]
+	lw := int32(0)
+	prev := int32(0)
+	for i := 0; i < nloc; i++ {
+		lo, hi := prev, offs[i+1]
+		prev = offs[i+1]
+		offs[i] = lw
 		if lo == hi {
 			continue
 		}
-		acc := e.inbox[lo]
-		for i := lo + 1; i < hi; i++ {
-			acc = e.opts.Combiner(acc, e.inbox[i])
+		e.foldEpoch[d]++
+		ep := e.foldEpoch[d]
+		for j := lo; j < hi; j++ {
+			msg := e.inbox[base+j]
+			kk := keyOf(msg)
+			if s, ok := mp[kk]; ok && s.epoch == ep {
+				e.inbox[base+s.pos] = comb(e.inbox[base+s.pos], msg)
+				continue
+			}
+			mp[kk] = foldSlot{epoch: ep, pos: lw}
+			// lw <= lo + kept count <= j: the write never passes the read.
+			e.inbox[base+lw] = msg
+			lw++
 		}
-		e.inbox[w] = acc
-		w++
 	}
-	newOffs[n] = w
-	e.inbox = e.inbox[:w]
-	copy(e.inOffs, newOffs)
+	offs[nloc] = lw
+}
+
+// segment returns vertex v's delivered inbox slice for the current
+// superstep (test/fuzz helper; valid between route and the next round).
+func (e *Engine[M]) segment(v graph.VertexID) []M {
+	m := e.owners[v]
+	i := e.rank[v]
+	offs := e.moffs[m]
+	base := e.regionStart[m]
+	return e.inbox[base+offs[i] : base+offs[i+1]]
 }
 
 // observeRound flushes the superstep statistics into the sim.Run. During
@@ -663,13 +894,17 @@ func (e *Engine[M]) observeRound() {
 			e.sent[m] = machineCounters{}
 			e.recv[m] = machineCounters{}
 			e.active[m] = 0
+			e.combinedSend[m] = 0
 		}
 		return
 	}
 	if e.run != nil {
-		k := e.part.NumMachines()
+		k := e.k
+		// The observer retains the per-machine slice (reports and traces
+		// reference it after the round), so it cannot be pooled.
 		per := make([]sim.MachineRound, k)
 		reporter, hasState := e.prog.(StateReporter)
+		var combined int64
 		for m := 0; m < k; m++ {
 			per[m] = sim.MachineRound{
 				SentLogical:     e.sent[m].logical,
@@ -684,6 +919,7 @@ func (e *Engine[M]) observeRound() {
 			if hasState {
 				per[m].StateEntries = reporter.StateEntries(m)
 			}
+			combined += e.combinedSend[m]
 		}
 		e.run.ObserveRound(sim.RoundStats{
 			PerMachine:         per,
@@ -692,6 +928,7 @@ func (e *Engine[M]) observeRound() {
 			OOCReadBytes:       e.oocReadBytes,
 			OOCWriteBytes:      e.oocWriteBytes,
 			OOCWindowPeakBytes: e.oocWindowPeak,
+			CombinedAtSend:     combined,
 		})
 	}
 	e.obsSpilledBytes = e.spilledBytes
@@ -700,5 +937,6 @@ func (e *Engine[M]) observeRound() {
 		e.sent[m] = machineCounters{}
 		e.recv[m] = machineCounters{}
 		e.active[m] = 0
+		e.combinedSend[m] = 0
 	}
 }

@@ -15,17 +15,20 @@ func (nopProg) Seed(vcapi.Context[int32])                             {}
 func (nopProg) Compute(vcapi.Context[int32], graph.VertexID, []int32) {}
 
 // FuzzDeliverRouting decodes arbitrary bytes into a batch of envelopes
-// spread over per-machine outboxes and checks the counting-sort delivery
+// emitted from per-machine sources and checks the counting-sort delivery
 // invariants on both the sequential and the parallel path:
 //
 //   - every envelope lands in exactly one inbox segment — the segment of
 //     its destination vertex — and no envelope is duplicated or dropped;
-//   - segments are chunk-major stable: machine order, then send order;
+//   - segments are chunk-major stable: source machine order, then send
+//     order;
 //   - the parallel path produces a bit-identical inbox layout to the
 //     sequential path (the determinism contract);
 //   - after combining, each non-empty segment holds exactly one message,
 //     the message count equals the number of non-empty inboxes, and a sum
-//     combiner preserves the payload total.
+//     combiner preserves the payload total;
+//   - an engine combining at send time ends up with segments bit-identical
+//     to the delivery-time engines', before-compute and after-combine.
 func FuzzDeliverRouting(f *testing.F) {
 	f.Add([]byte{8, 2, 0, 0, 1, 5, 2, 9, 0, 3})
 	f.Add([]byte{120, 7, 1, 1, 1, 1, 1, 1})
@@ -42,49 +45,63 @@ func FuzzDeliverRouting(f *testing.F) {
 		part := graph.HashPartition(n, k)
 		sum := func(a, b int32) int32 { return a + b }
 
-		seq := New[int32](g, part, nopProg{}, nil, Options[int32]{Workers: 1, Combiner: sum})
-		par := New[int32](g, part, nopProg{}, nil, Options[int32]{Workers: 4, Combiner: sum})
+		seq := New[int32](g, part, nopProg{}, nil, Options[int32]{
+			Workers: 1, Combiner: sum, CombineAtDelivery: true,
+		})
+		par := New[int32](g, part, nopProg{}, nil, Options[int32]{
+			Workers: 4, Combiner: sum, CombineAtDelivery: true,
+		})
+		defer par.stopPool()
+		send := New[int32](g, part, nopProg{}, nil, Options[int32]{
+			Workers: 1, Combiner: sum,
+		})
+		if !send.combineAtSend {
+			t.Fatal("send-time combining should be the default with a combiner")
+		}
 
 		// Decode (machine, dst) pairs; payload is the send sequence number.
+		// chunks[m] records machine m's emission stream for the expected
+		// chunk-major order.
 		var total int
 		var paySum int64
 		wantPerVertex := make([]int, n)
+		chunks := make([][]envelope[int32], k)
 		for i := 0; i+1 < len(data)-2; i += 2 {
 			m := int(data[2+i]) % k
 			dst := graph.VertexID(int(data[3+i]) % n)
 			env := envelope[int32]{dst: dst, payload: int32(total)}
-			seq.outBy[m] = append(seq.outBy[m], env)
-			par.outBy[m] = append(par.outBy[m], env)
+			d := int(seq.owners[dst])
+			seq.emit(m, d, env)
+			par.emit(m, d, env)
+			send.emit(m, d, env)
+			chunks[m] = append(chunks[m], env)
 			wantPerVertex[dst]++
 			paySum += int64(total)
 			total++
 		}
 
-		// Snapshot chunk layout before the engines truncate their outboxes.
-		chunks := make([][]envelope[int32], k)
-		for m := 0; m < k; m++ {
-			chunks[m] = append([]envelope[int32](nil), seq.outBy[m]...)
+		seq.route()
+		par.route()
+
+		delivered := 0
+		for v := 0; v < n; v++ {
+			delivered += len(seq.segment(graph.VertexID(v)))
 		}
-
-		seq.deliverSequential(chunks, total)
-		par.deliverParallel(chunks, total)
-
-		if len(seq.inbox) != total {
-			t.Fatalf("inbox holds %d messages, %d were sent", len(seq.inbox), total)
+		if delivered != total {
+			t.Fatalf("inbox holds %d messages, %d were sent", delivered, total)
 		}
 		// Exactly-one-segment: per-vertex counts match the routing table and
 		// sum to the total, so no envelope is lost, duplicated or misfiled.
 		for v := 0; v < n; v++ {
-			gotN := int(seq.inOffs[v+1] - seq.inOffs[v])
+			gotN := len(seq.segment(graph.VertexID(v)))
 			if gotN != wantPerVertex[v] {
 				t.Fatalf("vertex %d segment holds %d messages want %d", v, gotN, wantPerVertex[v])
 			}
 		}
 		// Chunk-major stable order inside each segment: sequence numbers
-		// must appear in (machine, send order) — i.e. the same order a
-		// single-outbox sequential engine would have appended them.
+		// must appear in (source machine, send order) — i.e. the same order
+		// a single-outbox sequential engine would have appended them.
 		for v := 0; v < n; v++ {
-			idx := 0
 			var want []int32
 			for m := 0; m < k; m++ {
 				for _, env := range chunks[m] {
@@ -93,55 +110,75 @@ func FuzzDeliverRouting(f *testing.F) {
 					}
 				}
 			}
-			for i := seq.inOffs[v]; i < seq.inOffs[v+1]; i++ {
-				if seq.inbox[i] != want[idx] {
+			got := seq.segment(graph.VertexID(v))
+			for i := range got {
+				if got[i] != want[i] {
 					t.Fatalf("vertex %d slot %d: payload %d want %d (stable order broken)",
-						v, i, seq.inbox[i], want[idx])
+						v, i, got[i], want[i])
 				}
-				idx++
 			}
 		}
 		// Parallel path must reproduce the sequential layout bit-for-bit.
-		for v := 0; v <= n; v++ {
-			if seq.inOffs[v] != par.inOffs[v] {
-				t.Fatalf("offset table diverges at %d: %d vs %d", v, seq.inOffs[v], par.inOffs[v])
+		for v := 0; v < n; v++ {
+			sv, pv := seq.segment(graph.VertexID(v)), par.segment(graph.VertexID(v))
+			if len(sv) != len(pv) {
+				t.Fatalf("vertex %d: segment length %d sequential vs %d parallel", v, len(sv), len(pv))
 			}
-		}
-		for i := range seq.inbox {
-			if seq.inbox[i] != par.inbox[i] {
-				t.Fatalf("inbox diverges at slot %d: %d vs %d", i, seq.inbox[i], par.inbox[i])
+			for i := range sv {
+				if sv[i] != pv[i] {
+					t.Fatalf("vertex %d slot %d: %d sequential vs %d parallel", v, i, sv[i], pv[i])
+				}
 			}
 		}
 
-		// Combiner invariants on both paths.
+		// Combiner invariants on both delivery-time paths, and send-time
+		// equivalence: the send-time engine's routed-and-folded segments
+		// must be bit-identical to the delivery-time result.
 		nonEmpty := 0
 		for v := 0; v < n; v++ {
 			if wantPerVertex[v] > 0 {
 				nonEmpty++
 			}
 		}
-		for _, e := range []*Engine[int32]{seq, par} {
-			e.combineInboxes()
-			if len(e.inbox) != nonEmpty {
-				t.Fatalf("workers=%d: combined inbox holds %d messages, %d inboxes were non-empty",
-					e.workers, len(e.inbox), nonEmpty)
+		send.route()
+		for i := 0; i < k; i++ {
+			send.runTask(phaseCombine, i)
+		}
+		for _, eng := range []*Engine[int32]{seq, par} {
+			for i := 0; i < k; i++ {
+				eng.runTask(phaseCombine, i)
 			}
+			combined := 0
 			var got int64
 			for v := 0; v < n; v++ {
-				segLen := e.inOffs[v+1] - e.inOffs[v]
-				if segLen > 1 {
+				seg := eng.segment(graph.VertexID(v))
+				combined += len(seg)
+				if len(seg) > 1 {
 					t.Fatalf("workers=%d: vertex %d still has %d messages after combining",
-						e.workers, v, segLen)
+						eng.workers, v, len(seg))
 				}
-				if (segLen > 0) != (wantPerVertex[v] > 0) {
-					t.Fatalf("workers=%d: vertex %d segment presence changed by combining", e.workers, v)
+				if (len(seg) > 0) != (wantPerVertex[v] > 0) {
+					t.Fatalf("workers=%d: vertex %d segment presence changed by combining", eng.workers, v)
 				}
-				for i := e.inOffs[v]; i < e.inOffs[v+1]; i++ {
-					got += int64(e.inbox[i])
+				for _, m := range seg {
+					got += int64(m)
+				}
+				st := send.segment(graph.VertexID(v))
+				if len(st) != len(seg) {
+					t.Fatalf("vertex %d: send-time segment length %d vs delivery-time %d", v, len(st), len(seg))
+				}
+				for i := range seg {
+					if st[i] != seg[i] {
+						t.Fatalf("vertex %d: send-time payload %d vs delivery-time %d", v, st[i], seg[i])
+					}
 				}
 			}
+			if combined != nonEmpty {
+				t.Fatalf("workers=%d: combined inbox holds %d messages, %d inboxes were non-empty",
+					eng.workers, combined, nonEmpty)
+			}
 			if got != paySum {
-				t.Fatalf("workers=%d: sum combiner lost mass: %d want %d", e.workers, got, paySum)
+				t.Fatalf("workers=%d: sum combiner lost mass: %d want %d", eng.workers, got, paySum)
 			}
 		}
 	})

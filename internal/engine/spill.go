@@ -59,11 +59,12 @@ func newSpillFile(dir string) (*ooc.Writer, error) {
 }
 
 // flushSpill writes every buffered outbox envelope to the spill file and
-// truncates the outboxes. Spill mode runs sequentially, so walking the
-// per-machine outboxes in machine order reproduces the exact record stream
-// the single-outbox engine wrote: machines execute in index order, hence
-// buffered envelopes of lower-numbered machines chronologically precede
-// those of the machine currently mid-superstep.
+// truncates the outboxes. Spill mode runs sequentially on the legacy
+// one-row-per-machine outbox layout, so walking the rows in machine order
+// reproduces the exact record stream the single-outbox engine wrote:
+// machines execute in index order, hence buffered envelopes of
+// lower-numbered machines chronologically precede those of the machine
+// currently mid-superstep.
 func (e *Engine[M]) flushSpill() {
 	opts := e.opts.Spill
 	if e.spill == nil {
@@ -74,8 +75,8 @@ func (e *Engine[M]) flushSpill() {
 		e.spill = &spillState{w: w}
 	}
 	var scratch []byte
-	for m := range e.outBy {
-		for _, env := range e.outBy[m] {
+	for m := range e.outRows {
+		for _, env := range e.outRows[m] {
 			scratch = opts.Codec.Encode(scratch[:0], env.payload)
 			before := e.spill.w.Bytes()
 			if err := e.spill.w.AppendMessage(env.dst, scratch); err != nil {
@@ -84,7 +85,7 @@ func (e *Engine[M]) flushSpill() {
 			e.spilledRecords++
 			e.spilledBytes += e.spill.w.Bytes() - before
 		}
-		e.outBy[m] = e.outBy[m][:0]
+		e.outRows[m] = e.outRows[m][:0]
 	}
 	e.outPending = 0
 }

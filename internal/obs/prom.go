@@ -19,6 +19,7 @@ var helpDefaults = map[string]string{
 	"sim_round_skew_ratio":             "Worst/mean machine load ratio per superstep.",
 	"sim_seconds":                      "Cumulative simulated seconds of the current run.",
 	"sim_sent_logical_total":           "Logical messages sent per simulated machine.",
+	"sim_combined_send_total":          "Messages merged into an outbox slot by send-time combining.",
 	"sim_recv_logical_total":           "Logical messages received per simulated machine.",
 	"engine_spilled_bytes_total":       "Bytes spilled to disk by the out-of-core engine.",
 	"engine_spilled_records_total":     "Records spilled to disk by the out-of-core engine.",

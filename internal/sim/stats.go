@@ -47,6 +47,13 @@ type RoundStats struct {
 	OOCReadBytes       int64
 	OOCWriteBytes      int64
 	OOCWindowPeakBytes int64
+
+	// CombinedAtSend counts messages the engine merged into an existing
+	// outbox slot by applying the combiner at send time this superstep
+	// (engine-wide, replica scale). Surfaced only through the metrics
+	// registry — never through reports or events, whose bytes must stay
+	// identical between send-time and delivery-time combiner runs.
+	CombinedAtSend int64
 }
 
 // TotalSentLogical sums logical sends across machines.

@@ -44,6 +44,11 @@ type BKHSConfig struct {
 	// OOC enables partitioned out-of-core execution on the synchronous
 	// path (see OOCConfig); ignored in Async and Mirror modes.
 	OOC *OOCConfig
+	// Combine merges same-destination messages of the same source with a
+	// minimum-hop combiner; CombineAtDelivery defers the fold to the
+	// delivery barrier. See MSSPConfig for the contract.
+	Combine           bool
+	CombineAtDelivery bool
 }
 
 // BKHSJob computes, for every source s in S, the set of vertices within K
@@ -134,7 +139,7 @@ func (j *BKHSJob) RunBatch(run *sim.Run, workload int, batchIdx int) ([]int64, e
 		})
 		err = a.Run()
 	} else {
-		e := engine.New[HopMsg](j.g, j.part, prog, run, engine.Options[HopMsg]{
+		opts := engine.Options[HopMsg]{
 			MaxRounds:          j.cfg.MaxRounds,
 			Seed:               seed,
 			Workers:            j.cfg.Workers,
@@ -142,7 +147,18 @@ func (j *BKHSJob) RunBatch(run *sim.Run, workload int, batchIdx int) ([]int64, e
 			Checkpoint:         checkpointOptions[HopMsg](HopMsgCodec{}, j.cfg.CheckpointDir, j.cfg.CheckpointInterval, batchIdx),
 			Fault:              j.cfg.Fault,
 			OOC:                oocOptions[HopMsg](HopMsgCodec{}, j.cfg.OOC, batchIdx, j.cfg.Mirror),
-		})
+		}
+		if j.cfg.Combine {
+			opts.Combiner = func(a, b HopMsg) HopMsg {
+				if b.Hop < a.Hop {
+					return b
+				}
+				return a
+			}
+			opts.CombinerKey = func(m HopMsg) uint64 { return uint64(m.Src) }
+			opts.CombineAtDelivery = j.cfg.CombineAtDelivery
+		}
+		e := engine.New[HopMsg](j.g, j.part, prog, run, opts)
 		err = e.Run()
 	}
 	if err != nil {

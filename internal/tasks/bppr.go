@@ -74,6 +74,15 @@ type BPPRConfig struct {
 	// OOC enables partitioned out-of-core execution on the synchronous
 	// paths (see OOCConfig); ignored in Async and Mirror modes.
 	OOC *OOCConfig
+	// Combine merges same-destination walk messages of the same source by
+	// adding their counts — integer walk counts, so the merge is exact and
+	// the walk semantics are unchanged (receivers already handle counted
+	// walks). Applies to the synchronous Monte-Carlo path only: the mirror
+	// variant's fractional mass is floating point, where regrouping the
+	// addition is not bit-exact, and Async folds per activation already.
+	// CombineAtDelivery defers the fold to the delivery barrier.
+	Combine           bool
+	CombineAtDelivery bool
 }
 
 func (c *BPPRConfig) defaults() {
@@ -273,6 +282,7 @@ func (j *BPPRJob) RunBatch(run *sim.Run, workload int, batchIdx int) ([]int64, e
 	}
 	opts := engine.Options[WalkMsg]{
 		Weight:             func(m WalkMsg) int64 { return int64(m.Count) },
+		CombineAtDelivery:  j.cfg.CombineAtDelivery,
 		MaxRounds:          j.cfg.MaxRounds,
 		Seed:               j.cfg.Seed ^ uint64(batchIdx+1)*0x9e3779b97f4a7c15,
 		Workers:            j.cfg.Workers,
@@ -280,6 +290,12 @@ func (j *BPPRJob) RunBatch(run *sim.Run, workload int, batchIdx int) ([]int64, e
 		Checkpoint:         checkpointOptions[WalkMsg](WalkMsgCodec{}, j.cfg.CheckpointDir, j.cfg.CheckpointInterval, batchIdx),
 		Fault:              j.cfg.Fault,
 		OOC:                oocOptions[WalkMsg](WalkMsgCodec{}, j.cfg.OOC, batchIdx, j.cfg.Mirror),
+	}
+	if j.cfg.Combine {
+		opts.Combiner = func(a, b WalkMsg) WalkMsg {
+			return WalkMsg{Src: a.Src, Count: a.Count + b.Count}
+		}
+		opts.CombinerKey = func(m WalkMsg) uint64 { return uint64(m.Src) }
 	}
 	var err error
 	perNode := workload

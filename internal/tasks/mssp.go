@@ -51,6 +51,16 @@ type MSSPConfig struct {
 	// OOC enables partitioned out-of-core execution on the synchronous
 	// path (see OOCConfig); ignored in Async and Mirror modes.
 	OOC *OOCConfig
+	// Combine merges same-destination messages of the same source with a
+	// minimum-distance combiner (the physical-message reduction of §4.8).
+	// Distances are unchanged; only physical message counts and buffer
+	// occupancy drop. Ignored in Async mode (the GAS executor folds per
+	// activation already).
+	Combine bool
+	// CombineAtDelivery defers the combiner fold from send time to the
+	// delivery barrier. Both timings produce byte-identical reports (the
+	// difftest combine axis); this switch exists to prove exactly that.
+	CombineAtDelivery bool
 }
 
 // MSSPJob computes single-source shortest path distances from every source
@@ -147,7 +157,7 @@ func (j *MSSPJob) RunBatch(run *sim.Run, workload int, batchIdx int) ([]int64, e
 		})
 		err = a.Run()
 	} else {
-		e := engine.New[DistMsg](j.g, j.part, prog, run, engine.Options[DistMsg]{
+		opts := engine.Options[DistMsg]{
 			MaxRounds:          j.cfg.MaxRounds,
 			Seed:               seed,
 			Workers:            j.cfg.Workers,
@@ -155,7 +165,20 @@ func (j *MSSPJob) RunBatch(run *sim.Run, workload int, batchIdx int) ([]int64, e
 			Checkpoint:         checkpointOptions[DistMsg](DistMsgCodec{}, j.cfg.CheckpointDir, j.cfg.CheckpointInterval, batchIdx),
 			Fault:              j.cfg.Fault,
 			OOC:                oocOptions[DistMsg](DistMsgCodec{}, j.cfg.OOC, batchIdx, j.cfg.Mirror),
-		})
+		}
+		if j.cfg.Combine {
+			// Selection combiner: keeps one whole operand (first on ties),
+			// so send-time and delivery-time folds are byte-identical.
+			opts.Combiner = func(a, b DistMsg) DistMsg {
+				if b.Dist < a.Dist {
+					return b
+				}
+				return a
+			}
+			opts.CombinerKey = func(m DistMsg) uint64 { return uint64(m.Src) }
+			opts.CombineAtDelivery = j.cfg.CombineAtDelivery
+		}
+		e := engine.New[DistMsg](j.g, j.part, prog, run, opts)
 		err = e.Run()
 	}
 	if err != nil {
