@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race lint bench bench-engine bench-engine-baseline bench-workers fault bench-ckpt bench-ckpt-baseline bench-wire bench-wire-baseline bench-ooc bench-ooc-baseline smoke-adaptive serve-smoke ooc-smoke cover ci
+.PHONY: build vet test race lint bench bench-engine bench-engine-baseline bench-workers fault bench-ckpt bench-ckpt-baseline bench-wire bench-wire-baseline bench-ooc bench-ooc-baseline bench-graph bench-graph-baseline smoke-adaptive serve-smoke ooc-smoke cover ci
 
 build:
 	$(GO) build ./...
@@ -10,8 +10,10 @@ vet:
 
 # Mirrors the CI lint job: gofmt must report nothing, vet must be clean,
 # and govulncheck scans the module (fetched with `go run`, so nothing is
-# added to go.mod; requires network access). The repo has no build-tagged
-# files, so plain `go vet ./...` covers every file.
+# added to go.mod; requires network access). The only build-tagged files
+# are the graph mmap loader's unix/!unix pair, so plain `go vet ./...`
+# covers every file reachable on the host OS plus the stub's other half
+# via its mirror-image tag.
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
 	$(GO) vet ./...
@@ -88,6 +90,22 @@ bench-ooc:
 # change; commit the resulting BENCH_ooc.json alongside the change.
 bench-ooc-baseline:
 	$(GO) run ./cmd/benchjson -bench 'BenchmarkPartitionWrite|BenchmarkPartitionRead' 		-pkg ./internal/ooc -benchtime 100x -out BENCH_ooc.json
+
+# Graph-load benchmark with the regression gate, mirroring the CI
+# bench-graph job: the legacy v2 reflection decode vs the v3 bulk load of
+# the same mid-size weighted replica, checked against the committed
+# BENCH_graph.json baseline. ns/op and allocs/op may regress at most 25%.
+# The mmap disk path (BenchmarkLoadBinaryFileV3) stays out of the gate —
+# it measures the host filesystem — but rides along as an artifact.
+bench-graph:
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkLoadBinaryV2$$|BenchmarkLoadBinaryV3$$' 		-pkg ./internal/graph -benchmem -benchtime 20x -out BENCH_graph_run.json 		-compare BENCH_graph.json -max-regress 0.25
+
+# Refresh the committed graph-load baseline after a deliberate format or
+# loader change; commit the resulting BENCH_graph.json alongside it. The
+# baseline must keep v3 at >= 2x over v2 (cmd/benchjson's
+# TestGraphBaselineShowsBulkWin pins that contract).
+bench-graph-baseline:
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkLoadBinaryV2$$|BenchmarkLoadBinaryV3$$' 		-pkg ./internal/graph -benchmem -benchtime 20x -out BENCH_graph.json
 
 # Closed-loop tuner smoke (DESIGN.md section 10), mirroring the CI step: the
 # static-vs-adaptive mispriced-training figure plus the vctune -adaptive

@@ -92,6 +92,31 @@ func TestCompareNewBenchmarkIgnored(t *testing.T) {
 	}
 }
 
+// TestGraphBaselineShowsBulkWin pins the acceptance criterion of the v3
+// zero-copy load path against the committed artifact: in BENCH_graph.json,
+// the bulk loader must be at least 2x faster than the v2 reflection decode
+// of the same graph. The file is committed, so this check is deterministic;
+// the live gate (make bench-graph) separately catches fresh regressions.
+func TestGraphBaselineShowsBulkWin(t *testing.T) {
+	base, err := readBaseline("../../BENCH_graph.json")
+	if err != nil {
+		t.Fatalf("committed graph-load baseline missing: %v", err)
+	}
+	ns := map[string]float64{}
+	for _, r := range base.Results {
+		name, _, _ := strings.Cut(r.Name, "-") // strip the -GOMAXPROCS suffix
+		ns[name] = r.NsPerOp
+	}
+	v2, v3 := ns["BenchmarkLoadBinaryV2"], ns["BenchmarkLoadBinaryV3"]
+	if v2 == 0 || v3 == 0 {
+		t.Fatalf("baseline lacks the v2/v3 load benchmarks: %v", ns)
+	}
+	if v3*2 > v2 {
+		t.Fatalf("committed baseline shows only a %.2fx bulk-load win (v2 %.0f ns/op, v3 %.0f ns/op); the v3 contract requires >= 2x",
+			v2/v3, v2, v3)
+	}
+}
+
 func TestParseBenchOutput(t *testing.T) {
 	out := bytes.NewBufferString(strings.Join([]string{
 		"goos: linux",

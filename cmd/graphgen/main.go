@@ -31,6 +31,7 @@ func main() {
 		stats    = flag.Bool("stats", false, "print graph statistics")
 		out      = flag.String("out", "", "output file")
 		edgelist = flag.Bool("edgelist", false, "write a text edge list instead of binary")
+		legacyV2 = flag.Bool("legacy-v2", false, "write the legacy v2 binary format (reflection-decoded) instead of the v3 bulk-load format")
 	)
 	flag.Parse()
 
@@ -98,9 +99,12 @@ func main() {
 			log.Fatal(err)
 		}
 		defer f.Close()
-		if *edgelist {
+		switch {
+		case *edgelist:
 			err = graph.WriteEdgeList(f, g)
-		} else {
+		case *legacyV2:
+			err = graph.WriteBinaryV2(f, g)
+		default:
 			err = graph.WriteBinary(f, g)
 		}
 		if err != nil {

@@ -108,6 +108,7 @@ func main() {
 		cluster = cluster.WithMachines(*machines)
 	}
 	if *graphFile != "" {
+		// Accepts v3 (bulk/mmap zero-copy load) and legacy v2 dumps alike.
 		// The checksummed loader rejects corrupt dumps; PrimeDataset rejects
 		// dumps of the wrong dataset. A primed cache makes d.Load() below
 		// return the file's graph instead of regenerating.

@@ -12,6 +12,7 @@ func FuzzReadEdgeList(f *testing.F) {
 	f.Add([]byte("0 1\n1 2\n"))
 	f.Add([]byte("# comment\n3 4 2.5\n"))
 	f.Add([]byte(""))
+	f.Add([]byte("# only a comment\n\n"))
 	f.Add([]byte("0\n"))
 	f.Add([]byte("a b\n"))
 	f.Add([]byte("4294967295 0\n"))
@@ -39,39 +40,63 @@ func FuzzReadEdgeList(f *testing.F) {
 	})
 }
 
-// FuzzReadBinary hardens the binary loader: arbitrary bytes must never
-// panic, allocate absurdly, or load as a structurally invalid graph. The
-// seed corpus covers the v2 framing: valid weighted and unweighted files,
-// a flipped checksum trailer, a wrong version word, truncations, and
-// trailing garbage.
-func FuzzReadBinary(f *testing.F) {
-	var plain, weighted bytes.Buffer
-	if err := WriteBinary(&plain, GenerateRing(8)); err != nil {
-		f.Fatal(err)
+// fuzzBinarySeeds is the shared seed corpus for the binary loader: valid
+// v3 and v2 files (weighted and not), a flipped checksum trailer, a wrong
+// version word, truncations, trailing garbage, and an empty input. It
+// drives both FuzzReadBinary and the corpus round-trip test.
+func fuzzBinarySeeds() [][]byte {
+	var v3plain, v3weighted, v2plain, v2weighted bytes.Buffer
+	ring := GenerateRing(8)
+	wring := WithUniformWeights(GenerateRing(8), 1, 3, 4)
+	for _, enc := range []struct {
+		buf *bytes.Buffer
+		g   *Graph
+		w   func(b *bytes.Buffer, g *Graph) error
+	}{
+		{&v3plain, ring, func(b *bytes.Buffer, g *Graph) error { return WriteBinary(b, g) }},
+		{&v3weighted, wring, func(b *bytes.Buffer, g *Graph) error { return WriteBinary(b, g) }},
+		{&v2plain, ring, func(b *bytes.Buffer, g *Graph) error { return WriteBinaryV2(b, g) }},
+		{&v2weighted, wring, func(b *bytes.Buffer, g *Graph) error { return WriteBinaryV2(b, g) }},
+	} {
+		if err := enc.w(enc.buf, enc.g); err != nil {
+			panic(err)
+		}
 	}
-	if err := WriteBinary(&weighted, WithUniformWeights(GenerateRing(8), 1, 3, 4)); err != nil {
-		f.Fatal(err)
-	}
-	f.Add(plain.Bytes())
-	f.Add(weighted.Bytes())
-	f.Add([]byte{})
-	f.Add(make([]byte, 40))
 	// Flipped trailer byte: everything parses until the checksum comparison.
-	flipped := append([]byte(nil), plain.Bytes()...)
+	flipped := append([]byte(nil), v3plain.Bytes()...)
 	flipped[len(flipped)-1] ^= 0x01
-	f.Add(flipped)
 	// Wrong version word (v1-style header without a version field decodes
 	// this way too: its second word is the vertex count).
-	wrongVer := append([]byte(nil), plain.Bytes()...)
+	wrongVer := append([]byte(nil), v3plain.Bytes()...)
 	wrongVer[8] = 1
-	f.Add(wrongVer)
-	f.Add(plain.Bytes()[:len(plain.Bytes())/2])
-	f.Add(append(append([]byte(nil), weighted.Bytes()...), 0xEE))
+	return [][]byte{
+		v3plain.Bytes(),
+		v3weighted.Bytes(),
+		v2plain.Bytes(),
+		v2weighted.Bytes(),
+		{},
+		make([]byte, 40),
+		flipped,
+		wrongVer,
+		v3plain.Bytes()[:v3plain.Len()/2],
+		v2plain.Bytes()[:v2plain.Len()/2],
+		append(append([]byte(nil), v3weighted.Bytes()...), 0xEE),
+	}
+}
+
+// FuzzReadBinary hardens the binary loader: arbitrary bytes must never
+// panic, allocate absurdly, or load as a structurally invalid graph, on
+// either the sized (seeker) or the unknown-size stream path — and the two
+// paths must agree on every input.
+func FuzzReadBinary(f *testing.F) {
+	for _, seed := range fuzzBinarySeeds() {
+		f.Add(seed)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Headers claiming sizes beyond the loader limit are rejected by
 		// ReadBinary itself; still skip multi-hundred-MB (but legal)
-		// claims to keep fuzzing fast. v2 header layout: magic, version,
-		// n, arcs, flags.
+		// claims to keep fuzzing fast. Header layout (v2 and v3): magic,
+		// version, n, arcs, flags.
 		if len(data) >= 32 {
 			var n, m uint64
 			for i := 0; i < 8; i++ {
@@ -85,12 +110,20 @@ func FuzzReadBinary(f *testing.F) {
 				return
 			}
 		}
-		g, err := ReadBinary(bytes.NewReader(data))
-		if err != nil {
+		g, errSized := ReadBinary(bytes.NewReader(data))
+		g2, errStream := ReadBinary(streamOnly{bytes.NewReader(data)})
+		if (errSized == nil) != (errStream == nil) {
+			t.Fatalf("sized and stream loaders disagree: %v vs %v", errSized, errStream)
+		}
+		if errSized != nil {
 			return
 		}
-		// Anything the loader accepts must be a structurally valid CSR.
+		// Anything the loader accepts must be a structurally valid CSR,
+		// identical on both paths.
 		n := g.NumVertices()
+		if g2.NumVertices() != n || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("path mismatch: (%d,%d) vs (%d,%d)", n, g.NumEdges(), g2.NumVertices(), g2.NumEdges())
+		}
 		var arcs int64
 		for v := 0; v < n; v++ {
 			ns := g.Neighbors(VertexID(v))

@@ -355,6 +355,45 @@ func TestEdgeListErrors(t *testing.T) {
 	}
 }
 
+// TestEdgeListExplicitNTooSmall is the regression test for the
+// out-of-range panic: an edge whose endpoint is at or beyond an explicit
+// vertex count used to reach Builder.addEdge's panic; it must instead be a
+// descriptive error.
+func TestEdgeListExplicitNTooSmall(t *testing.T) {
+	for _, in := range []string{"0 5\n", "7 1\n", "0 1\n2 3\n"} {
+		g, err := ReadEdgeList(bytes.NewBufferString(in), 3)
+		if err == nil {
+			t.Fatalf("%q with n=3: loaded %d vertices, want error", in, g.NumVertices())
+		}
+	}
+	// The boundary id n-1 is still fine.
+	g, err := ReadEdgeList(bytes.NewBufferString("0 2\n"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 1 {
+		t.Fatalf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+// TestEdgeListEmpty is the regression test for the silent 1-vertex graph:
+// an input with no edges must be an error when the vertex count is
+// inferred, and a legitimate edgeless graph when n is explicit.
+func TestEdgeListEmpty(t *testing.T) {
+	for _, in := range []string{"", "# header comment\n", "#a\n\n  \n#b\n"} {
+		if g, err := ReadEdgeList(bytes.NewBufferString(in), 0); err == nil {
+			t.Fatalf("%q with inferred n: loaded %d vertices, want error", in, g.NumVertices())
+		}
+	}
+	g, err := ReadEdgeList(bytes.NewBufferString("# no edges\n"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 0 {
+		t.Fatalf("explicit n: n=%d m=%d, want 4 isolated vertices", g.NumVertices(), g.NumEdges())
+	}
+}
+
 func TestBinaryRoundTrip(t *testing.T) {
 	g := GenerateChungLu(300, 1500, 2.3, 21)
 	var buf bytes.Buffer

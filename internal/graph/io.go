@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -40,8 +41,11 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 const maxLoadVertices = 1 << 28
 
 // ReadEdgeList parses a SNAP-style edge list. Lines starting with '#' are
-// comments. n must be at least max vertex id + 1; pass 0 to infer it.
-// Inputs implying more than 2^28 vertices are rejected.
+// comments. n must be at least max vertex id + 1; pass 0 to infer it. An
+// edge referencing a vertex id at or beyond an explicit n is an error, not
+// a panic, and an input with no edges at all is an error unless n was given
+// explicitly (an explicit n with no edges is a legitimate graph of n
+// isolated vertices). Inputs implying more than 2^28 vertices are rejected.
 func ReadEdgeList(r io.Reader, n int) (*Graph, error) {
 	type rawEdge struct {
 		from, to VertexID
@@ -92,11 +96,16 @@ func ReadEdgeList(r io.Reader, n int) (*Graph, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
+	if len(edges) == 0 && n == 0 {
+		return nil, errors.New("graph: empty edge list (no edges and no explicit vertex count)")
+	}
 	if uint64(maxID)+1 > maxLoadVertices {
 		return nil, fmt.Errorf("graph: vertex id %d exceeds the loader limit", maxID)
 	}
 	if n == 0 {
 		n = int(maxID) + 1
+	} else if len(edges) > 0 && int64(maxID) >= int64(n) {
+		return nil, fmt.Errorf("graph: vertex id %d out of range for declared vertex count %d", maxID, n)
 	}
 	b := NewBuilder(n, weighted)
 	for _, e := range edges {
@@ -105,10 +114,10 @@ func ReadEdgeList(r io.Reader, n int) (*Graph, error) {
 	return b.Build(), nil
 }
 
-// Binary graph file format (version 2):
+// Binary graph file format (version 3):
 //
 //	magic    uint64  "VCMT"
-//	version  uint64  format version (2)
+//	version  uint64  format version (3)
 //	n        uint64  vertex count
 //	arcs     uint64  directed arc count
 //	flags    uint64  bit 0: weights present
@@ -117,131 +126,340 @@ func ReadEdgeList(r io.Reader, n int) (*Graph, error) {
 //	weights  [arcs]float32 (only when flagged)
 //	crc      uint64  CRC-64 (ECMA) over everything before it
 //
-// All fields are little-endian. The trailer makes truncation and bit flips
-// detectable: version 1 files had neither a version field nor a checksum,
-// so a torn download loaded silently or failed with a raw io error deep in
-// binary.Read. Version 1 is not read back — the format had no consumers
-// before the -graph-file loaders landed, so nothing can have produced
-// long-lived v1 files worth migrating.
+// All fields are little-endian. Version 3 keeps version 2's section layout
+// and checksum trailer but strengthens the contract: the body IS the CSR
+// arrays, laid out exactly as Graph holds them in memory (the header is 40
+// bytes, so every section lands on its natural alignment), and the loader
+// is entitled to bulk-read or mmap the body straight into the final
+// offsets/adj/weights arrays behind NewCSRView, with no per-element decode
+// on the hot path. Because vertex ids are positional in CSR, the load
+// order is byte-stable by construction — partition assignment over a
+// reloaded dump is identical to the graph that wrote it, which the engine's
+// owner/rank routing tables and the difftest goldens depend on.
+//
+// Version 2 files (same layout, version word 2) are still read, through the
+// historical binary.Read reflection decoder; BENCH_graph.json records the
+// bulk-vs-reflection contrast. Version 1 files had neither a version field
+// nor a checksum and are not read back — the format had no consumers before
+// the -graph-file loaders landed.
 const (
-	binaryMagic   = 0x56434d54 // "VCMT"
-	binaryVersion = 2
+	binaryMagic     = 0x56434d54 // "VCMT"
+	binaryVersion   = 3
+	binaryVersionV2 = 2
+
+	binaryHeaderBytes  = 5 * 8
+	binaryTrailerBytes = 8
 )
 
 var binaryCRCTable = crc64.MakeTable(crc64.ECMA)
 
 // ErrCorrupt is wrapped by ReadBinary errors caused by damaged bytes: bad
-// magic, unsupported version, truncation, structural nonsense (offsets out
-// of order, neighbors out of range), trailing garbage, or a checksum
-// mismatch. A damaged graph file is never partially loaded.
+// magic, unsupported version, a header whose claimed sizes exceed the input,
+// truncation, structural nonsense (offsets out of order, neighbors out of
+// range), trailing garbage, or a checksum mismatch. A damaged graph file is
+// never partially loaded.
 var ErrCorrupt = errors.New("graph: corrupt graph file")
 
-// WriteBinary writes the versioned, checksummed binary encoding of the
-// graph, much faster to reload than an edge list for the larger replicas.
+// binaryHeader is the decoded and validated fixed header of a dump.
+type binaryHeader struct {
+	version  uint64
+	n        int
+	arcs     int64
+	weighted bool
+}
+
+// bodyBytes returns the exact byte length of the section payload the
+// header describes (offsets + adjacency + optional weights).
+func (h binaryHeader) bodyBytes() int64 {
+	b := int64(h.n+1)*8 + h.arcs*4
+	if h.weighted {
+		b += h.arcs * 4
+	}
+	return b
+}
+
+// parseBinaryHeader validates the fixed 40-byte header. Nothing has been
+// allocated yet when it rejects, so forged size claims cost nothing.
+func parseBinaryHeader(hdr []byte) (binaryHeader, error) {
+	var w [5]uint64
+	for i := range w {
+		w[i] = binary.LittleEndian.Uint64(hdr[8*i:])
+	}
+	if w[0] != binaryMagic {
+		return binaryHeader{}, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, w[0])
+	}
+	if w[1] != binaryVersion && w[1] != binaryVersionV2 {
+		return binaryHeader{}, fmt.Errorf("%w: unsupported version %d (want %d or %d)",
+			ErrCorrupt, w[1], binaryVersionV2, binaryVersion)
+	}
+	if w[2] > maxLoadVertices || w[3] > 64*maxLoadVertices {
+		return binaryHeader{}, fmt.Errorf("%w: header claims %d vertices / %d arcs, beyond the loader limit",
+			ErrCorrupt, w[2], w[3])
+	}
+	return binaryHeader{
+		version:  w[1],
+		n:        int(w[2]),
+		arcs:     int64(w[3]),
+		weighted: w[4]&1 != 0,
+	}, nil
+}
+
+// WriteBinary writes the version 3 binary encoding of the graph: the CSR
+// arrays as raw little-endian sections under a checksummed header, laid out
+// for direct (bulk-read or mmap) loading.
 func WriteBinary(w io.Writer, g *Graph) error {
-	bw := bufio.NewWriter(w)
+	return writeBinary(w, g, binaryVersion)
+}
+
+// WriteBinaryV2 writes the legacy version 2 encoding. The section bytes are
+// identical to version 3 — only the version word differs — but readers
+// decode v2 through the historical reflection path. Kept for compatibility
+// tests and the load benchmark's bulk-vs-reflection contrast.
+func WriteBinaryV2(w io.Writer, g *Graph) error {
+	return writeBinary(w, g, binaryVersionV2)
+}
+
+func writeBinary(w io.Writer, g *Graph, version uint64) error {
 	crc := crc64.New(binaryCRCTable)
-	hw := io.MultiWriter(bw, crc)
+	mw := io.MultiWriter(w, crc)
 	flags := uint64(0)
 	if g.Weighted() {
 		flags = 1
 	}
-	for _, h := range []uint64{binaryMagic, binaryVersion, uint64(g.n), uint64(len(g.adj)), flags} {
-		if err := binary.Write(hw, binary.LittleEndian, h); err != nil {
-			return err
-		}
+	var hdr [binaryHeaderBytes]byte
+	for i, v := range []uint64{binaryMagic, version, uint64(g.n), uint64(len(g.adj)), flags} {
+		binary.LittleEndian.PutUint64(hdr[8*i:], v)
 	}
-	if err := binary.Write(hw, binary.LittleEndian, g.offsets); err != nil {
+	if _, err := mw.Write(hdr[:]); err != nil {
 		return err
 	}
-	if err := binary.Write(hw, binary.LittleEndian, g.adj); err != nil {
+	if err := writeInt64s(mw, g.offsets); err != nil {
+		return err
+	}
+	if err := writeVertexIDs(mw, g.adj); err != nil {
 		return err
 	}
 	if g.Weighted() {
-		if err := binary.Write(hw, binary.LittleEndian, g.weights); err != nil {
+		if err := writeFloat32s(mw, g.weights); err != nil {
 			return err
 		}
 	}
-	if err := binary.Write(bw, binary.LittleEndian, crc.Sum64()); err != nil {
-		return err
-	}
-	return bw.Flush()
+	var tr [binaryTrailerBytes]byte
+	binary.LittleEndian.PutUint64(tr[:], crc.Sum64())
+	_, err := w.Write(tr[:])
+	return err
 }
 
-// ReadBinary reads a graph written by WriteBinary. The graph must be the
-// entire remainder of the stream; damaged bytes yield an error wrapping
-// ErrCorrupt and structural invariants (monotone offsets, in-range
-// neighbors) are verified, so a corrupt file is never silently mis-loaded.
+// ReadBinary reads a graph written by WriteBinary (v3) or WriteBinaryV2.
+// The graph must be the entire remainder of the stream; damaged bytes yield
+// an error wrapping ErrCorrupt and structural invariants (monotone offsets,
+// in-range neighbors) are verified, so a corrupt file is never silently
+// mis-loaded.
+//
+// When the stream can report its size (io.Seeker, e.g. a file or a
+// bytes.Reader), the header's claimed sizes are checked against the real
+// remainder before anything is allocated, and the v3 body is bulk-read
+// straight into the final 64-bit-aligned arrays. Streams of unknown size
+// are accumulated incrementally, so allocation is bounded by the bytes the
+// input actually contains — a forged header on a 100-byte file can never
+// balloon memory either way.
 func ReadBinary(r io.Reader) (*Graph, error) {
-	br := bufio.NewReader(r)
-	crc := crc64.New(binaryCRCTable)
-	hr := io.TeeReader(br, crc)
-	var hdr [5]uint64
-	for i := range hdr {
-		if err := binary.Read(hr, binary.LittleEndian, &hdr[i]); err != nil {
-			return nil, fmt.Errorf("%w: truncated header: %v", ErrCorrupt, err)
+	remain := int64(-1)
+	if s, ok := r.(io.Seeker); ok {
+		if sz, err := seekerRemaining(s); err == nil {
+			remain = sz
 		}
 	}
-	if hdr[0] != binaryMagic {
-		return nil, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, hdr[0])
+	var hdr [binaryHeaderBytes]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: truncated header: %v", ErrCorrupt, err)
 	}
-	if hdr[1] != binaryVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d (want %d)", ErrCorrupt, hdr[1], binaryVersion)
+	h, err := parseBinaryHeader(hdr[:])
+	if err != nil {
+		return nil, err
 	}
-	if hdr[2] > maxLoadVertices || hdr[3] > 64*maxLoadVertices {
-		return nil, fmt.Errorf("graph: header claims %d vertices / %d arcs, beyond the loader limit", hdr[2], hdr[3])
-	}
-	g := &Graph{
-		n:       int(hdr[2]),
-		offsets: make([]int64, hdr[2]+1),
-		adj:     make([]VertexID, hdr[3]),
-	}
-	if err := binary.Read(hr, binary.LittleEndian, &g.offsets); err != nil {
-		return nil, fmt.Errorf("%w: truncated offsets: %v", ErrCorrupt, err)
-	}
-	if err := binary.Read(hr, binary.LittleEndian, &g.adj); err != nil {
-		return nil, fmt.Errorf("%w: truncated adjacency: %v", ErrCorrupt, err)
-	}
-	if hdr[4]&1 != 0 {
-		g.weights = make([]float32, hdr[3])
-		if err := binary.Read(hr, binary.LittleEndian, &g.weights); err != nil {
-			return nil, fmt.Errorf("%w: truncated weights: %v", ErrCorrupt, err)
+	body := h.bodyBytes()
+	if remain >= 0 {
+		want := binaryHeaderBytes + body + binaryTrailerBytes
+		if remain < want {
+			return nil, fmt.Errorf("%w: input is %d bytes, header describes %d", ErrCorrupt, remain, want)
+		}
+		if remain > want {
+			return nil, fmt.Errorf("%w: trailing bytes after checksum", ErrCorrupt)
 		}
 	}
-	// The trailer itself is read past the digest, then compared against it.
-	var want uint64
-	if err := binary.Read(br, binary.LittleEndian, &want); err != nil {
+	buf, err := readBody(r, body, remain >= 0)
+	if err != nil {
+		return nil, err
+	}
+	crc := crc64.Update(0, binaryCRCTable, hdr[:])
+	crc = crc64.Update(crc, binaryCRCTable, buf)
+	var tr [binaryTrailerBytes]byte
+	if _, err := io.ReadFull(r, tr[:]); err != nil {
 		return nil, fmt.Errorf("%w: missing checksum trailer: %v", ErrCorrupt, err)
 	}
-	if got := crc.Sum64(); got != want {
-		return nil, fmt.Errorf("%w: checksum mismatch (got %016x want %016x)", ErrCorrupt, got, want)
+	if want := binary.LittleEndian.Uint64(tr[:]); crc != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (got %016x want %016x)", ErrCorrupt, crc, want)
 	}
-	if _, err := br.ReadByte(); err != io.EOF {
-		return nil, fmt.Errorf("%w: trailing bytes after checksum", ErrCorrupt)
+	if remain < 0 {
+		var one [1]byte
+		if _, err := io.ReadFull(r, one[:]); err != io.EOF {
+			return nil, fmt.Errorf("%w: trailing bytes after checksum", ErrCorrupt)
+		}
+	}
+	return decodeBinaryBody(h, buf)
+}
+
+// seekerRemaining returns the byte count from the current position to the
+// end of the stream, restoring the position.
+func seekerRemaining(s io.Seeker) (int64, error) {
+	cur, err := s.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return 0, err
+	}
+	end, err := s.Seek(0, io.SeekEnd)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := s.Seek(cur, io.SeekStart); err != nil {
+		return 0, err
+	}
+	return end - cur, nil
+}
+
+// readBody reads exactly n body bytes into a 64-bit-aligned buffer. With
+// sized set (the input length is known and already validated against the
+// header) the final buffer is allocated up front and filled with one
+// ReadFull. For unknown-size streams the bytes are accumulated through a
+// growing buffer first and copied into the aligned allocation only once
+// they all actually arrived, so a forged header never allocates more than
+// the input holds.
+func readBody(r io.Reader, n int64, sized bool) ([]byte, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	if sized {
+		buf := alignedBytes(n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("%w: truncated body: %v", ErrCorrupt, err)
+		}
+		return buf, nil
+	}
+	var acc bytes.Buffer
+	if m, err := io.CopyN(&acc, r, n); err != nil {
+		return nil, fmt.Errorf("%w: truncated body: read %d of %d bytes: %v", ErrCorrupt, m, n, err)
+	}
+	buf := alignedBytes(n)
+	copy(buf, acc.Bytes())
+	return buf, nil
+}
+
+// decodeBinaryBody turns a complete, checksum-verified body into a Graph.
+// body must be 64-bit aligned (alignedBytes, or an mmap offset that is a
+// multiple of 8). On little-endian hosts the v3 sections are aliased in
+// place — the arrays ARE the file bytes — while v2 keeps the historical
+// binary.Read reflection decode and big-endian hosts fall back to an
+// explicit element loop. Every path ends in the same structural validation
+// and NewCSRView.
+func decodeBinaryBody(h binaryHeader, body []byte) (*Graph, error) {
+	offBytes := int64(h.n+1) * 8
+	adjBytes := h.arcs * 4
+	var (
+		offsets []int64
+		adj     []VertexID
+		weights []float32
+	)
+	switch {
+	case h.version >= binaryVersion && hostLittleEndian:
+		offsets = castInt64s(body[:offBytes])
+		adj = castVertexIDs(body[offBytes : offBytes+adjBytes])
+		if h.weighted {
+			weights = castFloat32s(body[offBytes+adjBytes:])
+		}
+	case h.version == binaryVersionV2:
+		br := bytes.NewReader(body)
+		offsets = make([]int64, h.n+1)
+		if err := binary.Read(br, binary.LittleEndian, &offsets); err != nil {
+			return nil, fmt.Errorf("%w: truncated offsets: %v", ErrCorrupt, err)
+		}
+		adj = make([]VertexID, h.arcs)
+		if err := binary.Read(br, binary.LittleEndian, &adj); err != nil {
+			return nil, fmt.Errorf("%w: truncated adjacency: %v", ErrCorrupt, err)
+		}
+		if h.weighted {
+			weights = make([]float32, h.arcs)
+			if err := binary.Read(br, binary.LittleEndian, &weights); err != nil {
+				return nil, fmt.Errorf("%w: truncated weights: %v", ErrCorrupt, err)
+			}
+		}
+	default: // v3 on a big-endian host: correct, element-wise decode
+		offsets = decodeInt64s(body[:offBytes])
+		adj = decodeVertexIDs(body[offBytes : offBytes+adjBytes])
+		if h.weighted {
+			weights = decodeFloat32s(body[offBytes+adjBytes:])
+		}
 	}
 	// Structural validation: the checksum guards transport, not the writer,
 	// so a forged-but-consistent file must still describe a valid CSR.
-	if g.offsets[0] != 0 || g.offsets[g.n] != int64(len(g.adj)) {
+	if offsets[0] != 0 || offsets[h.n] != int64(len(adj)) {
 		return nil, fmt.Errorf("%w: offset bounds [%d, %d] do not span %d arcs",
-			ErrCorrupt, g.offsets[0], g.offsets[g.n], len(g.adj))
+			ErrCorrupt, offsets[0], offsets[h.n], len(adj))
 	}
-	for v := 0; v < g.n; v++ {
-		if g.offsets[v] > g.offsets[v+1] {
+	for v := 0; v < h.n; v++ {
+		if offsets[v] > offsets[v+1] {
 			return nil, fmt.Errorf("%w: offsets decrease at vertex %d", ErrCorrupt, v)
 		}
 	}
-	for _, u := range g.adj {
-		if int(u) >= g.n {
-			return nil, fmt.Errorf("%w: neighbor %d out of range n=%d", ErrCorrupt, u, g.n)
+	for _, u := range adj {
+		if int(u) >= h.n {
+			return nil, fmt.Errorf("%w: neighbor %d out of range n=%d", ErrCorrupt, u, h.n)
 		}
+	}
+	g, err := NewCSRView(h.n, offsets, adj, weights)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	return g, nil
 }
 
+// parseBinaryImage decodes a complete in-memory dump image — the zero-copy
+// path behind the mmap loader. data must begin on a 64-bit boundary (a
+// page-aligned mapping qualifies); the returned graph aliases data, which
+// therefore must stay mapped and unmodified for the graph's lifetime.
+func parseBinaryImage(data []byte) (*Graph, error) {
+	if len(data) < binaryHeaderBytes+binaryTrailerBytes {
+		return nil, fmt.Errorf("%w: truncated header: %d bytes", ErrCorrupt, len(data))
+	}
+	h, err := parseBinaryHeader(data[:binaryHeaderBytes])
+	if err != nil {
+		return nil, err
+	}
+	want := binaryHeaderBytes + h.bodyBytes() + binaryTrailerBytes
+	if int64(len(data)) < want {
+		return nil, fmt.Errorf("%w: input is %d bytes, header describes %d", ErrCorrupt, len(data), want)
+	}
+	if int64(len(data)) > want {
+		return nil, fmt.Errorf("%w: trailing bytes after checksum", ErrCorrupt)
+	}
+	crc := crc64.Checksum(data[:want-binaryTrailerBytes], binaryCRCTable)
+	if got := binary.LittleEndian.Uint64(data[want-binaryTrailerBytes:]); crc != got {
+		return nil, fmt.Errorf("%w: checksum mismatch (got %016x want %016x)", ErrCorrupt, crc, got)
+	}
+	return decodeBinaryBody(h, data[binaryHeaderBytes:want-binaryTrailerBytes])
+}
+
 // LoadBinaryFile reads a graphgen binary file from disk — the shared
 // loader behind vcrun -graph-file, vcbench -graph-dir and the vcserve
-// snapshot store.
+// snapshot store. Version 3 dumps are mmapped when the platform supports
+// it (the CSR arrays alias the page cache directly); otherwise — v2 files,
+// non-unix builds, or any mmap hiccup — the stream loader takes over.
 func LoadBinaryFile(path string) (*Graph, error) {
+	if g, handled, err := mmapBinaryFile(path); handled {
+		if err != nil {
+			return nil, fmt.Errorf("graph: %s: %w", path, err)
+		}
+		return g, nil
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package graph
+
+// mmapBinaryFile on platforms without a usable mmap syscall always defers
+// to the bulk-read stream loader.
+func mmapBinaryFile(string) (*Graph, bool, error) { return nil, false, nil }
